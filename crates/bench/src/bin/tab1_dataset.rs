@@ -1,0 +1,64 @@
+//! §IV-A dataset statistics ("Table 1"): sessions, users, actions, and the
+//! session-length distribution summary the paper reports — plus the
+//! exploratory activity profiles an analyst would compute (per-user
+//! activity, sessions per day, action frequency ranking).
+
+use ibcm_bench::Harness;
+use ibcm_core::experiments::tab1_dataset_stats;
+use ibcm_logsim::stats::{action_frequencies, sessions_per_day, user_activity};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = Harness::from_env()?;
+    let dataset = harness.dataset();
+    let rows = tab1_dataset_stats(&dataset);
+    println!("metric,value");
+    for (k, v) in &rows {
+        println!("{k},{v}");
+    }
+    harness.write_csv(
+        "tab1_dataset",
+        &["metric", "value"],
+        rows.into_iter().map(|(k, v)| vec![k, v]).collect(),
+    )?;
+
+    harness.write_csv(
+        "tab1_user_activity",
+        &["user", "sessions", "actions", "mean_length", "distinct_actions"],
+        user_activity(&dataset)
+            .iter()
+            .map(|p| {
+                vec![
+                    p.user.to_string(),
+                    p.sessions.to_string(),
+                    p.actions.to_string(),
+                    format!("{:.2}", p.mean_length),
+                    p.distinct_actions.to_string(),
+                ]
+            })
+            .collect(),
+    )?;
+    harness.write_csv(
+        "tab1_sessions_per_day",
+        &["day", "sessions"],
+        sessions_per_day(&dataset)
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| vec![d.to_string(), c.to_string()])
+            .collect(),
+    )?;
+    harness.write_csv(
+        "tab1_action_frequencies",
+        &["action", "count", "share"],
+        action_frequencies(&dataset)
+            .iter()
+            .map(|&(a, c, s)| {
+                vec![
+                    dataset.catalog().name(a).to_string(),
+                    c.to_string(),
+                    format!("{s:.6}"),
+                ]
+            })
+            .collect(),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! `ibcm-bench` — the reproduction harness.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), each a thin
+//! wrapper over [`ibcm_core::experiments`] that writes `results/<id>.csv`
+//! and prints a human-readable summary. `repro_all` runs the whole
+//! evaluation in one process (training the pipeline once).
+//!
+//! Scale selection: the `IBCM_SCALE` environment variable picks between
+//! `test` (seconds), `default` (minutes, the reproduction default) and
+//! `paper` (the paper's full counts — slow on one core). `IBCM_SEED`
+//! overrides the master seed (default 42).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+use ibcm_core::{Pipeline, PipelineConfig, TrainedPipeline};
+use ibcm_logsim::{Dataset, Generator, GeneratorConfig};
+
+/// Experiment scale profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds on one core; small corpus, 4 clusters.
+    Test,
+    /// Minutes on one core; 4 000 sessions, 13 clusters (the default).
+    Default,
+    /// The paper's counts: 15 000 sessions, 256-unit LSTMs, window 100.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `IBCM_SCALE` (`test` / `default` / `paper`), defaulting to
+    /// [`Scale::Default`].
+    pub fn from_env() -> Scale {
+        match std::env::var("IBCM_SCALE").as_deref() {
+            Ok("test") => Scale::Test,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Default,
+        }
+    }
+
+    /// The generator configuration at this scale.
+    pub fn generator_config(self, seed: u64) -> GeneratorConfig {
+        match self {
+            Scale::Test => GeneratorConfig::tiny(seed),
+            Scale::Default => GeneratorConfig::default_scale(seed),
+            Scale::Paper => GeneratorConfig::paper_scale(seed),
+        }
+    }
+
+    /// The pipeline configuration at this scale.
+    pub fn pipeline_config(self, seed: u64) -> PipelineConfig {
+        match self {
+            Scale::Test => PipelineConfig::test_profile(seed),
+            Scale::Default => PipelineConfig::default_profile(seed),
+            Scale::Paper => PipelineConfig::paper_profile(seed),
+        }
+    }
+
+    /// Short label for logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Reads `IBCM_SEED`, defaulting to 42.
+pub fn seed_from_env() -> u64 {
+    std::env::var("IBCM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Common context for one experiment run.
+#[derive(Debug)]
+pub struct Harness {
+    /// Scale in use.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    results_dir: PathBuf,
+}
+
+impl Harness {
+    /// Builds a harness from the environment and ensures `results/` exists.
+    pub fn from_env() -> std::io::Result<Self> {
+        let scale = Scale::from_env();
+        let seed = seed_from_env();
+        let results_dir = std::env::var("IBCM_RESULTS")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        std::fs::create_dir_all(&results_dir)?;
+        eprintln!("[ibcm] scale={} seed={seed}", scale.label());
+        Ok(Harness {
+            scale,
+            seed,
+            results_dir,
+        })
+    }
+
+    /// The results directory.
+    pub fn results_dir(&self) -> &Path {
+        &self.results_dir
+    }
+
+    /// Generates the dataset for this run.
+    pub fn dataset(&self) -> Dataset {
+        let t0 = std::time::Instant::now();
+        let ds = Generator::new(self.scale.generator_config(self.seed)).generate();
+        let stats = ds.stats();
+        eprintln!(
+            "[ibcm] dataset: {} sessions, {} users, {} actions seen ({:.1}s)",
+            stats.sessions,
+            stats.users,
+            stats.distinct_actions,
+            t0.elapsed().as_secs_f32()
+        );
+        ds
+    }
+
+    /// Trains the full pipeline on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn train(&self, dataset: &Dataset) -> Result<TrainedPipeline, ibcm_core::CoreError> {
+        let t0 = std::time::Instant::now();
+        let trained = Pipeline::new(self.scale.pipeline_config(self.seed)).train(dataset)?;
+        eprintln!(
+            "[ibcm] trained {} clusters in {:.1}s (purity {:.3})",
+            trained.detector().n_clusters(),
+            t0.elapsed().as_secs_f32(),
+            ibcm_core::experiments::clustering_purity(&trained)
+        );
+        Ok(trained)
+    }
+
+    /// Writes a CSV into the results directory and echoes the row count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(
+        &self,
+        name: &str,
+        header: &[&str],
+        rows: Vec<Vec<String>>,
+    ) -> std::io::Result<()> {
+        let path = self.results_dir.join(format!("{name}.csv"));
+        let n = rows.len();
+        ibcm_viz::write_csv(&path, header, rows)?;
+        eprintln!("[ibcm] wrote {} ({n} rows)", path.display());
+        Ok(())
+    }
+}
+
+/// Formats an `f32`/`f64` with fixed precision for CSV cells.
+pub fn fmt(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_labels() {
+        assert_eq!(Scale::Test.label(), "test");
+        assert_eq!(Scale::Default.label(), "default");
+        assert_eq!(Scale::Paper.label(), "paper");
+    }
+
+    #[test]
+    fn scale_configs_are_consistent() {
+        for s in [Scale::Test, Scale::Default, Scale::Paper] {
+            assert!(s.generator_config(1).validate().is_ok());
+            assert!(s.pipeline_config(1).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn fmt_is_fixed_precision() {
+        assert_eq!(fmt(0.5), "0.500000");
+    }
+}

@@ -1,0 +1,349 @@
+use ibcm_lm::{LstmLm, SessionScore};
+use ibcm_logsim::{ActionId, ClusterId};
+use ibcm_ocsvm::{ClusterRouter, RouteDecision};
+
+/// The verdict on one session: the cluster it was routed to and its
+/// normality under that cluster's behavior model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionVerdict {
+    /// Routed cluster (`G_max` in the paper).
+    pub cluster: ClusterId,
+    /// Normality scores under the routed cluster's language model.
+    pub score: SessionScore,
+}
+
+/// The verdict of the §V extension: instead of committing to one cluster,
+/// every cluster model scores the session and the scores are combined with
+/// softmax weights derived from the OC-SVM decisions ("weighted combination
+/// of multiple scores from cluster models might give more objective score,
+/// taking into account possible imprecision of cluster identification").
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedVerdict {
+    /// Per-cluster mixture weights (softmax of OC-SVM decisions; sum to 1).
+    pub weights: Vec<f32>,
+    /// The weight-combined normality score.
+    pub score: SessionScore,
+    /// The per-cluster scores that were combined.
+    pub per_cluster: Vec<SessionScore>,
+}
+
+/// The trained prediction-phase artifact: per-cluster OC-SVMs for routing
+/// and per-cluster LSTM language models for normality scoring.
+///
+/// Built by [`crate::Pipeline::train`]; see the crate docs for the
+/// end-to-end flow.
+#[derive(Debug, Clone)]
+pub struct MisuseDetector {
+    router: ClusterRouter,
+    models: Vec<LstmLm>,
+    lock_in: usize,
+}
+
+impl MisuseDetector {
+    /// Assembles a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router's cluster count differs from the number of
+    /// models, or `lock_in` is zero.
+    pub fn new(router: ClusterRouter, models: Vec<LstmLm>, lock_in: usize) -> Self {
+        assert_eq!(
+            router.n_clusters(),
+            models.len(),
+            "one language model per routed cluster"
+        );
+        assert!(lock_in > 0, "lock_in must be positive");
+        MisuseDetector {
+            router,
+            models,
+            lock_in,
+        }
+    }
+
+    /// Number of behavior clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The online lock-in horizon (15 in the paper).
+    pub fn lock_in(&self) -> usize {
+        self.lock_in
+    }
+
+    /// The cluster router.
+    pub fn router(&self) -> &ClusterRouter {
+        &self.router
+    }
+
+    /// The language model of one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is out of range.
+    pub fn model(&self, cluster: ClusterId) -> &LstmLm {
+        &self.models[cluster.index()]
+    }
+
+    /// Encodes catalog actions into model tokens, dropping any action the
+    /// models have never seen (future-proofing against catalog growth).
+    pub fn encode(&self, actions: &[ActionId]) -> Vec<usize> {
+        let vocab = self.models.first().map_or(0, |m| m.vocab_size());
+        actions
+            .iter()
+            .map(|a| a.index())
+            .filter(|&a| a < vocab)
+            .collect()
+    }
+
+    /// Routes a session using the paper's first-`lock_in`-actions majority
+    /// vote (§IV-C).
+    pub fn route(&self, actions: &[ActionId]) -> RouteDecision {
+        self.router.route_with_lock_in(actions, self.lock_in)
+    }
+
+    /// Scores a full session: route, then average likelihood/loss under the
+    /// routed cluster's model.
+    pub fn score_session(&self, actions: &[ActionId]) -> SessionVerdict {
+        let decision = self.route(actions);
+        let score = self.score_in_cluster(actions, decision.cluster);
+        SessionVerdict {
+            cluster: decision.cluster,
+            score,
+        }
+    }
+
+    /// Scores a session under a specific cluster's model (used when the true
+    /// cluster is known, as in the paper's offline experiments).
+    pub fn score_in_cluster(&self, actions: &[ActionId], cluster: ClusterId) -> SessionScore {
+        self.models[cluster.index()].score_session(&self.encode(actions))
+    }
+
+    /// The paper's §V extension: score the session under **every** cluster
+    /// model and combine with softmax weights over the OC-SVM decisions
+    /// (temperature `tau`; smaller = closer to hard argmax routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not positive.
+    pub fn score_session_weighted(&self, actions: &[ActionId], tau: f64) -> WeightedVerdict {
+        assert!(tau > 0.0, "softmax temperature must be positive");
+        let decisions = self.router.scores(actions);
+        let max = decisions.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = decisions.iter().map(|&d| ((d - max) / tau).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        let weights: Vec<f32> = exps.iter().map(|&e| (e / total.max(1e-300)) as f32).collect();
+        let tokens = self.encode(actions);
+        let per_cluster: Vec<SessionScore> =
+            self.models.iter().map(|m| m.score_session(&tokens)).collect();
+        let n = per_cluster.first().map_or(0, |s| s.n_predictions);
+        let mut lik = 0.0f64;
+        let mut loss = 0.0f64;
+        for (w, s) in weights.iter().zip(per_cluster.iter()) {
+            lik += (*w as f64) * s.avg_likelihood as f64;
+            loss += (*w as f64) * s.avg_loss as f64;
+        }
+        WeightedVerdict {
+            weights,
+            score: SessionScore {
+                avg_likelihood: lik as f32,
+                avg_loss: loss as f32,
+                n_predictions: n,
+            },
+            per_cluster,
+        }
+    }
+
+    /// Ranks sessions most-suspicious-first (ascending average likelihood,
+    /// ties broken by descending loss) — the paper's §IV-D analyst review
+    /// list. Sessions too short to score (< 2 actions) are excluded.
+    ///
+    /// Returns `(index into the input, verdict)` pairs.
+    pub fn rank_suspicious<S>(&self, sessions: &[S], top_k: usize) -> Vec<(usize, SessionVerdict)>
+    where
+        S: AsRef<[ActionId]>,
+    {
+        let mut scored: Vec<(usize, SessionVerdict)> = sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, self.score_session(s.as_ref())))
+            .filter(|(_, v)| v.score.n_predictions > 0)
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.score
+                .avg_likelihood
+                .partial_cmp(&b.1.score.avg_likelihood)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    b.1.score
+                        .avg_loss
+                        .partial_cmp(&a.1.score.avg_loss)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        scored.truncate(top_k);
+        scored
+    }
+
+    /// Consumes the detector into its parts (router, models, lock-in).
+    pub fn into_parts(self) -> (ClusterRouter, Vec<LstmLm>, usize) {
+        (self.router, self.models, self.lock_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_lm::LmTrainConfig;
+    use ibcm_ocsvm::{OcSvm, OcSvmConfig, SessionFeaturizer};
+
+    /// Two synthetic behaviors over a 6-action vocabulary: cluster 0 cycles
+    /// 0->1->2, cluster 1 cycles 3->4->5.
+    fn detector() -> MisuseDetector {
+        let vocab = 6;
+        let featurizer = SessionFeaturizer::new(vocab, true);
+        let seqs0: Vec<Vec<usize>> = (0..20).map(|_| vec![0, 1, 2, 0, 1, 2, 0, 1]).collect();
+        let seqs1: Vec<Vec<usize>> = (0..20).map(|_| vec![3, 4, 5, 3, 4, 5, 3, 4]).collect();
+        let feats = |seqs: &[Vec<usize>]| -> Vec<Vec<f64>> {
+            seqs.iter()
+                .map(|s| {
+                    let acts: Vec<ActionId> = s.iter().map(|&t| ActionId(t)).collect();
+                    featurizer.features(&acts)
+                })
+                .collect()
+        };
+        let svm_cfg = OcSvmConfig::default();
+        let router = ClusterRouter::new(
+            vec![
+                OcSvm::train(&feats(&seqs0), &svm_cfg).unwrap(),
+                OcSvm::train(&feats(&seqs1), &svm_cfg).unwrap(),
+            ],
+            featurizer,
+        );
+        let lm_cfg = LmTrainConfig {
+            vocab,
+            hidden: 12,
+            dropout: 0.0,
+            epochs: 25,
+            batch_size: 8,
+            learning_rate: 0.01,
+            patience: 0,
+            ..LmTrainConfig::default()
+        };
+        let models = vec![
+            LstmLm::train(&lm_cfg, &seqs0, &[]).unwrap(),
+            LstmLm::train(&lm_cfg, &seqs1, &[]).unwrap(),
+        ];
+        MisuseDetector::new(router, models, 15)
+    }
+
+    fn acts(tokens: &[usize]) -> Vec<ActionId> {
+        tokens.iter().map(|&t| ActionId(t)).collect()
+    }
+
+    #[test]
+    fn routes_to_matching_behavior() {
+        let d = detector();
+        assert_eq!(d.route(&acts(&[0, 1, 2, 0, 1])).cluster, ClusterId(0));
+        assert_eq!(d.route(&acts(&[3, 4, 5, 3, 4])).cluster, ClusterId(1));
+    }
+
+    #[test]
+    fn normal_scores_beat_abnormal() {
+        let d = detector();
+        let normal = d.score_session(&acts(&[0, 1, 2, 0, 1, 2]));
+        let abnormal = d.score_session(&acts(&[5, 0, 3, 1, 4, 2]));
+        assert!(
+            normal.score.avg_likelihood > 2.0 * abnormal.score.avg_likelihood,
+            "normal {} vs abnormal {}",
+            normal.score.avg_likelihood,
+            abnormal.score.avg_likelihood
+        );
+    }
+
+    #[test]
+    fn ranking_surfaces_the_misuse_burst() {
+        let d = detector();
+        let sessions: Vec<Vec<ActionId>> = vec![
+            acts(&[0, 1, 2, 0, 1, 2]),
+            acts(&[3, 4, 5, 3, 4, 5]),
+            acts(&[2, 2, 5, 5, 0, 3]), // scrambled burst
+            acts(&[0, 1, 2, 0, 1, 2, 0]),
+        ];
+        let ranked = d.rank_suspicious(&sessions, 2);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, 2, "the scrambled session should rank first");
+    }
+
+    #[test]
+    fn short_sessions_excluded_from_ranking() {
+        let d = detector();
+        let sessions: Vec<Vec<ActionId>> = vec![acts(&[0]), acts(&[0, 1, 2])];
+        let ranked = d.rank_suspicious(&sessions, 10);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].0, 1);
+    }
+
+    #[test]
+    fn encode_drops_unknown_actions() {
+        let d = detector();
+        assert_eq!(d.encode(&acts(&[0, 99, 2])), vec![0, 2]);
+    }
+
+    #[test]
+    fn weighted_scoring_forms_a_mixture() {
+        let d = detector();
+        let s = acts(&[0, 1, 2, 0, 1, 2]);
+        let v = d.score_session_weighted(&s, 0.05);
+        assert_eq!(v.weights.len(), 2);
+        assert!((v.weights.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // Combined score lies between the per-cluster extremes.
+        let min = v
+            .per_cluster
+            .iter()
+            .map(|p| p.avg_likelihood)
+            .fold(f32::INFINITY, f32::min);
+        let max = v
+            .per_cluster
+            .iter()
+            .map(|p| p.avg_likelihood)
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(v.score.avg_likelihood >= min - 1e-6 && v.score.avg_likelihood <= max + 1e-6);
+        // At low temperature the weight concentrates on the routed cluster.
+        let routed = d.route(&s).cluster;
+        assert!(v.weights[routed.index()] > 0.8, "weights {:?}", v.weights);
+    }
+
+    #[test]
+    fn weighted_scoring_still_separates_abnormal() {
+        let d = detector();
+        let normal = d.score_session_weighted(&acts(&[0, 1, 2, 0, 1, 2]), 1.0);
+        let abnormal = d.score_session_weighted(&acts(&[5, 0, 3, 1, 4, 2]), 1.0);
+        assert!(normal.score.avg_likelihood > abnormal.score.avg_likelihood);
+        assert!(normal.score.perplexity() < abnormal.score.perplexity());
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn weighted_scoring_rejects_bad_tau() {
+        let d = detector();
+        let _ = d.score_session_weighted(&acts(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn scoring_in_fixed_cluster_differs_from_routed() {
+        let d = detector();
+        let s = acts(&[0, 1, 2, 0, 1, 2]);
+        let own = d.score_in_cluster(&s, ClusterId(0));
+        let wrong = d.score_in_cluster(&s, ClusterId(1));
+        assert!(own.avg_likelihood > wrong.avg_likelihood);
+    }
+
+    #[test]
+    #[should_panic(expected = "one language model per routed cluster")]
+    fn mismatched_models_panic() {
+        let d = detector();
+        let (router, mut models, lock_in) = d.into_parts();
+        models.pop();
+        let _ = MisuseDetector::new(router, models, lock_in);
+    }
+}

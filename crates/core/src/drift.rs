@@ -1,0 +1,307 @@
+//! Behavior-drift detection — the retraining trigger of the paper's Fig. 2
+//! ("the training phase can be repeated at any moment if security experts
+//! notice sufficient drift in behavior in the system").
+//!
+//! [`DriftDetector`] makes that criterion operational: it is calibrated on
+//! the normality scores of held-out *training-era* sessions, then watches
+//! the stream of production sessions; when the recent window's mean
+//! normality falls a configurable number of (robust) standard deviations
+//! below the calibration mean, it recommends retraining.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::detector::MisuseDetector;
+use crate::error::CoreError;
+
+/// Configuration of the drift detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Number of most recent sessions considered.
+    pub window: usize,
+    /// Drift is signaled when the window mean drops below
+    /// `baseline_mean - threshold_sigmas * baseline_std`.
+    pub threshold_sigmas: f64,
+    /// Minimum sessions in the window before drift can be signaled.
+    pub min_sessions: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 200,
+            threshold_sigmas: 3.0,
+            min_sessions: 50,
+        }
+    }
+}
+
+/// The detector's judgement after each observed session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftStatus {
+    /// Mean per-session likelihood over the current window.
+    pub window_mean: f64,
+    /// The calibration baseline mean.
+    pub baseline_mean: f64,
+    /// The signal threshold currently in effect.
+    pub threshold: f64,
+    /// Whether retraining is recommended.
+    pub drifted: bool,
+    /// Sessions currently in the window.
+    pub window_sessions: usize,
+}
+
+/// Watches per-session normality for sustained degradation.
+///
+/// # Example
+///
+/// ```no_run
+/// # use ibcm_core::{Pipeline, PipelineConfig, DriftConfig, DriftDetector};
+/// # use ibcm_logsim::{Generator, GeneratorConfig};
+/// let dataset = Generator::new(GeneratorConfig::tiny(1)).generate();
+/// let trained = Pipeline::new(PipelineConfig::test_profile(1)).train(&dataset)?;
+/// let calibration: Vec<_> = trained.clusters().iter().flat_map(|c| c.validation.clone()).collect();
+/// let mut drift = DriftDetector::calibrate(
+///     trained.detector(),
+///     &calibration,
+///     DriftConfig::default(),
+/// )?;
+/// let status = drift.observe(trained.detector(), dataset.sessions()[0].actions());
+/// assert!(!status.drifted || status.window_sessions >= 50);
+/// # Ok::<(), ibcm_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    baseline_mean: f64,
+    baseline_std: f64,
+    recent: VecDeque<f64>,
+}
+
+impl DriftDetector {
+    /// Calibrates the baseline from held-out sessions of the training era
+    /// (the validation splits are a natural choice).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InsufficientData`] when fewer than 2 scoreable
+    /// sessions are provided, or [`CoreError::InvalidConfig`] for a bad
+    /// configuration.
+    pub fn calibrate(
+        detector: &MisuseDetector,
+        sessions: &[ibcm_logsim::Session],
+        config: DriftConfig,
+    ) -> Result<Self, CoreError> {
+        if config.window == 0 || config.min_sessions == 0 {
+            return Err(CoreError::InvalidConfig(
+                "drift window and min_sessions must be positive".into(),
+            ));
+        }
+        if config.threshold_sigmas <= 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "threshold_sigmas must be positive".into(),
+            ));
+        }
+        let scores: Vec<f64> = sessions
+            .iter()
+            .map(|s| detector.score_session(s.actions()))
+            .filter(|v| v.score.n_predictions > 0)
+            .map(|v| v.score.avg_likelihood as f64)
+            .collect();
+        if scores.len() < 2 {
+            return Err(CoreError::InsufficientData(
+                "drift calibration needs at least 2 scoreable sessions".into(),
+            ));
+        }
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / (scores.len() - 1) as f64;
+        Ok(DriftDetector {
+            config,
+            baseline_mean: mean,
+            baseline_std: var.sqrt().max(1e-6),
+            recent: VecDeque::new(),
+        })
+    }
+
+    /// The calibration baseline `(mean, std)` of per-session likelihood.
+    pub fn baseline(&self) -> (f64, f64) {
+        (self.baseline_mean, self.baseline_std)
+    }
+
+    /// Scores one production session and updates the drift status.
+    /// Unscoreable (< 2 action) sessions leave the window unchanged.
+    pub fn observe(&mut self, detector: &MisuseDetector, actions: &[ibcm_logsim::ActionId]) -> DriftStatus {
+        let verdict = detector.score_session(actions);
+        if verdict.score.n_predictions > 0 {
+            if self.recent.len() == self.config.window {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(verdict.score.avg_likelihood as f64);
+        }
+        self.status()
+    }
+
+    /// The current status without observing a new session.
+    pub fn status(&self) -> DriftStatus {
+        let n = self.recent.len();
+        let window_mean = if n == 0 {
+            self.baseline_mean
+        } else {
+            self.recent.iter().sum::<f64>() / n as f64
+        };
+        // Standard error of the window mean under the baseline: the more
+        // sessions in the window, the tighter the bound.
+        let se = self.baseline_std / (n.max(1) as f64).sqrt();
+        let threshold = self.baseline_mean - self.config.threshold_sigmas * se;
+        DriftStatus {
+            window_mean,
+            baseline_mean: self.baseline_mean,
+            threshold,
+            drifted: n >= self.config.min_sessions && window_mean < threshold,
+            window_sessions: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_lm::{LmTrainConfig, LstmLm};
+    use ibcm_logsim::{ActionId, Session, SessionId, UserId};
+    use ibcm_ocsvm::{ClusterRouter, OcSvm, OcSvmConfig, SessionFeaturizer};
+
+    fn detector() -> MisuseDetector {
+        let vocab = 6;
+        let featurizer = SessionFeaturizer::new(vocab, true);
+        let seqs: Vec<Vec<usize>> = (0..20).map(|_| vec![0, 1, 2, 0, 1, 2, 0, 1]).collect();
+        let feats: Vec<Vec<f64>> = seqs
+            .iter()
+            .map(|s| {
+                let acts: Vec<ActionId> = s.iter().map(|&t| ActionId(t)).collect();
+                featurizer.features(&acts)
+            })
+            .collect();
+        let router = ClusterRouter::new(
+            vec![OcSvm::train(&feats, &OcSvmConfig::default()).unwrap()],
+            featurizer,
+        );
+        let lm = LstmLm::train(
+            &LmTrainConfig {
+                vocab,
+                hidden: 12,
+                dropout: 0.0,
+                epochs: 25,
+                batch_size: 8,
+                learning_rate: 0.01,
+                patience: 0,
+                ..LmTrainConfig::default()
+            },
+            &seqs,
+            &[],
+        )
+        .unwrap();
+        MisuseDetector::new(router, vec![lm], 15)
+    }
+
+    fn sessions(tokens: &[usize], count: usize) -> Vec<Session> {
+        (0..count)
+            .map(|i| {
+                Session::new(
+                    SessionId(i),
+                    UserId(0),
+                    0,
+                    tokens.iter().map(|&t| ActionId(t)).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stable_behavior_never_drifts() {
+        let det = detector();
+        let cal = sessions(&[0, 1, 2, 0, 1, 2], 20);
+        let mut drift = DriftDetector::calibrate(
+            &det,
+            &cal,
+            DriftConfig {
+                window: 20,
+                threshold_sigmas: 3.0,
+                min_sessions: 5,
+            },
+        )
+        .unwrap();
+        for s in sessions(&[0, 1, 2, 0, 1, 2, 0], 30) {
+            let status = drift.observe(&det, s.actions());
+            assert!(!status.drifted, "stable traffic drifted: {status:?}");
+        }
+    }
+
+    #[test]
+    fn behavior_change_triggers_drift() {
+        let det = detector();
+        let cal = sessions(&[0, 1, 2, 0, 1, 2], 20);
+        let mut drift = DriftDetector::calibrate(
+            &det,
+            &cal,
+            DriftConfig {
+                window: 10,
+                threshold_sigmas: 3.0,
+                min_sessions: 5,
+            },
+        )
+        .unwrap();
+        // New, unseen behavior floods in.
+        let mut drifted = false;
+        for s in sessions(&[4, 5, 3, 4, 5, 3], 15) {
+            drifted |= drift.observe(&det, s.actions()).drifted;
+        }
+        assert!(drifted, "novel behavior should trigger a retraining signal");
+    }
+
+    #[test]
+    fn min_sessions_gate_holds() {
+        let det = detector();
+        let cal = sessions(&[0, 1, 2, 0, 1, 2], 10);
+        let mut drift = DriftDetector::calibrate(
+            &det,
+            &cal,
+            DriftConfig {
+                window: 50,
+                threshold_sigmas: 1.0,
+                min_sessions: 40,
+            },
+        )
+        .unwrap();
+        for s in sessions(&[4, 5, 3, 4, 5], 10) {
+            assert!(!drift.observe(&det, s.actions()).drifted, "gated by min_sessions");
+        }
+    }
+
+    #[test]
+    fn calibration_rejects_bad_input() {
+        let det = detector();
+        assert!(matches!(
+            DriftDetector::calibrate(&det, &[], DriftConfig::default()),
+            Err(CoreError::InsufficientData(_))
+        ));
+        let cal = sessions(&[0, 1, 2], 5);
+        let bad = DriftConfig {
+            window: 0,
+            ..DriftConfig::default()
+        };
+        assert!(DriftDetector::calibrate(&det, &cal, bad).is_err());
+    }
+
+    #[test]
+    fn short_sessions_do_not_pollute_window() {
+        let det = detector();
+        let cal = sessions(&[0, 1, 2, 0], 10);
+        let mut drift =
+            DriftDetector::calibrate(&det, &cal, DriftConfig::default()).unwrap();
+        let before = drift.status().window_sessions;
+        drift.observe(&det, &[ActionId(0)]); // single action: unscoreable
+        assert_eq!(drift.status().window_sessions, before);
+    }
+}

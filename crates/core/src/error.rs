@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Errors produced by the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Topic modeling failed.
+    Topics(ibcm_topics::TopicsError),
+    /// OC-SVM training failed.
+    OcSvm(ibcm_ocsvm::OcSvmError),
+    /// Language-model training or persistence failed.
+    Lm(ibcm_lm::LmError),
+    /// Dataset splitting failed.
+    Logsim(ibcm_logsim::LogsimError),
+    /// A pipeline configuration value was out of range.
+    InvalidConfig(String),
+    /// Too little data survived filtering to train a component.
+    InsufficientData(String),
+    /// Detector persistence failed.
+    Persist(String),
+    /// Filesystem failure.
+    Io(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Topics(e) => write!(f, "topic modeling failed: {e}"),
+            CoreError::OcSvm(e) => write!(f, "oc-svm training failed: {e}"),
+            CoreError::Lm(e) => write!(f, "language model failed: {e}"),
+            CoreError::Logsim(e) => write!(f, "dataset handling failed: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid pipeline config: {msg}"),
+            CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            CoreError::Persist(msg) => write!(f, "detector persistence failed: {msg}"),
+            CoreError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Topics(e) => Some(e),
+            CoreError::OcSvm(e) => Some(e),
+            CoreError::Lm(e) => Some(e),
+            CoreError::Logsim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ibcm_topics::TopicsError> for CoreError {
+    fn from(e: ibcm_topics::TopicsError) -> Self {
+        CoreError::Topics(e)
+    }
+}
+
+impl From<ibcm_ocsvm::OcSvmError> for CoreError {
+    fn from(e: ibcm_ocsvm::OcSvmError) -> Self {
+        CoreError::OcSvm(e)
+    }
+}
+
+impl From<ibcm_lm::LmError> for CoreError {
+    fn from(e: ibcm_lm::LmError) -> Self {
+        CoreError::Lm(e)
+    }
+}
+
+impl From<ibcm_logsim::LogsimError> for CoreError {
+    fn from(e: ibcm_logsim::LogsimError) -> Self {
+        CoreError::Logsim(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wraps_sources() {
+        let e = CoreError::from(ibcm_topics::TopicsError::EmptyCorpus);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("topic modeling"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,192 @@
+//! Persistence for trained [`MisuseDetector`]s.
+//!
+//! Single-file binary format: `IBCD` magic, version, lock-in horizon, the
+//! router bytes (length-prefixed), then each cluster model's bytes
+//! (length-prefixed).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ibcm_lm::LstmLm;
+use ibcm_ocsvm::ClusterRouter;
+
+use crate::detector::MisuseDetector;
+use crate::error::CoreError;
+
+const MAGIC: &[u8; 4] = b"IBCD";
+const VERSION: u32 = 1;
+
+impl MisuseDetector {
+    /// Serializes the detector to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.lock_in() as u32);
+        let router_bytes = self.router().to_bytes();
+        buf.put_u64_le(router_bytes.len() as u64);
+        buf.put_slice(&router_bytes);
+        buf.put_u32_le(self.n_clusters() as u32);
+        for c in 0..self.n_clusters() {
+            let model_bytes = self.model(ibcm_logsim::ClusterId(c)).to_bytes();
+            buf.put_u64_le(model_bytes.len() as u64);
+            buf.put_slice(&model_bytes);
+        }
+        buf.to_vec()
+    }
+
+    /// Reconstructs a detector from [`MisuseDetector::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] on malformed bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CoreError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        if buf.remaining() < 12 {
+            return Err(CoreError::Persist("header truncated".into()));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CoreError::Persist(format!("bad magic {magic:?}")));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(CoreError::Persist(format!(
+                "unsupported detector format version {version}"
+            )));
+        }
+        let lock_in = buf.get_u32_le() as usize;
+        let take_block = |buf: &mut Bytes| -> Result<Vec<u8>, CoreError> {
+            if buf.remaining() < 8 {
+                return Err(CoreError::Persist("block header truncated".into()));
+            }
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(CoreError::Persist("block body truncated".into()));
+            }
+            let mut block = vec![0u8; len];
+            buf.copy_to_slice(&mut block);
+            Ok(block)
+        };
+        let router = ClusterRouter::from_bytes(&take_block(&mut buf)?)
+            .map_err(|e| CoreError::Persist(e.to_string()))?;
+        if buf.remaining() < 4 {
+            return Err(CoreError::Persist("model count truncated".into()));
+        }
+        let n = buf.get_u32_le() as usize;
+        if n != router.n_clusters() {
+            return Err(CoreError::Persist(
+                "model count disagrees with router clusters".into(),
+            ));
+        }
+        let mut models = Vec::with_capacity(n);
+        for _ in 0..n {
+            let block = take_block(&mut buf)?;
+            models.push(LstmLm::from_bytes(&block).map_err(|e| CoreError::Persist(e.to_string()))?);
+        }
+        if lock_in == 0 {
+            return Err(CoreError::Persist("lock_in must be positive".into()));
+        }
+        Ok(MisuseDetector::new(router, models, lock_in))
+    }
+
+    /// Writes the detector to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on filesystem failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a detector written with [`MisuseDetector::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] or [`CoreError::Persist`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
+        let data = std::fs::read(path)?;
+        MisuseDetector::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_lm::LmTrainConfig;
+    use ibcm_logsim::ActionId;
+    use ibcm_ocsvm::{OcSvm, OcSvmConfig, SessionFeaturizer};
+
+    fn detector() -> MisuseDetector {
+        let vocab = 4;
+        let featurizer = SessionFeaturizer::new(vocab, true);
+        let seqs: Vec<Vec<usize>> = (0..15).map(|_| vec![0, 1, 2, 3, 0, 1]).collect();
+        let feats: Vec<Vec<f64>> = seqs
+            .iter()
+            .map(|s| {
+                let acts: Vec<ActionId> = s.iter().map(|&t| ActionId(t)).collect();
+                featurizer.features(&acts)
+            })
+            .collect();
+        let svm = OcSvm::train(&feats, &OcSvmConfig::default()).unwrap();
+        let router = ibcm_ocsvm::ClusterRouter::new(vec![svm], featurizer);
+        let lm = LstmLm::train(
+            &LmTrainConfig {
+                vocab,
+                hidden: 6,
+                epochs: 4,
+                batch_size: 4,
+                patience: 0,
+                ..LmTrainConfig::default()
+            },
+            &seqs,
+            &[],
+        )
+        .unwrap();
+        MisuseDetector::new(router, vec![lm], 15)
+    }
+
+    #[test]
+    fn round_trip_preserves_verdicts() {
+        let d = detector();
+        let back = MisuseDetector::from_bytes(&d.to_bytes()).unwrap();
+        let acts: Vec<ActionId> = [0usize, 1, 2, 3, 0].iter().map(|&t| ActionId(t)).collect();
+        assert_eq!(d.score_session(&acts), back.score_session(&acts));
+        assert_eq!(back.lock_in(), 15);
+        assert_eq!(back.n_clusters(), 1);
+    }
+
+    #[test]
+    fn truncation_fails_cleanly() {
+        let bytes = detector().to_bytes();
+        for cut in [0usize, 3, 11, 40, bytes.len() - 1] {
+            assert!(
+                MisuseDetector::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = detector().to_bytes();
+        bytes[1] = b'?';
+        assert!(matches!(
+            MisuseDetector::from_bytes(&bytes),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ibcm_core_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("detector.ibcd");
+        let d = detector();
+        d.save(&path).unwrap();
+        let back = MisuseDetector::load(&path).unwrap();
+        let acts: Vec<ActionId> = [0usize, 1, 2].iter().map(|&t| ActionId(t)).collect();
+        assert_eq!(d.score_session(&acts), back.score_session(&acts));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,325 @@
+use ibcm_lm::{LmTrainConfig, LstmLm};
+use ibcm_logsim::{split_sessions, ClusterId, Dataset, Session};
+use ibcm_ocsvm::{ClusterRouter, OcSvm, SessionFeaturizer};
+use ibcm_topics::{sessions_to_docs, Ensemble};
+use ibcm_viz::{Clustering, ExpertOp, SimulatedExpert};
+
+use crate::config::PipelineConfig;
+use crate::detector::MisuseDetector;
+use crate::error::CoreError;
+
+/// One behavior cluster's sessions, split 70/15/15 as in §IV-B.
+#[derive(Debug, Clone)]
+pub struct ClusterData {
+    /// The cluster's id in the trained detector.
+    pub cluster: ClusterId,
+    /// Training sessions.
+    pub train: Vec<Session>,
+    /// Validation sessions.
+    pub validation: Vec<Session>,
+    /// Test sessions.
+    pub test: Vec<Session>,
+}
+
+impl ClusterData {
+    /// Total sessions across the three splits.
+    pub fn size(&self) -> usize {
+        self.train.len() + self.validation.len() + self.test.len()
+    }
+}
+
+/// The training phase of the paper's Fig. 2.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+/// Everything the training phase produced: the deployable detector plus the
+/// intermediate artifacts the evaluation (and the visual interface) needs.
+#[derive(Debug)]
+pub struct TrainedPipeline {
+    detector: MisuseDetector,
+    clusters: Vec<ClusterData>,
+    ensemble: Ensemble,
+    clustering: Clustering,
+    expert_log: Vec<ExpertOp>,
+    stage_timings: Vec<(String, f64)>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full training phase on a dataset of normal behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid, the corpus is too
+    /// small to form a single cluster, or any component fails to train.
+    pub fn train(&self, dataset: &Dataset) -> Result<TrainedPipeline, CoreError> {
+        self.config.validate()?;
+        let catalog = dataset.catalog();
+        let vocab = catalog.len();
+
+        // 1. Topic modeling on sessions with at least 2 actions (shorter
+        //    ones carry no sequence signal and are dropped by the paper).
+        let t0 = std::time::Instant::now();
+        let (docs, origin) = sessions_to_docs(dataset.sessions(), 2);
+        if docs.is_empty() {
+            return Err(CoreError::InsufficientData(
+                "no sessions with at least 2 actions".into(),
+            ));
+        }
+        let ensemble = Ensemble::fit(&self.config.ensemble_config(vocab), &docs)?;
+        let t_lda = t0.elapsed().as_secs_f64();
+
+        // 2. Informed clustering through the (simulated) expert session.
+        let t1 = std::time::Instant::now();
+        let (clustering, expert_log) = SimulatedExpert::new(self.config.expert).run(&ensemble);
+        let t_expert = t1.elapsed().as_secs_f64();
+
+        // 3. Per-cluster splits.
+        let mut cluster_sessions: Vec<Vec<Session>> =
+            vec![Vec::new(); clustering.n_clusters()];
+        for (doc_idx, &cluster) in clustering.assignment().iter().enumerate() {
+            cluster_sessions[cluster.index()]
+                .push(dataset.sessions()[origin[doc_idx]].clone());
+        }
+
+        // 4. Train one OC-SVM and one LSTM LM per non-degenerate cluster.
+        let t2 = std::time::Instant::now();
+        let (detector, clusters) = self.train_clustered(dataset, cluster_sessions)?;
+        let t_models = t2.elapsed().as_secs_f64();
+        Ok(TrainedPipeline {
+            detector,
+            clusters,
+            ensemble,
+            clustering,
+            expert_log,
+            stage_timings: vec![
+                ("lda_ensemble".to_string(), t_lda),
+                ("expert_clustering".to_string(), t_expert),
+                ("cluster_models".to_string(), t_models),
+            ],
+        })
+    }
+
+    /// Trains the per-cluster OC-SVMs and language models for an externally
+    /// supplied grouping of sessions (used by the clustering ablations as
+    /// well as by [`Pipeline::train`]). Groups with fewer than 4 sessions
+    /// are skipped; surviving clusters are renumbered contiguously.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InsufficientData`] if no group is trainable, or
+    /// propagates component failures.
+    pub fn train_clustered(
+        &self,
+        dataset: &Dataset,
+        cluster_sessions: Vec<Vec<Session>>,
+    ) -> Result<(MisuseDetector, Vec<ClusterData>), CoreError> {
+        let vocab = dataset.catalog().len();
+        let featurizer = SessionFeaturizer::new(vocab, true);
+        let svm_config = self.config.ocsvm_config();
+        let mut clusters = Vec::new();
+        let mut svms = Vec::new();
+        let mut models = Vec::new();
+        for (gi, sessions) in cluster_sessions.into_iter().enumerate() {
+            if sessions.len() < 4 {
+                continue; // cannot split 70/15/15 meaningfully
+            }
+            let split = split_sessions(
+                sessions,
+                self.config.train_frac,
+                self.config.val_frac,
+                self.config.seed.wrapping_add(gi as u64),
+            )?;
+            if split.train.is_empty() {
+                continue;
+            }
+            let features: Vec<Vec<f64>> = split
+                .train
+                .iter()
+                .map(|s| featurizer.features(s.actions()))
+                .collect();
+            let svm = OcSvm::train(&features, &svm_config)?;
+
+            let encode = |ss: &[Session]| -> Vec<Vec<usize>> {
+                ss.iter()
+                    .map(|s| s.actions().iter().map(|a| a.index()).collect())
+                    .collect()
+            };
+            let lm_config = LmTrainConfig {
+                vocab,
+                seed: self.config.lm.seed.wrapping_add(gi as u64),
+                ..self.config.lm
+            };
+            let model = LstmLm::train(&lm_config, &encode(&split.train), &encode(&split.validation))?;
+
+            let cluster = ClusterId(clusters.len());
+            clusters.push(ClusterData {
+                cluster,
+                train: split.train,
+                validation: split.validation,
+                test: split.test,
+            });
+            svms.push(svm);
+            models.push(model);
+        }
+        if clusters.is_empty() {
+            return Err(CoreError::InsufficientData(
+                "no cluster had enough sessions to train on".into(),
+            ));
+        }
+        let router = ClusterRouter::new(svms, featurizer);
+        let detector = MisuseDetector::new(router, models, self.config.lock_in);
+        Ok((detector, clusters))
+    }
+}
+
+impl TrainedPipeline {
+    /// The deployable detector.
+    pub fn detector(&self) -> &MisuseDetector {
+        &self.detector
+    }
+
+    /// Per-cluster data splits (cluster order matches the detector's ids).
+    pub fn clusters(&self) -> &[ClusterData] {
+        &self.clusters
+    }
+
+    /// The fitted LDA ensemble (for view export).
+    pub fn ensemble(&self) -> &Ensemble {
+        &self.ensemble
+    }
+
+    /// The expert clustering over the documents.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// The expert interaction log.
+    pub fn expert_log(&self) -> &[ExpertOp] {
+        &self.expert_log
+    }
+
+    /// Wall-clock seconds spent in each training stage
+    /// (`lda_ensemble` / `expert_clustering` / `cluster_models`) — the cost
+    /// breakdown of the paper's Fig. 2 training phase.
+    pub fn stage_timings(&self) -> &[(String, f64)] {
+        &self.stage_timings
+    }
+
+    /// Clusters ordered by ascending total size (paper figure convention).
+    pub fn clusters_by_size(&self) -> Vec<&ClusterData> {
+        let mut refs: Vec<&ClusterData> = self.clusters.iter().collect();
+        refs.sort_by_key(|c| c.size());
+        refs
+    }
+
+    /// Consumes the pipeline output, returning the detector.
+    pub fn into_detector(self) -> MisuseDetector {
+        self.detector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_logsim::{Generator, GeneratorConfig};
+
+    fn trained() -> (Dataset, TrainedPipeline) {
+        let dataset = Generator::new(GeneratorConfig::tiny(11)).generate();
+        let pipeline = Pipeline::new(PipelineConfig::test_profile(11));
+        let trained = pipeline.train(&dataset).expect("training should succeed");
+        (dataset, trained)
+    }
+
+    #[test]
+    fn end_to_end_training_produces_clusters() {
+        let (_, trained) = trained();
+        assert!(trained.detector().n_clusters() >= 2);
+        assert_eq!(trained.clusters().len(), trained.detector().n_clusters());
+        for (i, c) in trained.clusters().iter().enumerate() {
+            assert_eq!(c.cluster.index(), i);
+            assert!(!c.train.is_empty());
+        }
+        assert!(!trained.expert_log().is_empty());
+    }
+
+    #[test]
+    fn splits_are_roughly_70_15_15() {
+        let (_, trained) = trained();
+        for c in trained.clusters() {
+            let total = c.size() as f64;
+            let train_frac = c.train.len() as f64 / total;
+            assert!(
+                (0.55..0.85).contains(&train_frac),
+                "train fraction {train_frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn detector_separates_normal_from_random() {
+        let (dataset, trained) = trained();
+        let det = trained.detector();
+        // Average likelihood over test sessions vs random sessions.
+        let mut normal = 0.0f64;
+        let mut n_normal = 0usize;
+        for c in trained.clusters() {
+            for s in &c.test {
+                let v = det.score_session(s.actions());
+                if v.score.n_predictions > 0 {
+                    normal += v.score.avg_likelihood as f64;
+                    n_normal += 1;
+                }
+            }
+        }
+        let normal = normal / n_normal.max(1) as f64;
+        let mut random = 0.0f64;
+        let mut n_random = 0usize;
+        for s in dataset.random_sessions(50, 99) {
+            let v = det.score_session(s.actions());
+            if v.score.n_predictions > 0 {
+                random += v.score.avg_likelihood as f64;
+                n_random += 1;
+            }
+        }
+        let random = random / n_random.max(1) as f64;
+        assert!(
+            normal > 2.0 * random,
+            "normal likelihood {normal} should dwarf random {random}"
+        );
+    }
+
+    #[test]
+    fn clusters_by_size_ascending() {
+        let (_, trained) = trained();
+        let ordered = trained.clusters_by_size();
+        for w in ordered.windows(2) {
+            assert!(w[0].size() <= w[1].size());
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let dataset = Generator::new(GeneratorConfig::tiny(13)).generate();
+        let a = Pipeline::new(PipelineConfig::test_profile(13))
+            .train(&dataset)
+            .unwrap();
+        let b = Pipeline::new(PipelineConfig::test_profile(13))
+            .train(&dataset)
+            .unwrap();
+        assert_eq!(a.detector().n_clusters(), b.detector().n_clusters());
+        let s = dataset.sessions()[0].actions();
+        assert_eq!(a.detector().score_session(s), b.detector().score_session(s));
+    }
+}

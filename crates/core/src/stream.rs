@@ -1,0 +1,311 @@
+//! Multi-session stream monitoring.
+//!
+//! The paper's online regime (§IV-C) scores *one* session action-by-action;
+//! a deployment watches an interleaved stream of events from many users at
+//! once. [`StreamMonitor`] performs the sessionization (a session ends on an
+//! explicit logout-style action or after an inactivity timeout) and runs one
+//! [`OnlineMonitor`] per active session, surfacing alarms with user
+//! attribution.
+
+use std::collections::HashMap;
+
+use ibcm_logsim::{ActionId, UserId};
+use serde::{Deserialize, Serialize};
+
+use crate::detector::MisuseDetector;
+use crate::monitor::{AlarmPolicy, OnlineMonitor};
+
+/// One event of the live stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionEvent {
+    /// Who performed the action.
+    pub user: UserId,
+    /// The action.
+    pub action: ActionId,
+    /// Event time, minutes since stream start (must be non-decreasing).
+    pub minute: u64,
+}
+
+/// Stream sessionization and alarm settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// A gap of more than this many minutes ends the user's session.
+    pub session_timeout_minutes: u64,
+    /// Actions that explicitly end a session (e.g. `ActionLogout`).
+    pub end_actions: Vec<ActionId>,
+    /// Per-session alarm policy.
+    pub policy: AlarmPolicy,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            session_timeout_minutes: 30,
+            end_actions: Vec::new(),
+            policy: AlarmPolicy::default(),
+        }
+    }
+}
+
+/// An alarm raised by the stream monitor, attributed to a user and session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamAlarm {
+    /// The user whose session alarmed.
+    pub user: UserId,
+    /// 1-based position of the triggering action within the session.
+    pub position: usize,
+    /// Event time of the triggering action.
+    pub minute: u64,
+    /// Windowed mean likelihood at the moment of the alarm.
+    pub windowed_likelihood: Option<f32>,
+    /// Whether the §V trend criterion (rather than the absolute threshold)
+    /// fired.
+    pub trend: bool,
+}
+
+/// Watches an interleaved multi-user event stream, maintaining one online
+/// monitor per active session.
+///
+/// # Example
+///
+/// ```no_run
+/// # use ibcm_core::{Pipeline, PipelineConfig, StreamConfig, SessionEvent};
+/// # use ibcm_logsim::{ActionId, Generator, GeneratorConfig, UserId};
+/// let dataset = Generator::new(GeneratorConfig::tiny(1)).generate();
+/// let trained = Pipeline::new(PipelineConfig::test_profile(1)).train(&dataset)?;
+/// let mut stream = trained.detector().stream_monitor(StreamConfig::default());
+/// let alarm = stream.observe(SessionEvent {
+///     user: UserId(3),
+///     action: ActionId(0),
+///     minute: 12,
+/// });
+/// assert!(alarm.is_none(), "first action of a fresh session cannot alarm");
+/// # Ok::<(), ibcm_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct StreamMonitor<'a> {
+    detector: &'a MisuseDetector,
+    config: StreamConfig,
+    active: HashMap<UserId, (OnlineMonitor<'a>, u64)>,
+    sessions_started: usize,
+    sessions_ended: usize,
+}
+
+impl MisuseDetector {
+    /// Starts monitoring a multi-user event stream.
+    pub fn stream_monitor(&self, config: StreamConfig) -> StreamMonitor<'_> {
+        StreamMonitor {
+            detector: self,
+            config,
+            active: HashMap::new(),
+            sessions_started: 0,
+            sessions_ended: 0,
+        }
+    }
+}
+
+impl StreamMonitor<'_> {
+    /// Number of sessions currently being monitored.
+    pub fn active_sessions(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total sessions opened so far.
+    pub fn sessions_started(&self) -> usize {
+        self.sessions_started
+    }
+
+    /// Total sessions closed so far (logout or timeout).
+    pub fn sessions_ended(&self) -> usize {
+        self.sessions_ended
+    }
+
+    /// Feeds one event; returns an alarm if the affected session tripped its
+    /// policy on this action.
+    pub fn observe(&mut self, event: SessionEvent) -> Option<StreamAlarm> {
+        // Timeout: a stale session ends before the new event is processed.
+        let timed_out = self
+            .active
+            .get(&event.user)
+            .is_some_and(|&(_, last)| event.minute.saturating_sub(last) > self.config.session_timeout_minutes);
+        if timed_out {
+            self.active.remove(&event.user);
+            self.sessions_ended += 1;
+        }
+        let (monitor, last_seen) = self.active.entry(event.user).or_insert_with(|| {
+            self.sessions_started += 1;
+            (self.detector.monitor(self.config.policy), event.minute)
+        });
+        *last_seen = event.minute;
+        let outcome = monitor.feed(event.action);
+        let alarm = outcome.alarm.then(|| StreamAlarm {
+            user: event.user,
+            position: outcome.position,
+            minute: event.minute,
+            windowed_likelihood: outcome.windowed_likelihood,
+            trend: outcome.trend_alarm,
+        });
+        // Explicit session end.
+        if self.config.end_actions.contains(&event.action) {
+            self.active.remove(&event.user);
+            self.sessions_ended += 1;
+        }
+        alarm
+    }
+
+    /// Forces a user's session closed (e.g. on an out-of-band signal).
+    /// Returns `true` if a session was active.
+    pub fn end_session(&mut self, user: UserId) -> bool {
+        let ended = self.active.remove(&user).is_some();
+        if ended {
+            self.sessions_ended += 1;
+        }
+        ended
+    }
+
+    /// Drops every session whose last event is older than the timeout
+    /// relative to `now_minute`. Returns how many were closed.
+    pub fn sweep(&mut self, now_minute: u64) -> usize {
+        let timeout = self.config.session_timeout_minutes;
+        let before = self.active.len();
+        self.active
+            .retain(|_, &mut (_, last)| now_minute.saturating_sub(last) <= timeout);
+        let closed = before - self.active.len();
+        self.sessions_ended += closed;
+        closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_lm::{LmTrainConfig, LstmLm};
+    use ibcm_ocsvm::{ClusterRouter, OcSvm, OcSvmConfig, SessionFeaturizer};
+
+    fn detector() -> MisuseDetector {
+        let vocab = 6;
+        let featurizer = SessionFeaturizer::new(vocab, true);
+        let seqs: Vec<Vec<usize>> = (0..20).map(|_| vec![0, 1, 2, 0, 1, 2, 0, 1]).collect();
+        let feats: Vec<Vec<f64>> = seqs
+            .iter()
+            .map(|s| {
+                let acts: Vec<ActionId> = s.iter().map(|&t| ActionId(t)).collect();
+                featurizer.features(&acts)
+            })
+            .collect();
+        let router = ClusterRouter::new(
+            vec![OcSvm::train(&feats, &OcSvmConfig::default()).unwrap()],
+            featurizer,
+        );
+        let lm = LstmLm::train(
+            &LmTrainConfig {
+                vocab,
+                hidden: 12,
+                dropout: 0.0,
+                epochs: 25,
+                batch_size: 8,
+                learning_rate: 0.01,
+                patience: 0,
+                ..LmTrainConfig::default()
+            },
+            &seqs,
+            &[],
+        )
+        .unwrap();
+        MisuseDetector::new(router, vec![lm], 15)
+    }
+
+    fn ev(user: usize, action: usize, minute: u64) -> SessionEvent {
+        SessionEvent {
+            user: UserId(user),
+            action: ActionId(action),
+            minute,
+        }
+    }
+
+    #[test]
+    fn interleaved_users_get_separate_sessions() {
+        let d = detector();
+        let mut sm = d.stream_monitor(StreamConfig::default());
+        for (u, a) in [(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)] {
+            sm.observe(ev(u, a, 1));
+        }
+        assert_eq!(sm.active_sessions(), 2);
+        assert_eq!(sm.sessions_started(), 2);
+    }
+
+    #[test]
+    fn timeout_starts_a_fresh_session() {
+        let d = detector();
+        let mut sm = d.stream_monitor(StreamConfig {
+            session_timeout_minutes: 10,
+            ..StreamConfig::default()
+        });
+        sm.observe(ev(0, 0, 0));
+        sm.observe(ev(0, 1, 5)); // same session
+        assert_eq!(sm.sessions_started(), 1);
+        sm.observe(ev(0, 0, 100)); // gap > timeout: new session
+        assert_eq!(sm.sessions_started(), 2);
+        assert_eq!(sm.sessions_ended(), 1);
+        assert_eq!(sm.active_sessions(), 1);
+    }
+
+    #[test]
+    fn end_action_closes_the_session() {
+        let d = detector();
+        let mut sm = d.stream_monitor(StreamConfig {
+            end_actions: vec![ActionId(5)],
+            ..StreamConfig::default()
+        });
+        sm.observe(ev(0, 0, 0));
+        sm.observe(ev(0, 5, 1)); // logout-style action
+        assert_eq!(sm.active_sessions(), 0);
+        assert_eq!(sm.sessions_ended(), 1);
+        sm.observe(ev(0, 0, 2));
+        assert_eq!(sm.sessions_started(), 2);
+    }
+
+    #[test]
+    fn misuse_burst_alarms_with_user_attribution() {
+        let d = detector();
+        let mut sm = d.stream_monitor(StreamConfig {
+            policy: AlarmPolicy {
+                likelihood_threshold: 0.15,
+                window: 3,
+                warmup: 3,
+                ..AlarmPolicy::default()
+            },
+            ..StreamConfig::default()
+        });
+        // User 0 behaves; user 1 goes rogue.
+        let mut alarms = Vec::new();
+        let normal = [0usize, 1, 2, 0, 1, 2, 0, 1, 2];
+        let rogue = [0usize, 5, 3, 1, 4, 2, 5, 0, 3];
+        for i in 0..normal.len() {
+            if let Some(a) = sm.observe(ev(0, normal[i], i as u64)) {
+                alarms.push(a);
+            }
+            if let Some(a) = sm.observe(ev(1, rogue[i], i as u64)) {
+                alarms.push(a);
+            }
+        }
+        assert!(!alarms.is_empty(), "the rogue user should trip an alarm");
+        assert!(alarms.iter().all(|a| a.user == UserId(1)));
+    }
+
+    #[test]
+    fn sweep_closes_stale_sessions() {
+        let d = detector();
+        let mut sm = d.stream_monitor(StreamConfig {
+            session_timeout_minutes: 10,
+            ..StreamConfig::default()
+        });
+        sm.observe(ev(0, 0, 0));
+        sm.observe(ev(1, 0, 8));
+        assert_eq!(sm.sweep(9), 0);
+        assert_eq!(sm.sweep(15), 1); // user 0 stale
+        assert_eq!(sm.active_sessions(), 1);
+        assert!(sm.end_session(UserId(1)));
+        assert!(!sm.end_session(UserId(1)));
+    }
+}

@@ -1,0 +1,291 @@
+use ibcm_nn::StepInput;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// How training examples are cut from sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchScheme {
+    /// The paper's exact scheme (§IV-A): every position of every session
+    /// becomes one example whose input is the zero-padded window of the
+    /// `window - 1` preceding actions and whose target is the next action.
+    /// Faithful but quadratic in session length.
+    MovingWindow {
+        /// Window length (the paper uses 100).
+        window: usize,
+    },
+    /// Truncated-BPTT equivalent: each session (chunked at `max_len`) is one
+    /// example with a loss at every step. Trains the same next-action
+    /// conditionals at a fraction of the cost; the default profile uses it.
+    FullSequence {
+        /// Maximum unrolled sequence length before chunking.
+        max_len: usize,
+    },
+}
+
+impl Default for BatchScheme {
+    fn default() -> Self {
+        BatchScheme::FullSequence { max_len: 120 }
+    }
+}
+
+/// One minibatch: time-major inputs and per-step targets (`None` marks a
+/// masked position — padding, or a step without a loss term).
+#[derive(Debug, Clone)]
+pub struct TrainBatch {
+    /// `inputs[t][b]`: input for batch element `b` at step `t`.
+    pub inputs: Vec<Vec<StepInput>>,
+    /// `targets[t][b]`: expected next action, `None` where masked.
+    pub targets: Vec<Vec<Option<usize>>>,
+}
+
+impl TrainBatch {
+    /// Number of timesteps.
+    pub fn steps(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.inputs.first().map_or(0, Vec::len)
+    }
+
+    /// Number of unmasked prediction targets.
+    pub fn n_targets(&self) -> usize {
+        self.targets
+            .iter()
+            .map(|row| row.iter().filter(|t| t.is_some()).count())
+            .sum()
+    }
+}
+
+/// Cuts `seqs` into shuffled minibatches of at most `batch_size` examples.
+///
+/// Sessions with fewer than 2 actions are dropped (they have "no observed
+/// and predicted part", §IV-A).
+pub fn build_batches(
+    seqs: &[Vec<usize>],
+    scheme: BatchScheme,
+    batch_size: usize,
+    rng: &mut StdRng,
+) -> Vec<TrainBatch> {
+    assert!(batch_size > 0, "batch size must be positive");
+    match scheme {
+        BatchScheme::MovingWindow { window } => {
+            build_window_batches(seqs, window.max(2), batch_size, rng)
+        }
+        BatchScheme::FullSequence { max_len } => {
+            build_sequence_batches(seqs, max_len.max(2), batch_size, rng)
+        }
+    }
+}
+
+fn build_window_batches(
+    seqs: &[Vec<usize>],
+    window: usize,
+    batch_size: usize,
+    rng: &mut StdRng,
+) -> Vec<TrainBatch> {
+    let ctx = window - 1;
+    // (sequence index, predicted position)
+    let mut examples: Vec<(usize, usize)> = Vec::new();
+    for (si, s) in seqs.iter().enumerate() {
+        if s.len() < 2 {
+            continue;
+        }
+        for j in 1..s.len() {
+            examples.push((si, j));
+        }
+    }
+    examples.shuffle(rng);
+    examples
+        .chunks(batch_size)
+        .map(|chunk| {
+            let b = chunk.len();
+            let mut inputs = vec![vec![StepInput::Pad; b]; ctx];
+            let mut targets = vec![vec![None; b]; ctx];
+            for (bi, &(si, j)) in chunk.iter().enumerate() {
+                let s = &seqs[si];
+                let start = j.saturating_sub(ctx);
+                let prefix = &s[start..j];
+                // Right-align the prefix, zero padding on the left.
+                let offset = ctx - prefix.len();
+                for (t, &tok) in prefix.iter().enumerate() {
+                    inputs[offset + t][bi] = StepInput::Action(tok);
+                }
+                targets[ctx - 1][bi] = Some(s[j]);
+            }
+            TrainBatch { inputs, targets }
+        })
+        .collect()
+}
+
+fn build_sequence_batches(
+    seqs: &[Vec<usize>],
+    max_len: usize,
+    batch_size: usize,
+    rng: &mut StdRng,
+) -> Vec<TrainBatch> {
+    // Chunk long sessions, drop sub-2 chunks.
+    let mut chunks: Vec<Vec<usize>> = Vec::new();
+    for s in seqs {
+        if s.len() < 2 {
+            continue;
+        }
+        let mut start = 0;
+        while start + 1 < s.len() {
+            let end = (start + max_len).min(s.len());
+            if end - start >= 2 {
+                chunks.push(s[start..end].to_vec());
+            }
+            start = end;
+        }
+    }
+    // Bucket by length so padding stays cheap, then shuffle batch order.
+    chunks.sort_by_key(Vec::len);
+    let mut batches: Vec<TrainBatch> = chunks
+        .chunks(batch_size)
+        .map(|group| {
+            let b = group.len();
+            let steps = group.iter().map(|c| c.len() - 1).max().unwrap_or(0);
+            let mut inputs = vec![vec![StepInput::Pad; b]; steps];
+            let mut targets = vec![vec![None; b]; steps];
+            for (bi, chunk) in group.iter().enumerate() {
+                for t in 0..chunk.len() - 1 {
+                    inputs[t][bi] = StepInput::Action(chunk[t]);
+                    targets[t][bi] = Some(chunk[t + 1]);
+                }
+            }
+            TrainBatch { inputs, targets }
+        })
+        .collect();
+    batches.shuffle(rng);
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn window_example_count_matches_paper_scheme() {
+        // A session of length n yields n-1 examples.
+        let seqs = vec![vec![0, 1, 2, 3], vec![4, 5], vec![9]];
+        let batches = build_batches(
+            &seqs,
+            BatchScheme::MovingWindow { window: 5 },
+            2,
+            &mut rng(),
+        );
+        let total: usize = batches.iter().map(TrainBatch::n_targets).sum();
+        assert_eq!(total, 3 + 1); // the length-1 session is dropped
+        for b in &batches {
+            assert_eq!(b.steps(), 4); // window - 1
+        }
+    }
+
+    #[test]
+    fn window_first_example_is_left_padded() {
+        let seqs = vec![vec![7, 8]];
+        let batches = build_batches(
+            &seqs,
+            BatchScheme::MovingWindow { window: 4 },
+            8,
+            &mut rng(),
+        );
+        assert_eq!(batches.len(), 1);
+        let b = &batches[0];
+        // Single example: [Pad, Pad, Action(7)] -> target 8 at last step.
+        assert_eq!(b.inputs[0][0], StepInput::Pad);
+        assert_eq!(b.inputs[1][0], StepInput::Pad);
+        assert_eq!(b.inputs[2][0], StepInput::Action(7));
+        assert_eq!(b.targets[2][0], Some(8));
+        assert_eq!(b.targets[0][0], None);
+    }
+
+    #[test]
+    fn window_truncates_long_prefixes() {
+        let seqs = vec![vec![0, 1, 2, 3, 4, 5, 6]];
+        let batches = build_batches(
+            &seqs,
+            BatchScheme::MovingWindow { window: 3 },
+            100,
+            &mut rng(),
+        );
+        // Find the example predicting position 6: prefix must be [4, 5].
+        let mut found = false;
+        for b in &batches {
+            for bi in 0..b.batch() {
+                if b.targets[1][bi] == Some(6) {
+                    assert_eq!(b.inputs[0][bi], StepInput::Action(4));
+                    assert_eq!(b.inputs[1][bi], StepInput::Action(5));
+                    found = true;
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn sequence_scheme_one_target_per_transition() {
+        let seqs = vec![vec![0, 1, 2, 3], vec![4, 5, 6]];
+        let batches = build_batches(
+            &seqs,
+            BatchScheme::FullSequence { max_len: 100 },
+            4,
+            &mut rng(),
+        );
+        let total: usize = batches.iter().map(TrainBatch::n_targets).sum();
+        assert_eq!(total, 3 + 2);
+    }
+
+    #[test]
+    fn sequence_scheme_chunks_long_sessions() {
+        let seqs = vec![(0..25).collect::<Vec<usize>>()];
+        let batches = build_batches(
+            &seqs,
+            BatchScheme::FullSequence { max_len: 10 },
+            1,
+            &mut rng(),
+        );
+        // Chunks: [0..10], [10..20], [20..25] -> 9 + 9 + 4 transitions.
+        let total: usize = batches.iter().map(TrainBatch::n_targets).sum();
+        assert_eq!(total, 22);
+        assert!(batches.iter().all(|b| b.steps() <= 9));
+    }
+
+    #[test]
+    fn short_sessions_dropped_by_both_schemes() {
+        let seqs = vec![vec![0], vec![], vec![1, 2]];
+        for scheme in [
+            BatchScheme::MovingWindow { window: 3 },
+            BatchScheme::FullSequence { max_len: 10 },
+        ] {
+            let batches = build_batches(&seqs, scheme, 4, &mut rng());
+            let total: usize = batches.iter().map(TrainBatch::n_targets).sum();
+            assert_eq!(total, 1);
+        }
+    }
+
+    #[test]
+    fn targets_follow_inputs_in_sequence_scheme() {
+        let seqs = vec![vec![3, 1, 4, 1, 5]];
+        let batches = build_batches(
+            &seqs,
+            BatchScheme::FullSequence { max_len: 100 },
+            1,
+            &mut rng(),
+        );
+        let b = &batches[0];
+        for t in 0..b.steps() {
+            if let (StepInput::Action(_), Some(next)) = (b.inputs[t][0], b.targets[t][0]) {
+                assert_eq!(next, seqs[0][t + 1]);
+            }
+        }
+    }
+}

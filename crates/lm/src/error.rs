@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Errors produced while training or persisting language models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LmError {
+    /// No trainable sequences remained after filtering (< 2 actions).
+    NoTrainingData,
+    /// A sequence contained an index outside the configured vocabulary.
+    TokenOutOfVocab {
+        /// Sequence index.
+        seq: usize,
+        /// Offending token.
+        token: usize,
+        /// Vocabulary size.
+        vocab: usize,
+    },
+    /// A hyperparameter was out of range.
+    InvalidConfig(String),
+    /// Persisted model bytes were malformed.
+    Persist(String),
+    /// An underlying I/O failure while saving or loading.
+    Io(String),
+}
+
+impl fmt::Display for LmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LmError::NoTrainingData => {
+                write!(f, "no sequences with at least 2 actions to train on")
+            }
+            LmError::TokenOutOfVocab { seq, token, vocab } => write!(
+                f,
+                "sequence {seq} contains token {token} outside vocabulary of size {vocab}"
+            ),
+            LmError::InvalidConfig(msg) => write!(f, "invalid language-model config: {msg}"),
+            LmError::Persist(msg) => write!(f, "model persistence failed: {msg}"),
+            LmError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LmError {}
+
+impl From<ibcm_nn::NnError> for LmError {
+    fn from(e: ibcm_nn::NnError) -> Self {
+        LmError::Persist(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for LmError {
+    fn from(e: std::io::Error) -> Self {
+        LmError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(LmError::NoTrainingData.to_string().contains("2 actions"));
+        assert!(LmError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+}

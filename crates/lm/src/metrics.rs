@@ -1,0 +1,183 @@
+use serde::{Deserialize, Serialize};
+
+use crate::model::LstmLm;
+
+/// Normality scores of one session (§III: average likelihood of the actions
+/// that actually happened, and average cross-entropy loss following Kim et
+/// al.).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionScore {
+    /// Mean probability assigned to the observed actions.
+    pub avg_likelihood: f32,
+    /// Mean cross-entropy loss over the observed actions.
+    pub avg_loss: f32,
+    /// Number of scored (predicted) actions — `len - 1` for sessions of
+    /// at least 2 actions, otherwise 0.
+    pub n_predictions: usize,
+}
+
+impl SessionScore {
+    /// Per-session perplexity `exp(avg_loss)` — the alternative normality
+    /// measure the paper's §V proposes as potentially more objective than
+    /// raw likelihood or loss. Returns 1.0 for unscored sessions.
+    pub fn perplexity(&self) -> f32 {
+        if self.n_predictions == 0 {
+            1.0
+        } else {
+            self.avg_loss.exp()
+        }
+    }
+}
+
+/// Aggregate next-action prediction quality over a set of sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SequenceEval {
+    /// Fraction of positions where the argmax prediction was the observed
+    /// action (the paper's "accuracy", Figs. 4 and 5).
+    pub accuracy: f32,
+    /// Mean cross-entropy loss (Fig. 10).
+    pub avg_loss: f32,
+    /// Mean likelihood of observed actions (Figs. 8, 11).
+    pub avg_likelihood: f32,
+    /// Number of scored positions.
+    pub n_predictions: usize,
+}
+
+/// Mean/variance of the likelihood at one position across sessions, for the
+/// per-action score-development curves (Figs. 6 and 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionStat {
+    /// Position in the session (1 = first *predicted* action, i.e. the
+    /// session's second action).
+    pub position: usize,
+    /// Mean likelihood at this position.
+    pub mean: f64,
+    /// Standard deviation of the likelihood at this position.
+    pub std: f64,
+    /// How many sessions were long enough to contribute.
+    pub count: usize,
+}
+
+/// Per-position likelihood curve of `model` over `seqs`, up to
+/// `max_positions` predicted positions (the paper plots 300).
+pub fn position_likelihoods(
+    model: &LstmLm,
+    seqs: &[Vec<usize>],
+    max_positions: usize,
+) -> Vec<PositionStat> {
+    let mut sums = vec![0.0f64; max_positions];
+    let mut sq_sums = vec![0.0f64; max_positions];
+    let mut counts = vec![0usize; max_positions];
+    for seq in seqs {
+        let mut scorer = model.scorer();
+        let mut pos = 0usize;
+        for &a in seq {
+            if let Some(step) = scorer.feed(a) {
+                if pos >= max_positions {
+                    break;
+                }
+                sums[pos] += step.likelihood as f64;
+                sq_sums[pos] += (step.likelihood as f64).powi(2);
+                counts[pos] += 1;
+                pos += 1;
+            }
+        }
+    }
+    (0..max_positions)
+        .filter(|&p| counts[p] > 0)
+        .map(|p| {
+            let n = counts[p] as f64;
+            let mean = sums[p] / n;
+            let var = (sq_sums[p] / n - mean * mean).max(0.0);
+            PositionStat {
+                position: p + 1,
+                mean,
+                std: var.sqrt(),
+                count: counts[p],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LmTrainConfig;
+
+    fn model() -> LstmLm {
+        let seqs: Vec<Vec<usize>> = (0..8).map(|_| vec![0, 1, 0, 1, 0, 1]).collect();
+        let cfg = LmTrainConfig {
+            vocab: 2,
+            hidden: 8,
+            dropout: 0.0,
+            epochs: 15,
+            batch_size: 4,
+            patience: 0,
+            seed: 1,
+            learning_rate: 0.01,
+            ..LmTrainConfig::default()
+        };
+        LstmLm::train(&cfg, &seqs, &[]).unwrap()
+    }
+
+    #[test]
+    fn curve_covers_all_positions() {
+        let m = model();
+        let seqs = vec![vec![0, 1, 0, 1], vec![0, 1, 0]];
+        let curve = position_likelihoods(&m, &seqs, 10);
+        // Longest session has 3 predictions.
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].position, 1);
+        assert_eq!(curve[0].count, 2);
+        assert_eq!(curve[2].count, 1);
+    }
+
+    #[test]
+    fn truncates_at_max_positions() {
+        let m = model();
+        let seqs = vec![[0, 1].repeat(20)];
+        let curve = position_likelihoods(&m, &seqs, 5);
+        assert_eq!(curve.len(), 5);
+    }
+
+    #[test]
+    fn stats_are_valid() {
+        let m = model();
+        let seqs = vec![vec![0, 1, 0, 1, 0], vec![1, 0, 1, 0, 1]];
+        for stat in position_likelihoods(&m, &seqs, 10) {
+            assert!((0.0..=1.0).contains(&stat.mean));
+            assert!(stat.std >= 0.0);
+            assert!(stat.count > 0);
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_curve() {
+        let m = model();
+        assert!(position_likelihoods(&m, &[], 10).is_empty());
+    }
+
+    #[test]
+    fn perplexity_is_exp_loss() {
+        let s = SessionScore {
+            avg_likelihood: 0.5,
+            avg_loss: std::f32::consts::LN_2,
+            n_predictions: 4,
+        };
+        assert!((s.perplexity() - 2.0).abs() < 1e-5);
+        let empty = SessionScore {
+            avg_likelihood: 0.0,
+            avg_loss: 0.0,
+            n_predictions: 0,
+        };
+        assert_eq!(empty.perplexity(), 1.0);
+    }
+
+    #[test]
+    fn perplexity_orders_like_loss() {
+        let m = model();
+        let good = m.score_session(&[0, 1, 0, 1, 0, 1]);
+        let bad = m.score_session(&[0, 0, 0, 0, 0, 0]);
+        assert!(good.perplexity() < bad.perplexity());
+    }
+}

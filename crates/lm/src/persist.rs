@@ -1,0 +1,258 @@
+//! Binary persistence for trained [`LstmLm`] models.
+//!
+//! Format (all little-endian): `IBCM` magic, format version, the training
+//! configuration scalars, then the five parameter tensors.
+
+use bytes::{Buf, Bytes, BytesMut};
+use ibcm_nn::serialize as nns;
+use ibcm_nn::{Dense, LstmLayer};
+
+use crate::batcher::BatchScheme;
+use crate::error::LmError;
+use crate::model::{LmTrainConfig, LstmLm, TrainReport};
+use crate::vocab::Vocab;
+
+const FORMAT_VERSION: u32 = 2;
+
+impl LstmLm {
+    /// Serializes the model (configuration + parameters) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = BytesMut::new();
+        nns::write_header(&mut buf, FORMAT_VERSION);
+        let cfg = self.config();
+        buf.put_u32_le(cfg.vocab as u32);
+        buf.put_u32_le(cfg.hidden as u32);
+        buf.put_u32_le(cfg.layers as u32);
+        buf.put_f32_le(cfg.dropout);
+        buf.put_f32_le(cfg.learning_rate);
+        buf.put_u32_le(cfg.batch_size as u32);
+        buf.put_u32_le(cfg.epochs as u32);
+        buf.put_f32_le(cfg.clip_norm);
+        buf.put_u64_le(cfg.seed);
+        buf.put_u32_le(cfg.patience as u32);
+        match cfg.scheme {
+            BatchScheme::MovingWindow { window } => {
+                buf.put_u8(0);
+                buf.put_u32_le(window as u32);
+            }
+            BatchScheme::FullSequence { max_len } => {
+                buf.put_u8(1);
+                buf.put_u32_le(max_len as u32);
+            }
+        }
+        let (wx, wh, b) = self.lstm.params();
+        nns::write_matrix(&mut buf, wx);
+        nns::write_matrix(&mut buf, wh);
+        nns::write_vec(&mut buf, b);
+        for layer in &self.upper {
+            let (wx, wh, b) = layer.params();
+            nns::write_matrix(&mut buf, wx);
+            nns::write_matrix(&mut buf, wh);
+            nns::write_vec(&mut buf, b);
+        }
+        let (dw, db) = self.dense.params();
+        nns::write_matrix(&mut buf, dw);
+        nns::write_vec(&mut buf, db);
+        buf.to_vec()
+    }
+
+    /// Reconstructs a model from [`LstmLm::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::Persist`] on malformed or truncated bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, LmError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        let version = nns::read_header(&mut buf)?;
+        if version != FORMAT_VERSION {
+            return Err(LmError::Persist(format!(
+                "unsupported model format version {version}"
+            )));
+        }
+        if buf.remaining() < 4 * 2 + 4 * 2 + 4 + 4 + 4 + 8 + 4 + 1 + 4 {
+            return Err(LmError::Persist("config block truncated".into()));
+        }
+        let vocab = buf.get_u32_le() as usize;
+        let hidden = buf.get_u32_le() as usize;
+        let layers = (buf.get_u32_le() as usize).max(1);
+        let dropout = buf.get_f32_le();
+        let learning_rate = buf.get_f32_le();
+        let batch_size = buf.get_u32_le() as usize;
+        let epochs = buf.get_u32_le() as usize;
+        let clip_norm = buf.get_f32_le();
+        let seed = buf.get_u64_le();
+        let patience = buf.get_u32_le() as usize;
+        let scheme = match buf.get_u8() {
+            0 => BatchScheme::MovingWindow {
+                window: buf.get_u32_le() as usize,
+            },
+            1 => BatchScheme::FullSequence {
+                max_len: buf.get_u32_le() as usize,
+            },
+            x => return Err(LmError::Persist(format!("unknown batch scheme tag {x}"))),
+        };
+        let wx = nns::read_matrix(&mut buf)?;
+        let wh = nns::read_matrix(&mut buf)?;
+        let b = nns::read_vec(&mut buf)?;
+        let mut upper = Vec::with_capacity(layers - 1);
+        for li in 1..layers {
+            let uwx = nns::read_matrix(&mut buf)?;
+            let uwh = nns::read_matrix(&mut buf)?;
+            let ub = nns::read_vec(&mut buf)?;
+            if uwx.rows() != hidden || uwx.cols() != 4 * hidden {
+                return Err(LmError::Persist("upper layer shapes inconsistent".into()));
+            }
+            let mut layer = LstmLayer::new(hidden, hidden, seed ^ (li as u64) << 8);
+            let (pwx, pwh, pb) = layer.params_mut();
+            *pwx = uwx;
+            *pwh = uwh;
+            *pb = ub;
+            upper.push(layer);
+        }
+        let dw = nns::read_matrix(&mut buf)?;
+        let db = nns::read_vec(&mut buf)?;
+        if wx.rows() != vocab || wx.cols() != 4 * hidden || dw.rows() != hidden {
+            return Err(LmError::Persist("tensor shapes inconsistent".into()));
+        }
+        let mut lstm = LstmLayer::new(vocab, hidden, seed);
+        {
+            let (pwx, pwh, pb) = lstm.params_mut();
+            *pwx = wx;
+            *pwh = wh;
+            *pb = b;
+        }
+        let mut dense = Dense::new(hidden, vocab, seed);
+        {
+            let (pdw, pdb) = dense.params_mut();
+            *pdw = dw;
+            *pdb = db;
+        }
+        Ok(LstmLm::from_parts(
+            lstm,
+            upper,
+            dense,
+            Vocab::with_size(vocab),
+            LmTrainConfig {
+                vocab,
+                hidden,
+                layers,
+                dropout,
+                learning_rate,
+                batch_size,
+                epochs,
+                scheme,
+                clip_norm,
+                seed,
+                patience,
+            },
+            TrainReport::default(),
+        ))
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::Io`] on filesystem failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), LmError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a model previously written with [`LstmLm::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::Io`] or [`LmError::Persist`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, LmError> {
+        let data = std::fs::read(path)?;
+        LstmLm::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> LstmLm {
+        let seqs: Vec<Vec<usize>> = (0..8).map(|_| vec![0, 1, 2, 0, 1, 2]).collect();
+        let cfg = LmTrainConfig {
+            vocab: 3,
+            hidden: 6,
+            epochs: 4,
+            batch_size: 4,
+            patience: 0,
+            ..LmTrainConfig::default()
+        };
+        LstmLm::train(&cfg, &seqs, &[]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_scores() {
+        let m = trained();
+        let back = LstmLm::from_bytes(&m.to_bytes()).unwrap();
+        let seq = vec![0, 1, 2, 0, 1];
+        let a = m.score_session(&seq);
+        let b = back.score_session(&seq);
+        assert_eq!(a, b);
+        assert_eq!(back.vocab_size(), 3);
+        assert_eq!(back.hidden(), 6);
+    }
+
+    #[test]
+    fn truncated_bytes_fail_cleanly() {
+        let bytes = trained().to_bytes();
+        for cut in [0, 4, 10, bytes.len() - 3] {
+            assert!(
+                LstmLm::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = trained().to_bytes();
+        bytes[0] = b'X';
+        assert!(LstmLm::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ibcm_lm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ibcm");
+        let m = trained();
+        m.save(&path).unwrap();
+        let back = LstmLm::load(&path).unwrap();
+        assert_eq!(m.score_session(&[0, 1, 2]), back.score_session(&[0, 1, 2]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn two_layer_round_trip() {
+        let seqs: Vec<Vec<usize>> = (0..8).map(|_| vec![0, 1, 2, 0, 1, 2]).collect();
+        let cfg = LmTrainConfig {
+            vocab: 3,
+            hidden: 5,
+            layers: 2,
+            epochs: 4,
+            batch_size: 4,
+            patience: 0,
+            ..LmTrainConfig::default()
+        };
+        let m = LstmLm::train(&cfg, &seqs, &[]).unwrap();
+        let back = LstmLm::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back.config().layers, 2);
+        assert_eq!(m.score_session(&[0, 1, 2, 0]), back.score_session(&[0, 1, 2, 0]));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(matches!(
+            LstmLm::load("/nonexistent/path/model.ibcm"),
+            Err(LmError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,205 @@
+use ibcm_nn::{softmax_in_place, LstmState, StepInput};
+
+use crate::model::LstmLm;
+
+/// Outcome of scoring one observed action against the model's prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepScore {
+    /// Probability the model assigned to the action that actually happened.
+    pub likelihood: f32,
+    /// Cross-entropy loss `-ln(likelihood)`.
+    pub loss: f32,
+    /// The action index the model considered most likely.
+    pub predicted: usize,
+    /// Whether the observed action was the model's argmax.
+    pub correct: bool,
+}
+
+/// Streaming next-action scorer: the online regime of §IV-C, where each
+/// arriving action is scored against the distribution predicted from the
+/// session so far, then folded into the recurrent state.
+///
+/// Created by [`LstmLm::scorer`]. The first fed action is never scored
+/// (there is no observed prefix to predict it from).
+#[derive(Debug, Clone)]
+pub struct LmScorer<'a> {
+    model: &'a LstmLm,
+    /// One recurrent state per stacked layer (bottom first).
+    states: Vec<LstmState>,
+    fed_any: bool,
+}
+
+impl<'a> LmScorer<'a> {
+    pub(crate) fn new(model: &'a LstmLm) -> Self {
+        LmScorer {
+            model,
+            states: (0..1 + model.upper.len())
+                .map(|_| LstmState::new(model.hidden()))
+                .collect(),
+            fed_any: false,
+        }
+    }
+
+    /// The model's current next-action probability distribution (softmax
+    /// over the vocabulary). Meaningful once at least one action was fed.
+    pub fn probs(&self) -> Vec<f32> {
+        let top = self.states.last().expect("at least one layer");
+        let mut logits = self.model.dense.forward_vec(top.hidden());
+        softmax_in_place(&mut logits);
+        logits
+    }
+
+    /// Advances every layer of the stack by one action.
+    fn step_stack(&mut self, action: usize) {
+        self.model
+            .lstm
+            .step(&mut self.states[0], StepInput::Action(action));
+        for (li, layer) in self.model.upper.iter().enumerate() {
+            let below = self.states[li].hidden().to_vec();
+            layer.step_dense(&mut self.states[li + 1], &below);
+        }
+        self.fed_any = true;
+    }
+
+    /// Feeds the next observed action. Returns the score of that action
+    /// under the pre-update prediction, or `None` for the first action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is outside the model's vocabulary.
+    pub fn feed(&mut self, action: usize) -> Option<StepScore> {
+        assert!(
+            action < self.model.vocab_size(),
+            "action {action} outside vocabulary of size {}",
+            self.model.vocab_size()
+        );
+        let score = if self.fed_any {
+            let probs = self.probs();
+            let likelihood = probs[action].max(1e-12);
+            let predicted = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            Some(StepScore {
+                likelihood,
+                loss: -likelihood.ln(),
+                predicted,
+                correct: predicted == action,
+            })
+        } else {
+            None
+        };
+        self.step_stack(action);
+        score
+    }
+
+    /// Advances the recurrent state without computing a score — cheaper
+    /// than [`LmScorer::feed`] when several cluster models are kept in sync
+    /// but only one is being read (the online regime's router comparison).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is outside the model's vocabulary.
+    pub fn advance(&mut self, action: usize) {
+        assert!(
+            action < self.model.vocab_size(),
+            "action {action} outside vocabulary of size {}",
+            self.model.vocab_size()
+        );
+        self.step_stack(action);
+    }
+
+    /// Number of actions fed so far.
+    pub fn is_started(&self) -> bool {
+        self.fed_any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{LmTrainConfig, LstmLm};
+
+    fn tiny_model() -> LstmLm {
+        let seqs: Vec<Vec<usize>> = (0..10).map(|_| vec![0, 1, 2, 0, 1, 2, 0, 1]).collect();
+        let cfg = LmTrainConfig {
+            vocab: 3,
+            hidden: 10,
+            dropout: 0.0,
+            epochs: 25,
+            batch_size: 4,
+            patience: 0,
+            seed: 5,
+            learning_rate: 0.01,
+            ..LmTrainConfig::default()
+        };
+        LstmLm::train(&cfg, &seqs, &[]).unwrap()
+    }
+
+    #[test]
+    fn first_action_unscored() {
+        let m = tiny_model();
+        let mut s = m.scorer();
+        assert!(!s.is_started());
+        assert!(s.feed(0).is_none());
+        assert!(s.is_started());
+        assert!(s.feed(1).is_some());
+    }
+
+    #[test]
+    fn probs_form_distribution() {
+        let m = tiny_model();
+        let mut s = m.scorer();
+        s.feed(0);
+        let p = s.probs();
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn streaming_matches_score_session() {
+        let m = tiny_model();
+        let seq = vec![0, 1, 2, 0, 1];
+        let direct = m.score_session(&seq);
+        let mut scorer = m.scorer();
+        let mut sum = 0.0f64;
+        let mut n = 0;
+        for &a in &seq {
+            if let Some(st) = scorer.feed(a) {
+                sum += st.likelihood as f64;
+                n += 1;
+            }
+        }
+        assert_eq!(n, direct.n_predictions);
+        assert!(((sum / n as f64) as f32 - direct.avg_likelihood).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_is_negative_log_likelihood() {
+        let m = tiny_model();
+        let mut s = m.scorer();
+        s.feed(0);
+        let st = s.feed(1).unwrap();
+        assert!((st.loss - (-st.likelihood.ln())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trained_cycle_predicted_correctly() {
+        let m = tiny_model();
+        let mut s = m.scorer();
+        s.feed(0);
+        s.feed(1);
+        let st = s.feed(2).unwrap();
+        assert!(st.correct, "after 0,1 the model should predict 2");
+        assert!(st.likelihood > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_feed_panics() {
+        let m = tiny_model();
+        m.scorer().feed(99);
+    }
+}

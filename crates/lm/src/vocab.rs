@@ -1,0 +1,98 @@
+use ibcm_logsim::{ActionCatalog, ActionId};
+use serde::{Deserialize, Serialize};
+
+/// Maps catalog actions to dense model indices.
+///
+/// The paper one-hot encodes all `d ~= 300` catalog actions, so by default
+/// the vocabulary is the identity over the catalog; the type exists to make
+/// the boundary explicit and to support reduced vocabularies in tests.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_lm::Vocab;
+/// use ibcm_logsim::{ActionCatalog, ActionId};
+/// let catalog = ActionCatalog::standard();
+/// let vocab = Vocab::from_catalog(&catalog);
+/// assert_eq!(vocab.len(), catalog.len());
+/// assert_eq!(vocab.encode(ActionId(5)), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {
+    size: usize,
+}
+
+impl Vocab {
+    /// Identity vocabulary over a full catalog.
+    pub fn from_catalog(catalog: &ActionCatalog) -> Self {
+        Vocab {
+            size: catalog.len(),
+        }
+    }
+
+    /// Vocabulary of a given size (tests, reduced corpora).
+    pub fn with_size(size: usize) -> Self {
+        Vocab { size }
+    }
+
+    /// Number of distinct encodable actions.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns `true` for an empty vocabulary.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Encodes an action, or `None` if out of vocabulary.
+    pub fn encode(&self, action: ActionId) -> Option<usize> {
+        (action.index() < self.size).then_some(action.index())
+    }
+
+    /// Encodes a whole session, or `None` if any action is out of
+    /// vocabulary.
+    pub fn encode_session(&self, actions: &[ActionId]) -> Option<Vec<usize>> {
+        actions.iter().map(|&a| self.encode(a)).collect()
+    }
+
+    /// Decodes a model index back to an action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn decode(&self, index: usize) -> ActionId {
+        assert!(index < self.size, "index {index} out of vocabulary");
+        ActionId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let v = Vocab::with_size(10);
+        for i in 0..10 {
+            assert_eq!(v.encode(v.decode(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn out_of_vocab_is_none() {
+        let v = Vocab::with_size(3);
+        assert_eq!(v.encode(ActionId(3)), None);
+        assert_eq!(v.encode_session(&[ActionId(0), ActionId(7)]), None);
+        assert_eq!(
+            v.encode_session(&[ActionId(0), ActionId(2)]),
+            Some(vec![0, 2])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn decode_out_of_range_panics() {
+        Vocab::with_size(2).decode(2);
+    }
+}

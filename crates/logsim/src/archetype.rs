@@ -1,0 +1,433 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::ActionCatalog;
+use crate::ids::ActionId;
+
+/// Index of a behavior archetype (the latent "semantically meaningful
+/// cluster" a session was generated from).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ArchetypeId(pub usize);
+
+impl ArchetypeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ArchetypeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// One phase of a task grammar: the user performs one (or a geometric number
+/// of) action(s) drawn from a weighted pool, then moves to the next phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    pool: Vec<ActionId>,
+    /// Probability of emitting another action from the same pool.
+    repeat: f32,
+    /// Probability of skipping this phase entirely.
+    skip: f32,
+}
+
+impl Phase {
+    /// Creates a phase over `pool` with the given repeat/skip probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty or probabilities are outside `[0, 1)`.
+    pub fn new(pool: Vec<ActionId>, repeat: f32, skip: f32) -> Self {
+        assert!(!pool.is_empty(), "phase pool must be non-empty");
+        assert!((0.0..1.0).contains(&repeat), "repeat must be in [0,1)");
+        assert!((0.0..1.0).contains(&skip), "skip must be in [0,1)");
+        Phase { pool, repeat, skip }
+    }
+
+    /// The actions this phase can emit.
+    pub fn pool(&self) -> &[ActionId] {
+        &self.pool
+    }
+}
+
+/// A task archetype: a phased stochastic grammar emitting sessions with a
+/// recognizable action vocabulary (for LDA) and predictable sequential
+/// structure (for the LSTM language model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Archetype {
+    id: ArchetypeId,
+    name: String,
+    phases: Vec<Phase>,
+    /// Probability of injecting a navigation action between phases.
+    nav_rate: f32,
+}
+
+impl Archetype {
+    /// Creates an archetype from its phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(id: ArchetypeId, name: impl Into<String>, phases: Vec<Phase>, nav_rate: f32) -> Self {
+        assert!(!phases.is_empty(), "archetype needs at least one phase");
+        Archetype {
+            id,
+            name: name.into(),
+            phases,
+            nav_rate,
+        }
+    }
+
+    /// The archetype's identifier.
+    pub fn id(&self) -> ArchetypeId {
+        self.id
+    }
+
+    /// Human-readable task name (e.g. `"UserUnlock"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The grammar's phases in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// All distinct actions this archetype can emit (excluding navigation).
+    pub fn vocabulary(&self) -> Vec<ActionId> {
+        let mut v: Vec<ActionId> = self.phases.iter().flat_map(|p| p.pool.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Emits a session of exactly `len` actions by cycling through the
+    /// phases, injecting navigation actions at the configured rate.
+    pub fn emit(&self, len: usize, nav: &[ActionId], rng: &mut StdRng) -> Vec<ActionId> {
+        let mut out = Vec::with_capacity(len);
+        if len == 0 {
+            return out;
+        }
+        'outer: loop {
+            for phase in &self.phases {
+                if !nav.is_empty() && rng.gen::<f32>() < self.nav_rate {
+                    out.push(nav[rng.gen_range(0..nav.len())]);
+                    if out.len() == len {
+                        break 'outer;
+                    }
+                }
+                if rng.gen::<f32>() < phase.skip {
+                    continue;
+                }
+                loop {
+                    let a = phase.pool[rng.gen_range(0..phase.pool.len())];
+                    out.push(a);
+                    if out.len() == len {
+                        break 'outer;
+                    }
+                    if rng.gen::<f32>() >= phase.repeat {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the 13 standard archetypes over the given catalog, mirroring the
+/// cluster semantics the paper reports (§IV-B: "one of them includes all the
+/// sessions with actions to unlock user's access, another includes all
+/// modifications of roles of users, third has all the actions concerned with
+/// edition of office entities").
+///
+/// # Panics
+///
+/// Panics if `catalog` lacks the standard action names (always present in
+/// [`ActionCatalog::standard`]).
+pub fn standard_archetypes(catalog: &ActionCatalog) -> Vec<Archetype> {
+    let a = |name: &str| {
+        catalog
+            .id(name)
+            .unwrap_or_else(|| panic!("catalog missing action {name}"))
+    };
+    let pool = |names: &[&str]| names.iter().map(|n| a(n)).collect::<Vec<_>>();
+
+    let mut archetypes = Vec::new();
+    let mut add = |name: &str, phases: Vec<Phase>| {
+        let id = ArchetypeId(archetypes.len());
+        archetypes.push(Archetype::new(id, name, phases, 0.12));
+    };
+
+    // 1. Unlocking user access (the paper's first example cluster).
+    add(
+        "UserUnlock",
+        vec![
+            Phase::new(pool(&["ActionSearchUsr", "ActionSearchUser"]), 0.3, 0.0),
+            Phase::new(pool(&["ActionDisplayUser", "ActionDisplayUserHistory"]), 0.2, 0.0),
+            Phase::new(
+                pool(&[
+                    "ActionUnLockUser",
+                    "ActionUnLockDisplayedUser",
+                    "ActionClearFailedLogins",
+                ]),
+                0.15,
+                0.0,
+            ),
+            Phase::new(pool(&["ActionResetPwdUnlock"]), 0.0, 0.6),
+        ],
+    );
+    // 2. Modifying user roles (second example cluster).
+    add(
+        "RoleModification",
+        vec![
+            Phase::new(pool(&["ActionSearchRole", "ActionListRole"]), 0.25, 0.0),
+            Phase::new(pool(&["ActionDisplayOneRole", "ActionDisplayRole"]), 0.2, 0.0),
+            Phase::new(
+                pool(&["ActionAssignRole", "ActionRevokeRole", "ActionModifyRole"]),
+                0.35,
+                0.0,
+            ),
+            Phase::new(pool(&["ActionSaveRole", "ActionValidateRole"]), 0.1, 0.2),
+        ],
+    );
+    // 3. Edition of office entities (third example cluster).
+    add(
+        "OfficeEdition",
+        vec![
+            Phase::new(pool(&["ActionSearchOffice", "ActionListOffice"]), 0.25, 0.0),
+            Phase::new(pool(&["ActionDisplayOneOffice", "ActionDisplayOffice"]), 0.25, 0.0),
+            Phase::new(pool(&["ActionModifyOffice", "ActionCopyOffice"]), 0.3, 0.0),
+            Phase::new(pool(&["ActionSaveOffice", "ActionValidateOffice"]), 0.1, 0.15),
+        ],
+    );
+    // 4. Password resets.
+    add(
+        "PasswordReset",
+        vec![
+            Phase::new(pool(&["ActionSearchUser", "ActionSearchUsr"]), 0.3, 0.0),
+            Phase::new(pool(&["ActionDisplayUser"]), 0.15, 0.0),
+            Phase::new(
+                pool(&["ActionResetPwd", "ActionResetPwdUnlock", "ActionForcePwdChange"]),
+                0.2,
+                0.0,
+            ),
+            Phase::new(pool(&["ActionSendPwdEmail"]), 0.0, 0.3),
+        ],
+    );
+    // 5. Provisioning new users.
+    add(
+        "UserProvisioning",
+        vec![
+            Phase::new(pool(&["ActionCreateUser", "ActionCopyUser"]), 0.25, 0.0),
+            Phase::new(pool(&["ActionValidateUser", "ActionModifyUser"]), 0.3, 0.0),
+            Phase::new(pool(&["ActionSaveUser"]), 0.1, 0.0),
+            Phase::new(pool(&["ActionAssignRole", "ActionAssignOffice"]), 0.4, 0.1),
+        ],
+    );
+    // 6. Offboarding users.
+    add(
+        "UserOffboarding",
+        vec![
+            Phase::new(pool(&["ActionSearchUser", "ActionListUser"]), 0.3, 0.0),
+            Phase::new(pool(&["ActionDisplayUser", "ActionDisplayUserRoles"]), 0.25, 0.0),
+            Phase::new(pool(&["ActionRevokeRole", "ActionRevokeOffice"]), 0.3, 0.2),
+            Phase::new(pool(&["ActionWarningDeleteUser"]), 0.0, 0.0),
+            Phase::new(pool(&["ActionDeleteUser"]), 0.0, 0.1),
+        ],
+    );
+    // 7. Auditing two-factor / security rules.
+    add(
+        "SecurityRuleAudit",
+        vec![
+            Phase::new(pool(&["ActionSearchTFARule", "ActionListTFARule"]), 0.3, 0.0),
+            Phase::new(
+                pool(&["ActionDisplayDirectTFARule", "ActionDisplayOneTFARule"]),
+                0.35,
+                0.0,
+            ),
+            Phase::new(
+                pool(&["ActionListSecurityRule", "ActionDisplaySecurityRule"]),
+                0.3,
+                0.2,
+            ),
+            Phase::new(pool(&["ActionExportSecurityRule", "ActionExportTFARule"]), 0.0, 0.5),
+        ],
+    );
+    // 8. Generating reports.
+    add(
+        "ReportGeneration",
+        vec![
+            Phase::new(pool(&["ActionSearchReport", "ActionListReport"]), 0.25, 0.0),
+            Phase::new(pool(&["ActionCreateReport", "ActionCopyReport"]), 0.15, 0.2),
+            Phase::new(pool(&["ActionModifyReport", "ActionValidateReport"]), 0.3, 0.0),
+            Phase::new(pool(&["ActionExportReport", "ActionDisplayOneReport"]), 0.25, 0.0),
+        ],
+    );
+    // 9. Working a queue of pending items.
+    add(
+        "QueueManagement",
+        vec![
+            Phase::new(pool(&["ActionListQueue", "ActionSearchQueue"]), 0.2, 0.0),
+            Phase::new(pool(&["ActionDisplayOneQueue"]), 0.3, 0.0),
+            Phase::new(pool(&["ActionModifyQueue", "ActionAssignQueue"]), 0.35, 0.0),
+            Phase::new(pool(&["ActionSaveQueue"]), 0.0, 0.3),
+        ],
+    );
+    // 10. Maintaining access profiles.
+    add(
+        "ProfileMaintenance",
+        vec![
+            Phase::new(pool(&["ActionSearchProfile", "ActionListProfile"]), 0.25, 0.0),
+            Phase::new(pool(&["ActionDisplayOneProfile", "ActionDisplayProfile"]), 0.25, 0.0),
+            Phase::new(pool(&["ActionModifyProfile", "ActionCopyProfile"]), 0.3, 0.0),
+            Phase::new(pool(&["ActionSaveProfile", "ActionValidateProfile"]), 0.1, 0.2),
+        ],
+    );
+    // 11. Renewing certificates.
+    add(
+        "CertificateRenewal",
+        vec![
+            Phase::new(pool(&["ActionSearchCertificate", "ActionListCertificate"]), 0.25, 0.0),
+            Phase::new(pool(&["ActionDisplayOneCertificate"]), 0.2, 0.0),
+            Phase::new(pool(&["ActionRevokeCertificate", "ActionCreateCertificate"]), 0.2, 0.0),
+            Phase::new(pool(&["ActionValidateCertificate", "ActionSaveCertificate"]), 0.15, 0.1),
+        ],
+    );
+    // 12. Reviewing audit trails and sessions.
+    add(
+        "AuditReview",
+        vec![
+            Phase::new(pool(&["ActionListAuditLog", "ActionSearchAuditLog"]), 0.3, 0.0),
+            Phase::new(pool(&["ActionDisplayAuditLog", "ActionDisplayOneAuditLog"]), 0.4, 0.0),
+            Phase::new(pool(&["ActionSearchSession", "ActionDisplayOneSession"]), 0.3, 0.2),
+            Phase::new(pool(&["ActionExportAuditLog"]), 0.0, 0.6),
+        ],
+    );
+    // 13. Generic browsing/search — the broadest behavior, largest cluster.
+    add(
+        "BrowseSearch",
+        vec![
+            Phase::new(
+                pool(&["ActionSearchUser", "ActionSearchOffice", "ActionSearchGroup"]),
+                0.35,
+                0.0,
+            ),
+            Phase::new(
+                pool(&[
+                    "ActionDisplayUser",
+                    "ActionDisplayOneOffice",
+                    "ActionDisplayOneGroup",
+                    "ActionDisplayUserRoles",
+                ]),
+                0.4,
+                0.0,
+            ),
+            Phase::new(
+                pool(&["ActionListApplication", "ActionDisplayOneApplication"]),
+                0.25,
+                0.4,
+            ),
+            Phase::new(pool(&["ActionExportUser", "ActionExportOffice"]), 0.0, 0.7),
+        ],
+    );
+
+    archetypes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn thirteen_archetypes() {
+        let catalog = ActionCatalog::standard();
+        let archetypes = standard_archetypes(&catalog);
+        assert_eq!(archetypes.len(), 13);
+        for (i, ar) in archetypes.iter().enumerate() {
+            assert_eq!(ar.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn emit_exact_length() {
+        let catalog = ActionCatalog::standard();
+        let archetypes = standard_archetypes(&catalog);
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [1usize, 2, 15, 100, 850] {
+            let s = archetypes[0].emit(len, catalog.navigation(), &mut rng);
+            assert_eq!(s.len(), len);
+        }
+    }
+
+    #[test]
+    fn emit_zero_length_is_empty() {
+        let catalog = ActionCatalog::standard();
+        let archetypes = standard_archetypes(&catalog);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(archetypes[0].emit(0, catalog.navigation(), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn vocabularies_are_distinctive() {
+        // Each archetype's non-navigation vocabulary should overlap little
+        // with most others — that's what makes the clusters discoverable.
+        let catalog = ActionCatalog::standard();
+        let archetypes = standard_archetypes(&catalog);
+        let vocabs: Vec<Vec<ActionId>> = archetypes.iter().map(|a| a.vocabulary()).collect();
+        let mut heavy_overlaps = 0;
+        for i in 0..vocabs.len() {
+            for j in (i + 1)..vocabs.len() {
+                let shared = vocabs[i].iter().filter(|a| vocabs[j].contains(a)).count();
+                let min_len = vocabs[i].len().min(vocabs[j].len());
+                if shared * 2 > min_len {
+                    heavy_overlaps += 1;
+                }
+            }
+        }
+        assert!(
+            heavy_overlaps <= 6,
+            "{heavy_overlaps} archetype pairs share most of their vocabulary"
+        );
+    }
+
+    #[test]
+    fn emitted_actions_come_from_vocab_or_navigation() {
+        let catalog = ActionCatalog::standard();
+        let archetypes = standard_archetypes(&catalog);
+        let mut rng = StdRng::seed_from_u64(5);
+        for ar in &archetypes {
+            let vocab = ar.vocabulary();
+            let s = ar.emit(200, catalog.navigation(), &mut rng);
+            for act in s {
+                assert!(
+                    vocab.contains(&act) || catalog.navigation().contains(&act),
+                    "{} emitted foreign action {}",
+                    ar.name(),
+                    catalog.name(act)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emission_is_deterministic_per_seed() {
+        let catalog = ActionCatalog::standard();
+        let archetypes = standard_archetypes(&catalog);
+        let s1 = archetypes[3].emit(50, catalog.navigation(), &mut StdRng::seed_from_u64(9));
+        let s2 = archetypes[3].emit(50, catalog.navigation(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase pool must be non-empty")]
+    fn empty_phase_pool_panics() {
+        let _ = Phase::new(vec![], 0.1, 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::archetype::Archetype;
+use crate::catalog::ActionCatalog;
+use crate::ids::{ActionId, SessionId, UserId};
+use crate::session::Session;
+
+/// A synthesized corpus of interaction sessions plus the catalog and
+/// archetypes that produced it (the paper's historical data `H`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    catalog: ActionCatalog,
+    archetypes: Vec<Archetype>,
+    sessions: Vec<Session>,
+    n_users: usize,
+    n_days: usize,
+}
+
+/// Summary statistics of a dataset (the paper's §IV-A "Table 1" numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Number of distinct users appearing in the log.
+    pub users: usize,
+    /// Number of distinct actions appearing in the log.
+    pub distinct_actions: usize,
+    /// Catalog size (`d`, includes actions never used).
+    pub catalog_actions: usize,
+    /// Recording window in days.
+    pub days: usize,
+    /// Mean session length.
+    pub mean_length: f64,
+    /// 98th percentile of session length.
+    pub p98_length: usize,
+    /// Longest session.
+    pub max_length: usize,
+}
+
+impl Dataset {
+    /// Assembles a dataset. Intended for [`crate::Generator`]; exposed for
+    /// tests and custom corpora.
+    pub fn new(
+        catalog: ActionCatalog,
+        archetypes: Vec<Archetype>,
+        sessions: Vec<Session>,
+        n_users: usize,
+        n_days: usize,
+    ) -> Self {
+        Dataset {
+            catalog,
+            archetypes,
+            sessions,
+            n_users,
+            n_days,
+        }
+    }
+
+    /// The action catalog.
+    pub fn catalog(&self) -> &ActionCatalog {
+        &self.catalog
+    }
+
+    /// The generating archetypes (empty for non-synthetic corpora).
+    pub fn archetypes(&self) -> &[Archetype] {
+        &self.archetypes
+    }
+
+    /// All sessions.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Number of simulated users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Computes the summary statistics reported in the paper's §IV-A.
+    pub fn stats(&self) -> DatasetStats {
+        let mut lengths: Vec<usize> = self.sessions.iter().map(Session::len).collect();
+        lengths.sort_unstable();
+        let total: usize = lengths.iter().sum();
+        let mut seen_users: Vec<UserId> = self.sessions.iter().map(Session::user).collect();
+        seen_users.sort_unstable();
+        seen_users.dedup();
+        let mut seen_actions: Vec<ActionId> = self
+            .sessions
+            .iter()
+            .flat_map(|s| s.actions().iter().copied())
+            .collect();
+        seen_actions.sort_unstable();
+        seen_actions.dedup();
+        DatasetStats {
+            sessions: self.sessions.len(),
+            users: seen_users.len(),
+            distinct_actions: seen_actions.len(),
+            catalog_actions: self.catalog.len(),
+            days: self.n_days,
+            mean_length: if lengths.is_empty() {
+                0.0
+            } else {
+                total as f64 / lengths.len() as f64
+            },
+            p98_length: lengths
+                .get(((lengths.len() as f64) * 0.98) as usize)
+                .copied()
+                .unwrap_or_default(),
+            max_length: lengths.last().copied().unwrap_or_default(),
+        }
+    }
+
+    /// Histogram of session lengths with the given bin width (Fig. 3).
+    /// Returns `(bin_start, count)` pairs covering all observed lengths.
+    pub fn length_histogram(&self, bin_width: usize) -> Vec<(usize, usize)> {
+        assert!(bin_width > 0, "bin width must be positive");
+        let max = self.sessions.iter().map(Session::len).max().unwrap_or(0);
+        let n_bins = max / bin_width + 1;
+        let mut bins = vec![0usize; n_bins];
+        for s in &self.sessions {
+            bins[s.len() / bin_width] += 1;
+        }
+        bins.iter()
+            .enumerate()
+            .map(|(i, &c)| (i * bin_width, c))
+            .collect()
+    }
+
+    /// Generates the paper's *artificial abnormal test set* (§IV-D): `count`
+    /// sessions with lengths uniform in `[5, 25]` and actions drawn uniformly
+    /// from the full catalog.
+    pub fn random_sessions(&self, count: usize, seed: u64) -> Vec<Session> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = self.catalog.len();
+        (0..count)
+            .map(|i| {
+                let len = rng.gen_range(5..=25);
+                let actions = (0..len).map(|_| ActionId(rng.gen_range(0..d))).collect();
+                Session::new(SessionId(usize::MAX - i), UserId(usize::MAX - 1), 0, actions)
+            })
+            .collect()
+    }
+
+    /// Generates misuse-like sessions: bursts of sensitive user-profile
+    /// modifications of the kind the paper's experts flagged in §IV-D
+    /// (mass `ActionCreateUser`/`ActionDeleteUser`/unlock sequences).
+    pub fn misuse_sessions(&self, count: usize, seed: u64) -> Vec<Session> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sensitive = self.catalog.sensitive();
+        let search = self
+            .catalog
+            .id("ActionSearchUsr")
+            .or_else(|| self.catalog.id("ActionSearchUser"));
+        (0..count)
+            .map(|i| {
+                let len = rng.gen_range(8..=30);
+                let mut actions = Vec::with_capacity(len);
+                while actions.len() < len {
+                    if let (Some(s), true) = (search, rng.gen::<f32>() < 0.2) {
+                        actions.push(s);
+                    }
+                    if actions.len() < len {
+                        let a = sensitive[rng.gen_range(0..sensitive.len())];
+                        // Burst: repeat the sensitive action several times.
+                        for _ in 0..rng.gen_range(1..=4) {
+                            if actions.len() == len {
+                                break;
+                            }
+                            actions.push(a);
+                        }
+                    }
+                }
+                Session::new(
+                    SessionId(usize::MAX / 2 - i),
+                    UserId(usize::MAX - 2),
+                    0,
+                    actions,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetype::standard_archetypes;
+
+    fn tiny() -> Dataset {
+        let catalog = ActionCatalog::standard();
+        let archetypes = standard_archetypes(&catalog);
+        let sessions = vec![
+            Session::new(SessionId(0), UserId(0), 0, vec![ActionId(0), ActionId(1)]),
+            Session::new(SessionId(1), UserId(1), 5, vec![ActionId(2); 10]),
+            Session::new(SessionId(2), UserId(0), 9, vec![ActionId(3); 4]),
+        ];
+        Dataset::new(catalog, archetypes, sessions, 2, 31)
+    }
+
+    #[test]
+    fn stats_computed_correctly() {
+        let d = tiny();
+        let s = d.stats();
+        assert_eq!(s.sessions, 3);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.distinct_actions, 4);
+        assert_eq!(s.days, 31);
+        assert!((s.mean_length - 16.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.max_length, 10);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_sessions() {
+        let d = tiny();
+        let h = d.length_histogram(5);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn random_sessions_match_paper_spec() {
+        let d = tiny();
+        let r = d.random_sessions(50, 7);
+        assert_eq!(r.len(), 50);
+        for s in &r {
+            assert!((5..=25).contains(&s.len()));
+            assert!(s.actions().iter().all(|a| a.index() < d.catalog().len()));
+            assert!(s.archetype().is_none());
+        }
+    }
+
+    #[test]
+    fn random_sessions_deterministic() {
+        let d = tiny();
+        assert_eq!(d.random_sessions(5, 1), d.random_sessions(5, 1));
+        assert_ne!(d.random_sessions(5, 1), d.random_sessions(5, 2));
+    }
+
+    #[test]
+    fn misuse_sessions_are_sensitive_heavy() {
+        let d = tiny();
+        let m = d.misuse_sessions(20, 3);
+        for s in &m {
+            let sensitive = s
+                .actions()
+                .iter()
+                .filter(|&&a| d.catalog().is_sensitive(a))
+                .count();
+            assert!(
+                sensitive * 2 >= s.len(),
+                "misuse session should be mostly sensitive actions"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced by the log simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LogsimError {
+    /// A generator configuration value was out of range.
+    InvalidConfig(String),
+    /// A split's fractions did not sum to 1.
+    InvalidSplit {
+        /// The offending train fraction.
+        train: f64,
+        /// The offending validation fraction.
+        validation: f64,
+    },
+}
+
+impl fmt::Display for LogsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogsimError::InvalidConfig(msg) => write!(f, "invalid generator config: {msg}"),
+            LogsimError::InvalidSplit { train, validation } => write!(
+                f,
+                "invalid split fractions: train {train} + validation {validation} must be < 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LogsimError::InvalidConfig("x".into()).to_string().contains("x"));
+        let e = LogsimError::InvalidSplit {
+            train: 0.9,
+            validation: 0.5,
+        };
+        assert!(e.to_string().contains("0.9"));
+    }
+}

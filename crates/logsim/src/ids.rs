@@ -1,0 +1,73 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! index_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+index_newtype!(
+    /// Index of an action in an [`crate::ActionCatalog`].
+    ActionId,
+    "a"
+);
+index_newtype!(
+    /// Index of a session within a [`crate::Dataset`].
+    SessionId,
+    "s"
+);
+index_newtype!(
+    /// Index of a user in the simulated population.
+    UserId,
+    "u"
+);
+index_newtype!(
+    /// Index of a discovered behavior cluster (the paper's `G_i`). Shared
+    /// vocabulary type across the clustering, routing, and modeling crates.
+    ClusterId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(ActionId(3).to_string(), "a3");
+        assert_eq!(SessionId(10).to_string(), "s10");
+        assert_eq!(UserId(0).to_string(), "u0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ActionId(1) < ActionId(2));
+        assert_eq!(ActionId::from(5).index(), 5);
+    }
+}

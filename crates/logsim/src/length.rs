@@ -1,0 +1,113 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Session-length model shaped to the paper's Fig. 3 statistics: mean length
+/// ~= 15 actions, 98% of sessions shorter than 91 actions, and a thin tail of
+/// very long (up to > 800 action) sessions.
+///
+/// Lengths are drawn from a log-normal body mixed with a rare uniform
+/// heavy-tail component representing scripted/batch sessions.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_logsim::LengthModel;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let model = LengthModel::paper_like();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let len = model.sample(&mut rng);
+/// assert!(len >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LengthModel {
+    /// Log-normal location parameter.
+    pub mu: f64,
+    /// Log-normal scale parameter.
+    pub sigma: f64,
+    /// Probability of a heavy-tail "batch" session.
+    pub batch_prob: f64,
+    /// Batch sessions draw uniformly from this range.
+    pub batch_range: (usize, usize),
+    /// Hard cap on lengths (keeps experiments bounded).
+    pub max_len: usize,
+}
+
+impl LengthModel {
+    /// The model calibrated against the paper's Fig. 3 description.
+    pub fn paper_like() -> Self {
+        LengthModel {
+            // exp(mu) ~ 7.5, sigma 1.10 => log-normal mean ~ 13.8; with the
+            // rare batch tail the overall mean lands at ~15 and
+            // p98 = exp(mu + 2.054*sigma) ~ 72 (< 91 as in the paper).
+            mu: 7.5f64.ln(),
+            sigma: 1.10,
+            batch_prob: 0.002,
+            batch_range: (300, 900),
+            max_len: 900,
+        }
+    }
+
+    /// Samples one session length (always >= 1).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        if rng.gen::<f64>() < self.batch_prob {
+            let (lo, hi) = self.batch_range;
+            return rng.gen_range(lo..=hi).min(self.max_len);
+        }
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let len = (self.mu + self.sigma * z).exp().round();
+        (len.max(1.0) as usize).min(self.max_len)
+    }
+}
+
+impl Default for LengthModel {
+    fn default() -> Self {
+        LengthModel::paper_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_many(n: usize, seed: u64) -> Vec<usize> {
+        let m = LengthModel::paper_like();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| m.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn mean_is_close_to_fifteen() {
+        let lens = sample_many(20_000, 42);
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(
+            (11.0..20.0).contains(&mean),
+            "mean length {mean}, paper reports ~15"
+        );
+    }
+
+    #[test]
+    fn p98_below_91() {
+        let mut lens = sample_many(20_000, 43);
+        lens.sort_unstable();
+        let p98 = lens[(lens.len() as f64 * 0.98) as usize];
+        assert!(p98 < 91, "98th percentile {p98}, paper reports < 91");
+    }
+
+    #[test]
+    fn tail_reaches_past_300() {
+        let lens = sample_many(20_000, 44);
+        let max = *lens.iter().max().unwrap();
+        assert!(max > 300, "longest session {max}, paper reports > 800 over 15k sessions");
+        assert!(max <= 900);
+    }
+
+    #[test]
+    fn lengths_positive() {
+        assert!(sample_many(5_000, 45).iter().all(|&l| l >= 1));
+    }
+}

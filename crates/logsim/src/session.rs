@@ -1,0 +1,121 @@
+use serde::{Deserialize, Serialize};
+
+use crate::archetype::ArchetypeId;
+use crate::ids::{ActionId, SessionId, UserId};
+
+/// One logged interaction session: the ordered actions a user performed
+/// between logging in and logging out (the paper's tuple
+/// `s = (a_1, ..., a_n)`).
+///
+/// # Example
+///
+/// ```
+/// use ibcm_logsim::{ActionId, Session, SessionId, UserId};
+/// let s = Session::new(SessionId(0), UserId(3), 120, vec![ActionId(1), ActionId(2)]);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.archetype().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Session {
+    id: SessionId,
+    user: UserId,
+    /// Start time in minutes since the start of the recording window.
+    start_minute: u64,
+    actions: Vec<ActionId>,
+    /// Ground-truth generating archetype (None for real/abnormal sessions).
+    archetype: Option<ArchetypeId>,
+}
+
+impl Session {
+    /// Creates a session without ground-truth archetype label.
+    pub fn new(id: SessionId, user: UserId, start_minute: u64, actions: Vec<ActionId>) -> Self {
+        Session {
+            id,
+            user,
+            start_minute,
+            actions,
+            archetype: None,
+        }
+    }
+
+    /// Creates a session with a known generating archetype.
+    pub fn with_archetype(
+        id: SessionId,
+        user: UserId,
+        start_minute: u64,
+        actions: Vec<ActionId>,
+        archetype: ArchetypeId,
+    ) -> Self {
+        Session {
+            id,
+            user,
+            start_minute,
+            actions,
+            archetype: Some(archetype),
+        }
+    }
+
+    /// Session identifier.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The user who performed the session.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Start time, minutes since the start of the recording window.
+    pub fn start_minute(&self) -> u64 {
+        self.start_minute
+    }
+
+    /// The ordered action sequence.
+    pub fn actions(&self) -> &[ActionId] {
+        &self.actions
+    }
+
+    /// Number of actions in the session.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` for an empty session.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Ground-truth archetype, if the session was synthesized from one.
+    pub fn archetype(&self) -> Option<ArchetypeId> {
+        self.archetype
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Session::with_archetype(
+            SessionId(7),
+            UserId(2),
+            55,
+            vec![ActionId(0), ActionId(1), ActionId(0)],
+            ArchetypeId(4),
+        );
+        assert_eq!(s.id(), SessionId(7));
+        assert_eq!(s.user(), UserId(2));
+        assert_eq!(s.start_minute(), 55);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.archetype(), Some(ArchetypeId(4)));
+    }
+
+    #[test]
+    fn empty_session() {
+        let s = Session::new(SessionId(0), UserId(0), 0, vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::LogsimError;
+use crate::session::Session;
+
+/// A train/validation/test partition of sessions (the paper splits each
+/// cluster 70/15/15, §IV-B).
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training sessions.
+    pub train: Vec<Session>,
+    /// Validation sessions.
+    pub validation: Vec<Session>,
+    /// Test sessions.
+    pub test: Vec<Session>,
+}
+
+/// Shuffles `sessions` with `seed` and splits them `train/validation/rest`.
+///
+/// # Errors
+///
+/// Returns [`LogsimError::InvalidSplit`] unless `0 < train`, `0 <= validation`
+/// and `train + validation < 1`.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_logsim::{split_sessions, Session, SessionId, UserId, ActionId};
+/// let sessions: Vec<Session> = (0..10)
+///     .map(|i| Session::new(SessionId(i), UserId(0), 0, vec![ActionId(0)]))
+///     .collect();
+/// let split = split_sessions(sessions, 0.7, 0.15, 42)?;
+/// assert_eq!(split.train.len(), 7);
+/// // 10 * 0.15 rounds to 2 validation sessions, leaving 1 for test.
+/// assert_eq!(split.validation.len(), 2);
+/// assert_eq!(split.test.len(), 1);
+/// # Ok::<(), ibcm_logsim::LogsimError>(())
+/// ```
+pub fn split_sessions(
+    mut sessions: Vec<Session>,
+    train: f64,
+    validation: f64,
+    seed: u64,
+) -> Result<Split, LogsimError> {
+    if !(train > 0.0 && validation >= 0.0 && train + validation < 1.0) {
+        return Err(LogsimError::InvalidSplit { train, validation });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    sessions.shuffle(&mut rng);
+    let n = sessions.len();
+    let n_train = ((n as f64) * train).round() as usize;
+    let n_val = ((n as f64) * validation).round() as usize;
+    let n_train = n_train.min(n);
+    let n_val = n_val.min(n - n_train);
+    let test = sessions.split_off(n_train + n_val);
+    let validation_set = sessions.split_off(n_train);
+    Ok(Split {
+        train: sessions,
+        validation: validation_set,
+        test,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ActionId, SessionId, UserId};
+
+    fn sessions(n: usize) -> Vec<Session> {
+        (0..n)
+            .map(|i| Session::new(SessionId(i), UserId(0), 0, vec![ActionId(i % 3)]))
+            .collect()
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let split = split_sessions(sessions(100), 0.7, 0.15, 1).unwrap();
+        let mut ids: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.validation)
+            .chain(&split.test)
+            .map(|s| s.id().index())
+            .collect();
+        assert_eq!(ids.len(), 100);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100, "no session may appear twice");
+    }
+
+    #[test]
+    fn seventy_fifteen_fifteen() {
+        let split = split_sessions(sessions(1000), 0.7, 0.15, 2).unwrap();
+        assert_eq!(split.train.len(), 700);
+        assert_eq!(split.validation.len(), 150);
+        assert_eq!(split.test.len(), 150);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = split_sessions(sessions(50), 0.7, 0.15, 3).unwrap();
+        let b = split_sessions(sessions(50), 0.7, 0.15, 3).unwrap();
+        let ids =
+            |s: &Split| s.train.iter().map(|x| x.id().index()).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        assert!(split_sessions(sessions(10), 0.9, 0.2, 0).is_err());
+        assert!(split_sessions(sessions(10), 0.0, 0.1, 0).is_err());
+        assert!(split_sessions(sessions(10), 1.0, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn small_inputs_do_not_panic() {
+        for n in 0..5 {
+            let split = split_sessions(sessions(n), 0.7, 0.15, 0).unwrap();
+            assert_eq!(
+                split.train.len() + split.validation.len() + split.test.len(),
+                n
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the log simulator.
+
+use ibcm_logsim::{split_sessions, Generator, GeneratorConfig, LengthModel, Session, SessionId, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any valid generator configuration produces exactly the requested
+    /// number of sessions, all well-formed.
+    #[test]
+    fn generator_respects_config(seed in 0u64..1000, n_sessions in 10usize..120, n_users in 1usize..30) {
+        let cfg = GeneratorConfig {
+            n_sessions,
+            n_users,
+            ..GeneratorConfig::tiny(seed)
+        };
+        let ds = Generator::new(cfg).generate();
+        prop_assert_eq!(ds.sessions().len(), n_sessions);
+        let catalog_len = ds.catalog().len();
+        for (i, s) in ds.sessions().iter().enumerate() {
+            prop_assert_eq!(s.id().index(), i);
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.user().index() < n_users);
+            prop_assert!(s.actions().iter().all(|a| a.index() < catalog_len));
+            prop_assert!(s.archetype().is_some());
+        }
+    }
+
+    /// Length model: samples within [1, max_len] for any parameters.
+    #[test]
+    fn length_model_bounds(mu in 0.5f64..4.0, sigma in 0.1f64..2.0, seed in 0u64..100) {
+        let model = LengthModel {
+            mu,
+            sigma,
+            ..LengthModel::paper_like()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let len = model.sample(&mut rng);
+            prop_assert!(len >= 1 && len <= model.max_len);
+        }
+    }
+
+    /// Splits partition the input exactly, for any fraction pair and size.
+    #[test]
+    fn split_partitions_exactly(n in 0usize..200, train in 0.1f64..0.8, val in 0.0f64..0.15, seed in 0u64..100) {
+        prop_assume!(train + val < 0.99);
+        let sessions: Vec<Session> = (0..n)
+            .map(|i| Session::new(SessionId(i), UserId(0), 0, vec![ibcm_logsim::ActionId(0)]))
+            .collect();
+        let split = split_sessions(sessions, train, val, seed).unwrap();
+        let mut ids: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.validation)
+            .chain(&split.test)
+            .map(|s| s.id().index())
+            .collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Random and misuse session generators only emit catalog actions.
+    #[test]
+    fn abnormal_generators_stay_in_catalog(seed in 0u64..100, count in 1usize..30) {
+        let ds = Generator::new(GeneratorConfig::tiny(seed)).generate();
+        let d = ds.catalog().len();
+        for s in ds.random_sessions(count, seed) {
+            prop_assert!(s.actions().iter().all(|a| a.index() < d));
+            prop_assert!((5..=25).contains(&s.len()));
+        }
+        for s in ds.misuse_sessions(count, seed) {
+            prop_assert!(s.actions().iter().all(|a| a.index() < d));
+            prop_assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+/// Numerically stable logistic sigmoid.
+///
+/// ```
+/// assert!((ibcm_nn::sigmoid(0.0) - 0.5).abs() < 1e-7);
+/// ```
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent (thin wrapper so call sites read uniformly).
+///
+/// ```
+/// assert_eq!(ibcm_nn::tanh_f(0.0), 0.0);
+/// ```
+#[inline]
+pub fn tanh_f(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Replaces `logits` with a numerically stable softmax over the slice.
+///
+/// ```
+/// let mut v = [1.0f32, 1.0, 1.0];
+/// ibcm_nn::softmax_in_place(&mut v);
+/// assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// ```
+pub fn softmax_in_place(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in logits.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in logits.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_extremes_are_finite() {
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(-1000.0) < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for x in [-3.0f32, -1.0, 0.5, 2.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_under_large_logits() {
+        let mut v = [1000.0f32, 999.0, 998.0];
+        softmax_in_place(&mut v);
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(v[0] > v[1] && v[1] > v[2]);
+    }
+
+    #[test]
+    fn softmax_uniform_on_equal_logits() {
+        let mut v = [2.5f32; 4];
+        softmax_in_place(&mut v);
+        for x in v {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut v: [f32; 0] = [];
+        softmax_in_place(&mut v);
+    }
+}

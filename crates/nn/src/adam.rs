@@ -1,0 +1,193 @@
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for the [`Adam`] optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Step size (the paper uses 0.001).
+    pub learning_rate: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub epsilon: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            learning_rate: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba 2015) over an ordered list of parameter
+/// groups.
+///
+/// The caller passes the same groups in the same order on every step; moment
+/// state is kept per group and sized lazily on first use.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_nn::{Adam, AdamConfig};
+/// let mut opt = Adam::new(AdamConfig::default());
+/// let mut w = vec![1.0f32; 4];
+/// let g = vec![0.5f32; 4];
+/// opt.step(&mut [&mut w], &[&g]);
+/// assert!(w.iter().all(|&v| v < 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam {
+            config,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The optimizer configuration.
+    pub fn config(&self) -> &AdamConfig {
+        &self.config
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update. `params[i]` and `grads[i]` must have matching
+    /// lengths, and the groups must be passed in a stable order across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if group counts or lengths mismatch previous calls.
+    pub fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
+        assert_eq!(params.len(), grads.len(), "one gradient per parameter group");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "stable group count across steps");
+        self.t += 1;
+        let AdamConfig {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+        } = self.config;
+        let bc1 = 1.0 - beta1.powi(self.t as i32);
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
+        let alpha = learning_rate * bc2.sqrt() / bc1;
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.len(), g.len(), "param/grad length");
+            assert_eq!(p.len(), m.len(), "stable group size across steps");
+            for j in 0..p.len() {
+                m[j] = beta1 * m[j] + (1.0 - beta1) * g[j];
+                v[j] = beta2 * v[j] + (1.0 - beta2) * g[j] * g[j];
+                p[j] -= alpha * m[j] / (v[j].sqrt() + epsilon);
+            }
+        }
+    }
+}
+
+/// Scales all gradient groups so their global L2 norm is at most `max_norm`
+/// (standard recurrent-network training hygiene). Returns the pre-clip norm.
+///
+/// # Example
+///
+/// ```
+/// let mut g = vec![3.0f32, 4.0];
+/// let norm = ibcm_nn::clip_global_norm(&mut [&mut g], 1.0);
+/// assert!((norm - 5.0).abs() < 1e-6);
+/// assert!((g[0].powi(2) + g[1].powi(2) - 1.0).abs() < 1e-5);
+/// ```
+pub fn clip_global_norm(grads: &mut [&mut [f32]], max_norm: f32) -> f32 {
+    let sq: f64 = grads
+        .iter()
+        .map(|g| g.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>())
+        .sum();
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        for g in grads.iter_mut() {
+            for x in g.iter_mut() {
+                *x *= s;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_descends_quadratic() {
+        // Minimize f(w) = (w-3)^2 elementwise.
+        let mut opt = Adam::new(AdamConfig {
+            learning_rate: 0.1,
+            ..AdamConfig::default()
+        });
+        let mut w = vec![0.0f32];
+        for _ in 0..500 {
+            let g = vec![2.0 * (w[0] - 3.0)];
+            opt.step(&mut [&mut w], &[&g]);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "converged to {}", w[0]);
+    }
+
+    #[test]
+    fn first_step_is_learning_rate_sized() {
+        let mut opt = Adam::new(AdamConfig::default());
+        let mut w = vec![0.0f32];
+        opt.step(&mut [&mut w], &[&[10.0f32]]);
+        // Bias correction makes the first step ~= lr regardless of grad scale.
+        assert!((w[0] + opt.config().learning_rate).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut g = vec![0.1f32, 0.1];
+        let norm = clip_global_norm(&mut [&mut g], 5.0);
+        assert!(norm < 5.0);
+        assert_eq!(g, vec![0.1, 0.1]);
+    }
+
+    #[test]
+    fn clip_handles_multiple_groups() {
+        let mut a = vec![3.0f32];
+        let mut b = vec![4.0f32];
+        clip_global_norm(&mut [&mut a, &mut b], 1.0);
+        let total = (a[0] * a[0] + b[0] * b[0]).sqrt();
+        assert!((total - 1.0).abs() < 1e-5);
+        // Direction preserved.
+        assert!((a[0] / b[0] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient per parameter group")]
+    fn mismatched_groups_panic() {
+        let mut opt = Adam::new(AdamConfig::default());
+        let mut w = vec![0.0f32];
+        opt.step(&mut [&mut w], &[]);
+    }
+}

@@ -1,0 +1,121 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Inverted dropout (Srivastava et al. 2014), used on the LSTM output as in
+/// the paper's architecture (rate 0.4 there).
+///
+/// During training each activation is zeroed with probability `rate` and the
+/// survivors are scaled by `1/(1-rate)`, so inference needs no rescaling.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_nn::{Dropout, Matrix};
+/// let mut drop = Dropout::new(0.5, 42).unwrap();
+/// let mut x = Matrix::filled(4, 4, 1.0);
+/// let mask = drop.apply(&mut x);
+/// assert_eq!(mask.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    rate: f32,
+    rng: StdRng,
+}
+
+impl Dropout {
+    /// Creates a dropout source with the given zeroing probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rate` is not in `[0, 1)`.
+    pub fn new(rate: f32, seed: u64) -> Result<Self, crate::NnError> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(crate::NnError::InvalidConfig(format!(
+                "dropout rate must be in [0,1), got {rate}"
+            )));
+        }
+        Ok(Dropout {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The configured zeroing probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// Applies a fresh mask to `x` in place and returns the mask (already
+    /// containing the `1/(1-rate)` scaling) for use in the backward pass.
+    pub fn apply(&mut self, x: &mut Matrix) -> Vec<f32> {
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        for (v, &m) in x.as_mut_slice().iter_mut().zip(mask.iter()) {
+            *v *= m;
+        }
+        mask
+    }
+
+    /// Applies a previously returned mask to a gradient (backward pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length differs from the gradient size.
+    pub fn backward(grad: &mut Matrix, mask: &[f32]) {
+        assert_eq!(grad.len(), mask.len(), "mask/gradient size mismatch");
+        for (g, &m) in grad.as_mut_slice().iter_mut().zip(mask.iter()) {
+            *g *= m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut d = Dropout::new(0.0, 1).unwrap();
+        let mut x = Matrix::filled(3, 3, 2.0);
+        let mask = d.apply(&mut x);
+        assert!(x.as_slice().iter().all(|&v| v == 2.0));
+        assert!(mask.iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    fn expected_scale_preserved() {
+        let mut d = Dropout::new(0.4, 7).unwrap();
+        let mut x = Matrix::filled(100, 100, 1.0);
+        d.apply(&mut x);
+        let mean: f32 = x.as_slice().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps E[x], got {mean}");
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(0.999, 0).is_ok());
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let mut x = Matrix::filled(4, 4, 1.0);
+        let mask = d.apply(&mut x);
+        let mut g = Matrix::filled(4, 4, 1.0);
+        Dropout::backward(&mut g, &mask);
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+}

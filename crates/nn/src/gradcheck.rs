@@ -1,0 +1,199 @@
+//! Central finite-difference gradient checking.
+//!
+//! Used by this crate's tests to pin the hand-derived LSTM and dense
+//! backward passes to the true gradients, and exported so downstream crates
+//! (`ibcm-lm`) can verify their composed models the same way.
+
+/// Numerically estimates `d loss / d theta[i]` for every parameter in
+/// `theta` by central differences, where `loss` re-evaluates the full model
+/// after each perturbation.
+///
+/// `eps` around `1e-3` works well for `f32` models of this size.
+pub fn numerical_grad<F>(theta: &mut [f32], eps: f32, mut loss: F) -> Vec<f32>
+where
+    F: FnMut(&[f32]) -> f32,
+{
+    let mut grad = vec![0.0f32; theta.len()];
+    for i in 0..theta.len() {
+        let orig = theta[i];
+        theta[i] = orig + eps;
+        let up = loss(theta);
+        theta[i] = orig - eps;
+        let down = loss(theta);
+        theta[i] = orig;
+        grad[i] = (up - down) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Maximum relative error between analytic and numeric gradients, using the
+/// standard `|a-n| / max(|a|+|n|, floor)` metric.
+pub fn max_rel_error(analytic: &[f32], numeric: &[f32], floor: f32) -> f32 {
+    analytic
+        .iter()
+        .zip(numeric.iter())
+        .map(|(&a, &n)| (a - n).abs() / (a.abs() + n.abs()).max(floor))
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{softmax_cross_entropy, Dense};
+    use crate::lstm::{LstmLayer, StepInput};
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn numeric_grad_of_quadratic() {
+        let mut theta = vec![1.0f32, -2.0, 3.0];
+        let g = numerical_grad(&mut theta, 1e-3, |t| t.iter().map(|&x| x * x).sum());
+        for (gi, ti) in g.iter().zip([1.0f32, -2.0, 3.0]) {
+            assert!((gi - 2.0 * ti).abs() < 1e-2);
+        }
+    }
+
+    /// Full-model gradient check: LSTM -> Dense -> softmax CE, checking all
+    /// five parameter groups against finite differences.
+    #[test]
+    fn lstm_dense_end_to_end_gradcheck() {
+        let vocab = 4;
+        let hidden = 3;
+        let inputs = vec![
+            vec![StepInput::Action(0), StepInput::Action(2)],
+            vec![StepInput::Action(1), StepInput::Pad],
+            vec![StepInput::Action(3), StepInput::Action(1)],
+        ];
+        let targets = [Some(2usize), Some(0)];
+        let lstm = LstmLayer::new(vocab, hidden, 42);
+        let dense = Dense::new(hidden, vocab, 43);
+
+        let eval = |lstm: &LstmLayer, dense: &Dense| -> f32 {
+            let cache = lstm.forward(&inputs);
+            let last_h = cache.hiddens().last().unwrap().clone();
+            let logits = dense.forward(&last_h);
+            softmax_cross_entropy(&logits, &targets).loss
+        };
+
+        // Analytic gradients.
+        let cache = lstm.forward(&inputs);
+        let last_h = cache.hiddens().last().unwrap().clone();
+        let (logits, dcache) = dense.forward_cached(&last_h);
+        let sm = softmax_cross_entropy(&logits, &targets);
+        let dgrads = dense.backward(&dcache, &sm.dlogits);
+        let mut d_hiddens: Vec<Matrix> = (0..cache.steps())
+            .map(|_| Matrix::zeros(2, hidden))
+            .collect();
+        *d_hiddens.last_mut().unwrap() = dgrads.dx.clone();
+        let lgrads = lstm.backward(&cache, &d_hiddens);
+
+        // Numeric gradients per parameter group.
+        let check = |analytic: &[f32], numeric: &[f32], name: &str| {
+            let err = max_rel_error(analytic, numeric, 1e-2);
+            assert!(err < 2e-2, "{name}: max rel error {err}");
+        };
+
+        // LSTM wx
+        {
+            let mut l = lstm.clone();
+            let flat_len = l.params().0.len();
+            let mut theta: Vec<f32> = l.params().0.as_slice().to_vec();
+            let num = numerical_grad(&mut theta, 1e-2, |t| {
+                let mut lc = l.clone();
+                lc.params_mut().0.as_mut_slice().copy_from_slice(t);
+                eval(&lc, &dense)
+            });
+            assert_eq!(flat_len, num.len());
+            check(lgrads.dwx.as_slice(), &num, "dwx");
+            let _ = &mut l;
+        }
+        // LSTM wh
+        {
+            let l = lstm.clone();
+            let mut theta: Vec<f32> = l.params().1.as_slice().to_vec();
+            let num = numerical_grad(&mut theta, 1e-2, |t| {
+                let mut lc = l.clone();
+                lc.params_mut().1.as_mut_slice().copy_from_slice(t);
+                eval(&lc, &dense)
+            });
+            check(lgrads.dwh.as_slice(), &num, "dwh");
+        }
+        // LSTM bias
+        {
+            let l = lstm.clone();
+            let mut theta: Vec<f32> = l.params().2.to_vec();
+            let num = numerical_grad(&mut theta, 1e-2, |t| {
+                let mut lc = l.clone();
+                lc.params_mut().2.copy_from_slice(t);
+                eval(&lc, &dense)
+            });
+            check(&lgrads.db, &num, "db");
+        }
+        // Dense weights
+        {
+            let d = dense.clone();
+            let mut theta: Vec<f32> = d.params().0.as_slice().to_vec();
+            let num = numerical_grad(&mut theta, 1e-2, |t| {
+                let mut dc = d.clone();
+                dc.params_mut().0.as_mut_slice().copy_from_slice(t);
+                eval(&lstm, &dc)
+            });
+            check(dgrads.dw.as_slice(), &num, "dense dw");
+        }
+        // Dense bias
+        {
+            let d = dense.clone();
+            let mut theta: Vec<f32> = d.params().1.to_vec();
+            let num = numerical_grad(&mut theta, 1e-2, |t| {
+                let mut dc = d.clone();
+                dc.params_mut().1.copy_from_slice(t);
+                eval(&lstm, &dc)
+            });
+            check(&dgrads.db, &num, "dense db");
+        }
+    }
+
+    /// Loss applied at *every* step (the language-model setting) must also
+    /// gradcheck, exercising the recurrent accumulation path.
+    #[test]
+    fn lstm_all_step_loss_gradcheck() {
+        let vocab = 3;
+        let hidden = 2;
+        let inputs = vec![
+            vec![StepInput::Action(0)],
+            vec![StepInput::Action(2)],
+            vec![StepInput::Action(1)],
+        ];
+        let step_targets = [Some(2usize), Some(1), Some(0)];
+        let lstm = LstmLayer::new(vocab, hidden, 7);
+        let dense = Dense::new(hidden, vocab, 8);
+
+        let eval = |lstm: &LstmLayer| -> f32 {
+            let cache = lstm.forward(&inputs);
+            let mut total = 0.0;
+            for (t, hm) in cache.hiddens().iter().enumerate() {
+                let logits = dense.forward(hm);
+                total += softmax_cross_entropy(&logits, &[step_targets[t]]).loss;
+            }
+            total
+        };
+
+        let cache = lstm.forward(&inputs);
+        let mut d_hiddens = Vec::new();
+        for (t, hm) in cache.hiddens().iter().enumerate() {
+            let (logits, dcache) = dense.forward_cached(hm);
+            let sm = softmax_cross_entropy(&logits, &[step_targets[t]]);
+            d_hiddens.push(dense.backward(&dcache, &sm.dlogits).dx);
+        }
+        let lgrads = lstm.backward(&cache, &d_hiddens);
+
+        let l = lstm.clone();
+        let mut theta: Vec<f32> = l.params().1.as_slice().to_vec();
+        let num = numerical_grad(&mut theta, 1e-2, |t| {
+            let mut lc = l.clone();
+            lc.params_mut().1.as_mut_slice().copy_from_slice(t);
+            eval(&lc)
+        });
+        let err = max_rel_error(lgrads.dwh.as_slice(), &num, 1e-2);
+        assert!(err < 2e-2, "recurrent dwh: max rel error {err}");
+    }
+}

@@ -1,0 +1,54 @@
+//! `ibcm-nn` — a minimal, dependency-light deep-learning substrate.
+//!
+//! The paper ("System Misuse Detection via Informed Behavior Clustering and
+//! Modeling", Adilova et al., DSN-W 2019) trains a one-layer LSTM language
+//! model (256 units, dropout 0.4, dense softmax head) over sequences of
+//! discrete actions. The Rust deep-learning ecosystem is thin, so this crate
+//! implements exactly the pieces that model needs, from scratch:
+//!
+//! - [`Matrix`]: a row-major `f32` matrix with the handful of BLAS-like
+//!   kernels the layers use,
+//! - [`LstmLayer`]: a fused LSTM cell unrolled over time with explicit,
+//!   finite-difference-verified backpropagation,
+//! - [`Dense`] + [`softmax_cross_entropy`]: the classification head,
+//! - [`Dropout`]: inverted dropout,
+//! - [`Adam`]: the optimizer, with global-norm gradient clipping,
+//! - [`gradcheck`]: numerical gradient checking used throughout the tests.
+//!
+//! Inputs are sequences of one-hot vectors in the paper; here the one-hot
+//! multiplication is performed implicitly by row gathers from the input
+//! weight matrix (see [`LstmLayer::forward`]), which is the same math without
+//! materializing `seq_len x vocab` matrices.
+//!
+//! # Example
+//!
+//! ```
+//! use ibcm_nn::{Matrix, Dense};
+//! let dense = Dense::new(4, 3, 42);
+//! let h = Matrix::zeros(2, 4);
+//! let logits = dense.forward(&h);
+//! assert_eq!((logits.rows(), logits.cols()), (2, 3));
+//! ```
+
+#![forbid(unsafe_code)]
+// Index-based loops are the clearest notation for the numeric kernels here.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+mod activations;
+mod adam;
+mod dense;
+mod dropout;
+mod error;
+pub mod gradcheck;
+mod lstm;
+mod matrix;
+pub mod serialize;
+
+pub use activations::{sigmoid, softmax_in_place, tanh_f};
+pub use adam::{clip_global_norm, Adam, AdamConfig};
+pub use dense::{softmax_cross_entropy, Dense, DenseCache, SoftmaxLoss};
+pub use dropout::Dropout;
+pub use error::NnError;
+pub use lstm::{LstmCache, LstmLayer, LstmState, StepInput};
+pub use matrix::Matrix;

@@ -1,0 +1,683 @@
+use serde::{Deserialize, Serialize};
+
+use crate::activations::{sigmoid, tanh_f};
+use crate::matrix::Matrix;
+
+/// One timestep of input for one batch element.
+///
+/// The paper feeds one-hot encoded actions and zero-pads short prefixes; a
+/// [`StepInput::Pad`] contributes a zero input vector, while
+/// [`StepInput::Action`] contributes the one-hot vector for that action
+/// (implemented as a row gather from the input weight matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StepInput {
+    /// Zero-vector padding (no input contribution at this step).
+    Pad,
+    /// A one-hot action with the given vocabulary index.
+    Action(usize),
+}
+
+/// Forward-pass cache for [`LstmLayer::forward`], consumed by
+/// [`LstmLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    /// Time-major inputs, `inputs[t][b]`.
+    inputs: Vec<Vec<StepInput>>,
+    /// Activated gates per step, each `batch x 4*hidden`, blocks `[i,f,g,o]`.
+    gates: Vec<Matrix>,
+    /// Cell states per step, each `batch x hidden` (index 0 is after step 0).
+    cells: Vec<Matrix>,
+    /// `tanh(c_t)` per step.
+    tanh_cells: Vec<Matrix>,
+    /// Hidden states per step.
+    hiddens: Vec<Matrix>,
+    batch: usize,
+}
+
+impl LstmCache {
+    /// Hidden states per timestep (`batch x hidden` each).
+    pub fn hiddens(&self) -> &[Matrix] {
+        &self.hiddens
+    }
+
+    /// Number of timesteps in the cached forward pass.
+    pub fn steps(&self) -> usize {
+        self.hiddens.len()
+    }
+
+    /// Batch size of the cached forward pass.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+/// Gradients of the LSTM parameters produced by [`LstmLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// Gradient of the input weights, same shape as `wx`.
+    pub dwx: Matrix,
+    /// Gradient of the recurrent weights, same shape as `wh`.
+    pub dwh: Matrix,
+    /// Gradient of the bias, length `4*hidden`.
+    pub db: Vec<f32>,
+}
+
+/// Running state for incremental, action-by-action inference (the paper's
+/// online regime, §IV-C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmState {
+    h: Vec<f32>,
+    c: Vec<f32>,
+}
+
+impl LstmState {
+    /// Fresh all-zero state for a layer with `hidden` units.
+    pub fn new(hidden: usize) -> Self {
+        LstmState {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
+    }
+
+    /// The current hidden vector.
+    pub fn hidden(&self) -> &[f32] {
+        &self.h
+    }
+}
+
+/// A single LSTM layer unrolled over time, with explicit backpropagation.
+///
+/// Gate blocks are ordered `[input, forget, cell, output]` inside the fused
+/// `4*hidden` axis. The forget-gate bias is initialized to 1.0 (standard
+/// practice to ease gradient flow early in training).
+///
+/// # Example
+///
+/// ```
+/// use ibcm_nn::{LstmLayer, StepInput};
+/// let lstm = LstmLayer::new(10, 8, 1);
+/// // Two timesteps, batch of one: action 3 then padding.
+/// let cache = lstm.forward(&[vec![StepInput::Action(3)], vec![StepInput::Pad]]);
+/// assert_eq!(cache.steps(), 2);
+/// assert_eq!(cache.hiddens()[1].cols(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmLayer {
+    wx: Matrix,
+    wh: Matrix,
+    b: Vec<f32>,
+    input_dim: usize,
+    hidden: usize,
+}
+
+impl LstmLayer {
+    /// Creates a layer for one-hot inputs of dimension `input_dim` with
+    /// `hidden` units, Xavier-initialized from `seed`.
+    pub fn new(input_dim: usize, hidden: usize, seed: u64) -> Self {
+        let wx = Matrix::xavier(input_dim, 4 * hidden, input_dim, hidden, seed ^ 0x51ed);
+        let wh = Matrix::xavier(hidden, 4 * hidden, hidden, hidden, seed ^ 0xa11ce);
+        let mut b = vec![0.0; 4 * hidden];
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0; // forget gate bias
+        }
+        LstmLayer {
+            wx,
+            wh,
+            b,
+            input_dim,
+            hidden,
+        }
+    }
+
+    /// Input (vocabulary) dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of hidden units.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Borrows the parameters as `(wx, wh, bias)`.
+    pub fn params(&self) -> (&Matrix, &Matrix, &[f32]) {
+        (&self.wx, &self.wh, &self.b)
+    }
+
+    /// Mutably borrows the parameters as `(wx, wh, bias)`.
+    pub fn params_mut(&mut self) -> (&mut Matrix, &mut Matrix, &mut Vec<f32>) {
+        (&mut self.wx, &mut self.wh, &mut self.b)
+    }
+
+    /// Runs the layer over a time-major batch: `inputs[t][b]` is the input of
+    /// batch element `b` at step `t`. All inner vectors must share one length
+    /// (the batch size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if batch sizes are inconsistent or an action index is out of
+    /// vocabulary range.
+    pub fn forward(&self, inputs: &[Vec<StepInput>]) -> LstmCache {
+        let batch = inputs.first().map_or(0, Vec::len);
+        let h = self.hidden;
+        let steps = inputs.len();
+        let mut cache = LstmCache {
+            inputs: inputs.to_vec(),
+            gates: Vec::with_capacity(steps),
+            cells: Vec::with_capacity(steps),
+            tanh_cells: Vec::with_capacity(steps),
+            hiddens: Vec::with_capacity(steps),
+            batch,
+        };
+        let mut h_prev = Matrix::zeros(batch, h);
+        let mut c_prev = Matrix::zeros(batch, h);
+        for step_in in inputs {
+            assert_eq!(step_in.len(), batch, "inconsistent batch size");
+            let mut gates = Matrix::zeros(batch, 4 * h);
+            // x_t @ Wx via row gathers (one-hot input).
+            for (bi, inp) in step_in.iter().enumerate() {
+                if let StepInput::Action(a) = *inp {
+                    assert!(a < self.input_dim, "action index {a} out of range");
+                    let wrow = self.wx.row(a);
+                    for (g, &w) in gates.row_mut(bi).iter_mut().zip(wrow.iter()) {
+                        *g += w;
+                    }
+                }
+            }
+            h_prev.matmul_acc_into(&self.wh, &mut gates);
+            gates.add_row_bias(&self.b);
+            // Activate gates in place: [i, f, g, o].
+            let mut c_t = Matrix::zeros(batch, h);
+            let mut tanh_c = Matrix::zeros(batch, h);
+            let mut h_t = Matrix::zeros(batch, h);
+            for bi in 0..batch {
+                let grow = gates.row_mut(bi);
+                for j in 0..h {
+                    grow[j] = sigmoid(grow[j]);
+                    grow[h + j] = sigmoid(grow[h + j]);
+                    grow[2 * h + j] = tanh_f(grow[2 * h + j]);
+                    grow[3 * h + j] = sigmoid(grow[3 * h + j]);
+                }
+                let cp = c_prev.row(bi);
+                let crow = c_t.row_mut(bi);
+                for j in 0..h {
+                    crow[j] = grow[h + j] * cp[j] + grow[j] * grow[2 * h + j];
+                }
+                let trow = tanh_c.row_mut(bi);
+                let hrow = h_t.row_mut(bi);
+                let crow = c_t.row(bi);
+                for j in 0..h {
+                    trow[j] = tanh_f(crow[j]);
+                    hrow[j] = grow[3 * h + j] * trow[j];
+                }
+            }
+            cache.gates.push(gates);
+            cache.cells.push(c_t.clone());
+            cache.tanh_cells.push(tanh_c);
+            cache.hiddens.push(h_t.clone());
+            h_prev = h_t;
+            c_prev = c_t;
+        }
+        cache
+    }
+
+    /// Backpropagates through time. `d_hiddens[t]` is the gradient of the
+    /// loss with respect to the hidden state emitted at step `t` (zero
+    /// matrices for steps without a loss term).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_hiddens.len() != cache.steps()` or shapes disagree.
+    pub fn backward(&self, cache: &LstmCache, d_hiddens: &[Matrix]) -> LstmGrads {
+        assert_eq!(d_hiddens.len(), cache.steps(), "one dh per cached step");
+        let h = self.hidden;
+        let batch = cache.batch;
+        let mut dwx = Matrix::zeros(self.wx.rows(), self.wx.cols());
+        let mut dwh = Matrix::zeros(self.wh.rows(), self.wh.cols());
+        let mut db = vec![0.0f32; 4 * h];
+        let mut dh_next = Matrix::zeros(batch, h);
+        let mut dc_next = Matrix::zeros(batch, h);
+        let zero_h = Matrix::zeros(batch, h);
+        for t in (0..cache.steps()).rev() {
+            let gates = &cache.gates[t];
+            let tanh_c = &cache.tanh_cells[t];
+            let c_prev = if t == 0 { &zero_h } else { &cache.cells[t - 1] };
+            let h_prev = if t == 0 { &zero_h } else { &cache.hiddens[t - 1] };
+            let mut d_gates = Matrix::zeros(batch, 4 * h);
+            let mut dc_prev = Matrix::zeros(batch, h);
+            for bi in 0..batch {
+                let grow = gates.row(bi);
+                let trow = tanh_c.row(bi);
+                let cprow = c_prev.row(bi);
+                let dh_ext = d_hiddens[t].row(bi);
+                let dh_rec = dh_next.row(bi);
+                let dc_rec = dc_next.row(bi);
+                let dgrow = d_gates.row_mut(bi);
+                let dcprow = dc_prev.row_mut(bi);
+                for j in 0..h {
+                    let i_g = grow[j];
+                    let f_g = grow[h + j];
+                    let g_g = grow[2 * h + j];
+                    let o_g = grow[3 * h + j];
+                    let dh = dh_ext[j] + dh_rec[j];
+                    let dc = dc_rec[j] + dh * o_g * (1.0 - trow[j] * trow[j]);
+                    dgrow[3 * h + j] = dh * trow[j] * o_g * (1.0 - o_g);
+                    dgrow[j] = dc * g_g * i_g * (1.0 - i_g);
+                    dgrow[2 * h + j] = dc * i_g * (1.0 - g_g * g_g);
+                    dgrow[h + j] = dc * cprow[j] * f_g * (1.0 - f_g);
+                    dcprow[j] = dc * f_g;
+                }
+            }
+            // Parameter gradients.
+            h_prev.t_matmul_acc_into(&d_gates, &mut dwh);
+            for bi in 0..batch {
+                if let StepInput::Action(a) = cache.inputs[t][bi] {
+                    let dgrow = d_gates.row(bi);
+                    for (w, &d) in dwx.row_mut(a).iter_mut().zip(dgrow.iter()) {
+                        *w += d;
+                    }
+                }
+                for (bacc, &d) in db.iter_mut().zip(d_gates.row(bi).iter()) {
+                    *bacc += d;
+                }
+            }
+            // Recurrent gradient to previous step.
+            dh_next = d_gates.matmul_t(&self.wh);
+            dc_next = dc_prev;
+        }
+        LstmGrads { dwx, dwh, db }
+    }
+
+    /// Runs the layer over a time-major batch of **dense** inputs (each
+    /// `inputs[t]` a `batch x input_dim` matrix) — used by the upper layers
+    /// of a stacked LSTM, whose inputs are the hidden states below rather
+    /// than one-hot actions.
+    ///
+    /// Returns the cache plus a copy of the dense inputs needed by
+    /// [`LstmLayer::backward_dense`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if input shapes are inconsistent with the layer.
+    pub fn forward_dense(&self, inputs: &[Matrix]) -> (LstmCache, Vec<Matrix>) {
+        let batch = inputs.first().map_or(0, Matrix::rows);
+        // Reuse the sparse-path cache by translating each dense step into
+        // pad markers (the dense inputs are carried separately).
+        let pad_inputs: Vec<Vec<StepInput>> = inputs
+            .iter()
+            .map(|m| {
+                assert_eq!(m.cols(), self.input_dim, "dense input width");
+                assert_eq!(m.rows(), batch, "inconsistent batch size");
+                vec![StepInput::Pad; batch]
+            })
+            .collect();
+        let h = self.hidden;
+        let steps = inputs.len();
+        let mut cache = LstmCache {
+            inputs: pad_inputs,
+            gates: Vec::with_capacity(steps),
+            cells: Vec::with_capacity(steps),
+            tanh_cells: Vec::with_capacity(steps),
+            hiddens: Vec::with_capacity(steps),
+            batch,
+        };
+        let mut h_prev = Matrix::zeros(batch, h);
+        let mut c_prev = Matrix::zeros(batch, h);
+        for x_t in inputs {
+            let mut gates = x_t.matmul(&self.wx);
+            h_prev.matmul_acc_into(&self.wh, &mut gates);
+            gates.add_row_bias(&self.b);
+            let mut c_t = Matrix::zeros(batch, h);
+            let mut tanh_c = Matrix::zeros(batch, h);
+            let mut h_t = Matrix::zeros(batch, h);
+            for bi in 0..batch {
+                let grow = gates.row_mut(bi);
+                for j in 0..h {
+                    grow[j] = sigmoid(grow[j]);
+                    grow[h + j] = sigmoid(grow[h + j]);
+                    grow[2 * h + j] = tanh_f(grow[2 * h + j]);
+                    grow[3 * h + j] = sigmoid(grow[3 * h + j]);
+                }
+                let cp = c_prev.row(bi);
+                let crow = c_t.row_mut(bi);
+                for j in 0..h {
+                    crow[j] = grow[h + j] * cp[j] + grow[j] * grow[2 * h + j];
+                }
+                let trow = tanh_c.row_mut(bi);
+                let hrow = h_t.row_mut(bi);
+                let crow = c_t.row(bi);
+                for j in 0..h {
+                    trow[j] = tanh_f(crow[j]);
+                    hrow[j] = grow[3 * h + j] * trow[j];
+                }
+            }
+            cache.gates.push(gates);
+            cache.cells.push(c_t.clone());
+            cache.tanh_cells.push(tanh_c);
+            cache.hiddens.push(h_t.clone());
+            h_prev = h_t;
+            c_prev = c_t;
+        }
+        (cache, inputs.to_vec())
+    }
+
+    /// Backward pass matching [`LstmLayer::forward_dense`]: returns the
+    /// parameter gradients plus the gradients with respect to each step's
+    /// dense input (to be propagated into the layer below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the cached forward pass.
+    pub fn backward_dense(
+        &self,
+        cache: &LstmCache,
+        dense_inputs: &[Matrix],
+        d_hiddens: &[Matrix],
+    ) -> (LstmGrads, Vec<Matrix>) {
+        assert_eq!(d_hiddens.len(), cache.steps(), "one dh per cached step");
+        assert_eq!(dense_inputs.len(), cache.steps(), "one input per step");
+        let h = self.hidden;
+        let batch = cache.batch;
+        let mut dwx = Matrix::zeros(self.wx.rows(), self.wx.cols());
+        let mut dwh = Matrix::zeros(self.wh.rows(), self.wh.cols());
+        let mut db = vec![0.0f32; 4 * h];
+        let mut d_inputs: Vec<Matrix> = (0..cache.steps())
+            .map(|_| Matrix::zeros(batch, self.input_dim))
+            .collect();
+        let mut dh_next = Matrix::zeros(batch, h);
+        let mut dc_next = Matrix::zeros(batch, h);
+        let zero_h = Matrix::zeros(batch, h);
+        for t in (0..cache.steps()).rev() {
+            let gates = &cache.gates[t];
+            let tanh_c = &cache.tanh_cells[t];
+            let c_prev = if t == 0 { &zero_h } else { &cache.cells[t - 1] };
+            let h_prev = if t == 0 { &zero_h } else { &cache.hiddens[t - 1] };
+            let mut d_gates = Matrix::zeros(batch, 4 * h);
+            let mut dc_prev = Matrix::zeros(batch, h);
+            for bi in 0..batch {
+                let grow = gates.row(bi);
+                let trow = tanh_c.row(bi);
+                let cprow = c_prev.row(bi);
+                let dh_ext = d_hiddens[t].row(bi);
+                let dh_rec = dh_next.row(bi);
+                let dc_rec = dc_next.row(bi);
+                let dgrow = d_gates.row_mut(bi);
+                let dcprow = dc_prev.row_mut(bi);
+                for j in 0..h {
+                    let i_g = grow[j];
+                    let f_g = grow[h + j];
+                    let g_g = grow[2 * h + j];
+                    let o_g = grow[3 * h + j];
+                    let dh = dh_ext[j] + dh_rec[j];
+                    let dc = dc_rec[j] + dh * o_g * (1.0 - trow[j] * trow[j]);
+                    dgrow[3 * h + j] = dh * trow[j] * o_g * (1.0 - o_g);
+                    dgrow[j] = dc * g_g * i_g * (1.0 - i_g);
+                    dgrow[2 * h + j] = dc * i_g * (1.0 - g_g * g_g);
+                    dgrow[h + j] = dc * cprow[j] * f_g * (1.0 - f_g);
+                    dcprow[j] = dc * f_g;
+                }
+            }
+            dense_inputs[t].t_matmul_acc_into(&d_gates, &mut dwx);
+            h_prev.t_matmul_acc_into(&d_gates, &mut dwh);
+            for bi in 0..batch {
+                for (bacc, &d) in db.iter_mut().zip(d_gates.row(bi).iter()) {
+                    *bacc += d;
+                }
+            }
+            d_inputs[t] = d_gates.matmul_t(&self.wx);
+            dh_next = d_gates.matmul_t(&self.wh);
+            dc_next = dc_prev;
+        }
+        (LstmGrads { dwx, dwh, db }, d_inputs)
+    }
+
+    /// Advances `state` by one **dense** input vector (single-example online
+    /// inference in the upper layers of a stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes disagree with the layer.
+    pub fn step_dense(&self, state: &mut LstmState, input: &[f32]) {
+        let h = self.hidden;
+        assert_eq!(state.h.len(), h, "state size mismatch");
+        assert_eq!(input.len(), self.input_dim, "dense input width");
+        let mut gates = self.b.clone();
+        for (j, &xv) in input.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            for (g, &w) in gates.iter_mut().zip(self.wx.row(j).iter()) {
+                *g += xv * w;
+            }
+        }
+        for (j, &hv) in state.h.iter().enumerate() {
+            if hv == 0.0 {
+                continue;
+            }
+            for (g, &w) in gates.iter_mut().zip(self.wh.row(j).iter()) {
+                *g += hv * w;
+            }
+        }
+        for j in 0..h {
+            let i_g = sigmoid(gates[j]);
+            let f_g = sigmoid(gates[h + j]);
+            let g_g = tanh_f(gates[2 * h + j]);
+            let o_g = sigmoid(gates[3 * h + j]);
+            state.c[j] = f_g * state.c[j] + i_g * g_g;
+            state.h[j] = o_g * tanh_f(state.c[j]);
+        }
+    }
+
+    /// Advances `state` by one input (single-example online inference) and
+    /// returns nothing; read the new hidden vector via [`LstmState::hidden`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state size does not match the layer, or the action index
+    /// is out of range.
+    pub fn step(&self, state: &mut LstmState, input: StepInput) {
+        let h = self.hidden;
+        assert_eq!(state.h.len(), h, "state size mismatch");
+        let mut gates = self.b.clone();
+        if let StepInput::Action(a) = input {
+            assert!(a < self.input_dim, "action index {a} out of range");
+            for (g, &w) in gates.iter_mut().zip(self.wx.row(a).iter()) {
+                *g += w;
+            }
+        }
+        for (j, &hv) in state.h.iter().enumerate() {
+            if hv == 0.0 {
+                continue;
+            }
+            for (g, &w) in gates.iter_mut().zip(self.wh.row(j).iter()) {
+                *g += hv * w;
+            }
+        }
+        for j in 0..h {
+            let i_g = sigmoid(gates[j]);
+            let f_g = sigmoid(gates[h + j]);
+            let g_g = tanh_f(gates[2 * h + j]);
+            let o_g = sigmoid(gates[3 * h + j]);
+            state.c[j] = f_g * state.c[j] + i_g * g_g;
+            state.h[j] = o_g * tanh_f(state.c[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_inputs() -> Vec<Vec<StepInput>> {
+        vec![
+            vec![StepInput::Action(0), StepInput::Pad],
+            vec![StepInput::Action(2), StepInput::Action(1)],
+            vec![StepInput::Action(1), StepInput::Action(2)],
+        ]
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let lstm = LstmLayer::new(3, 5, 7);
+        let cache = lstm.forward(&tiny_inputs());
+        assert_eq!(cache.steps(), 3);
+        assert_eq!(cache.batch(), 2);
+        for hm in cache.hiddens() {
+            assert_eq!((hm.rows(), hm.cols()), (2, 5));
+        }
+    }
+
+    #[test]
+    fn hidden_values_bounded() {
+        let lstm = LstmLayer::new(4, 6, 3);
+        let cache = lstm.forward(&tiny_inputs());
+        for hm in cache.hiddens() {
+            assert!(hm.as_slice().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn pad_only_input_keeps_state_small_but_defined() {
+        let lstm = LstmLayer::new(3, 4, 11);
+        let cache = lstm.forward(&[vec![StepInput::Pad], vec![StepInput::Pad]]);
+        // With zero input the state is still updated through biases; it must
+        // be finite and identical across identical pad steps' dynamics.
+        for hm in cache.hiddens() {
+            assert!(hm.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn step_matches_forward_unroll() {
+        let lstm = LstmLayer::new(5, 4, 9);
+        let seq = [StepInput::Action(1), StepInput::Action(4), StepInput::Pad, StepInput::Action(0)];
+        let batch: Vec<Vec<StepInput>> = seq.iter().map(|&s| vec![s]).collect();
+        let cache = lstm.forward(&batch);
+        let mut state = LstmState::new(4);
+        for (t, &s) in seq.iter().enumerate() {
+            lstm.step(&mut state, s);
+            let expected = cache.hiddens()[t].row(0);
+            for (a, b) in state.hidden().iter().zip(expected.iter()) {
+                assert!((a - b).abs() < 1e-5, "step {t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let lstm = LstmLayer::new(3, 4, 1);
+        let (_, _, b) = lstm.params();
+        assert!(b[4..8].iter().all(|&v| v == 1.0));
+        assert!(b[0..4].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn forward_rejects_out_of_vocab() {
+        let lstm = LstmLayer::new(3, 4, 1);
+        let _ = lstm.forward(&[vec![StepInput::Action(3)]]);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = LstmLayer::new(6, 5, 123);
+        let b = LstmLayer::new(6, 5, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_forward_matches_sparse_on_one_hot_inputs() {
+        // Feeding explicit one-hot matrices through forward_dense must give
+        // exactly the same hidden states as the sparse one-hot path.
+        let lstm = LstmLayer::new(4, 3, 21);
+        let sparse = vec![
+            vec![StepInput::Action(1), StepInput::Action(3)],
+            vec![StepInput::Action(0), StepInput::Pad],
+        ];
+        let dense: Vec<Matrix> = sparse
+            .iter()
+            .map(|step| {
+                let mut m = Matrix::zeros(2, 4);
+                for (b, &inp) in step.iter().enumerate() {
+                    if let StepInput::Action(a) = inp {
+                        m.set(b, a, 1.0);
+                    }
+                }
+                m
+            })
+            .collect();
+        let sparse_cache = lstm.forward(&sparse);
+        let (dense_cache, _) = lstm.forward_dense(&dense);
+        for (a, b) in sparse_cache.hiddens().iter().zip(dense_cache.hiddens()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn step_dense_matches_forward_dense() {
+        let lstm = LstmLayer::new(3, 4, 33);
+        let inputs: Vec<Matrix> = (0..4)
+            .map(|t| Matrix::from_rows(&[&[0.3 * t as f32, -0.1, 0.7]]))
+            .collect();
+        let (cache, _) = lstm.forward_dense(&inputs);
+        let mut state = LstmState::new(4);
+        for (t, x) in inputs.iter().enumerate() {
+            lstm.step_dense(&mut state, x.row(0));
+            for (a, b) in state.hidden().iter().zip(cache.hiddens()[t].row(0)) {
+                assert!((a - b).abs() < 1e-5, "step {t}");
+            }
+        }
+    }
+
+    /// Finite-difference check of the dense backward pass, including the
+    /// input gradients a stacked LSTM propagates downward.
+    #[test]
+    fn dense_backward_gradcheck() {
+        let lstm = LstmLayer::new(3, 2, 5);
+        let inputs: Vec<Matrix> = (0..3)
+            .map(|t| Matrix::uniform(2, 3, 0.8, 100 + t as u64))
+            .collect();
+        // Loss: sum of squares of the final hidden state.
+        let eval = |l: &LstmLayer, xs: &[Matrix]| -> f32 {
+            let (cache, _) = l.forward_dense(xs);
+            cache
+                .hiddens()
+                .last()
+                .unwrap()
+                .as_slice()
+                .iter()
+                .map(|&v| v * v)
+                .sum()
+        };
+        let (cache, dense) = lstm.forward_dense(&inputs);
+        let mut d_hiddens: Vec<Matrix> = (0..3).map(|_| Matrix::zeros(2, 2)).collect();
+        let last = cache.hiddens().last().unwrap().clone();
+        let dlast = d_hiddens.last_mut().unwrap();
+        for (d, &v) in dlast.as_mut_slice().iter_mut().zip(last.as_slice()) {
+            *d = 2.0 * v;
+        }
+        let (grads, d_inputs) = lstm.backward_dense(&cache, &dense, &d_hiddens);
+
+        // Numeric check on wh.
+        let mut theta: Vec<f32> = lstm.params().1.as_slice().to_vec();
+        let num = crate::gradcheck::numerical_grad(&mut theta, 1e-2, |t| {
+            let mut lc = lstm.clone();
+            lc.params_mut().1.as_mut_slice().copy_from_slice(t);
+            eval(&lc, &inputs)
+        });
+        let err = crate::gradcheck::max_rel_error(grads.dwh.as_slice(), &num, 1e-2);
+        assert!(err < 2e-2, "dense dwh rel error {err}");
+
+        // Numeric check on the first step's input gradient.
+        let mut x0: Vec<f32> = inputs[0].as_slice().to_vec();
+        let num = crate::gradcheck::numerical_grad(&mut x0, 1e-2, |t| {
+            let mut xs = inputs.clone();
+            xs[0] = Matrix::from_vec(2, 3, t.to_vec());
+            eval(&lstm, &xs)
+        });
+        let err = crate::gradcheck::max_rel_error(d_inputs[0].as_slice(), &num, 1e-2);
+        assert!(err < 2e-2, "dense d_input rel error {err}");
+    }
+}

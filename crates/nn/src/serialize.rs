@@ -1,0 +1,149 @@
+//! Compact binary (de)serialization for matrices and parameter bundles.
+//!
+//! Format: little-endian `u32` dimensions followed by raw little-endian
+//! `f32` data. Used by `ibcm-lm` to persist trained language models.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::NnError;
+use crate::matrix::Matrix;
+
+/// Magic bytes guarding parameter bundles.
+pub const MAGIC: &[u8; 4] = b"IBCM";
+
+/// Serializes a matrix into `buf`.
+pub fn write_matrix(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u32_le(m.rows() as u32);
+    buf.put_u32_le(m.cols() as u32);
+    for &v in m.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Deserializes a matrix from `buf`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] if the buffer is truncated.
+pub fn read_matrix(buf: &mut Bytes) -> Result<Matrix, NnError> {
+    if buf.remaining() < 8 {
+        return Err(NnError::Deserialize("matrix header truncated".into()));
+    }
+    let rows = buf.get_u32_le() as usize;
+    let cols = buf.get_u32_le() as usize;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| NnError::Deserialize("matrix size overflow".into()))?;
+    if buf.remaining() < n * 4 {
+        return Err(NnError::Deserialize(format!(
+            "matrix body truncated: need {} bytes, have {}",
+            n * 4,
+            buf.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Serializes an `f32` vector into `buf`.
+pub fn write_vec(buf: &mut BytesMut, v: &[f32]) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v {
+        buf.put_f32_le(x);
+    }
+}
+
+/// Deserializes an `f32` vector from `buf`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] if the buffer is truncated.
+pub fn read_vec(buf: &mut Bytes) -> Result<Vec<f32>, NnError> {
+    if buf.remaining() < 4 {
+        return Err(NnError::Deserialize("vector header truncated".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 4 {
+        return Err(NnError::Deserialize("vector body truncated".into()));
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Writes the bundle magic + version header.
+pub fn write_header(buf: &mut BytesMut, version: u32) {
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(version);
+}
+
+/// Reads and validates the bundle header, returning the version.
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] on bad magic or truncation.
+pub fn read_header(buf: &mut Bytes) -> Result<u32, NnError> {
+    if buf.remaining() < 8 {
+        return Err(NnError::Deserialize("header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(NnError::Deserialize(format!("bad magic {magic:?}")));
+    }
+    Ok(buf.get_u32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_round_trip() {
+        let m = Matrix::uniform(7, 3, 2.0, 99);
+        let mut buf = BytesMut::new();
+        write_matrix(&mut buf, &m);
+        let mut bytes = buf.freeze();
+        let back = read_matrix(&mut bytes).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let v = vec![1.5f32, -2.25, 0.0];
+        let mut buf = BytesMut::new();
+        write_vec(&mut buf, &v);
+        let back = read_vec(&mut buf.freeze()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn truncated_matrix_fails_cleanly() {
+        let m = Matrix::uniform(4, 4, 1.0, 1);
+        let mut buf = BytesMut::new();
+        write_matrix(&mut buf, &m);
+        let mut short = buf.freeze().slice(0..10);
+        assert!(matches!(read_matrix(&mut short), Err(NnError::Deserialize(_))));
+    }
+
+    #[test]
+    fn header_round_trip_and_bad_magic() {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, 3);
+        assert_eq!(read_header(&mut buf.clone().freeze()).unwrap(), 3);
+        let mut bad = Bytes::from_static(b"NOPE\x01\x00\x00\x00");
+        assert!(read_header(&mut bad).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_round_trip() {
+        let m = Matrix::zeros(0, 5);
+        let mut buf = BytesMut::new();
+        write_matrix(&mut buf, &m);
+        let back = read_matrix(&mut buf.freeze()).unwrap();
+        assert_eq!(back.rows(), 0);
+        assert_eq!(back.cols(), 5);
+    }
+}

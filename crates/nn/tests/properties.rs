@@ -1,0 +1,87 @@
+//! Property-based tests for the neural substrate's algebra.
+
+use ibcm_nn::{clip_global_norm, softmax_in_place, Matrix};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A B) C == A (B C) up to float tolerance.
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 5), c in matrix(5, 2)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// A (B + C) == A B + A C.
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 4), b in matrix(4, 3), c in matrix(4, 3)) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let left = a.matmul(&bc);
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Transpose is an involution and matmul_t/t_matmul agree with it.
+    #[test]
+    fn transpose_involution(a in matrix(4, 6)) {
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    /// t_matmul(a, b) == a^T b computed explicitly.
+    #[test]
+    fn t_matmul_agrees(a in matrix(5, 3), b in matrix(5, 4)) {
+        let fast = a.t_matmul(&b);
+        let slow = a.transposed().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax output is always a probability simplex, whatever the logits.
+    #[test]
+    fn softmax_is_simplex(mut logits in prop::collection::vec(-50.0f32..50.0, 1..30)) {
+        softmax_in_place(&mut logits);
+        let total: f32 = logits.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-4, "sum {total}");
+        prop_assert!(logits.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Softmax is shift-invariant.
+    #[test]
+    fn softmax_shift_invariant(base in prop::collection::vec(-5.0f32..5.0, 2..10), shift in -20.0f32..20.0) {
+        let mut a = base.clone();
+        let mut b: Vec<f32> = base.iter().map(|x| x + shift).collect();
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// After clipping, the global norm never exceeds the bound (plus fp fuzz),
+    /// and directions are preserved.
+    #[test]
+    fn clip_bounds_norm(mut g in prop::collection::vec(-100.0f32..100.0, 1..40), max_norm in 0.1f32..10.0) {
+        let orig = g.clone();
+        clip_global_norm(&mut [&mut g], max_norm);
+        let norm: f32 = g.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm <= max_norm * 1.001 + 1e-5);
+        // Direction preserved: components keep their sign.
+        for (a, b) in g.iter().zip(orig.iter()) {
+            prop_assert!(a.signum() == b.signum() || *a == 0.0 || *b == 0.0);
+        }
+    }
+}

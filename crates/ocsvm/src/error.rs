@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors produced while training or using one-class SVMs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OcSvmError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Training vectors had inconsistent dimensions.
+    DimensionMismatch {
+        /// Dimension of the first vector.
+        expected: usize,
+        /// Dimension of the offending vector.
+        found: usize,
+        /// Index of the offending vector.
+        index: usize,
+    },
+    /// A hyperparameter was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for OcSvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OcSvmError::EmptyTrainingSet => write!(f, "training set is empty"),
+            OcSvmError::DimensionMismatch {
+                expected,
+                found,
+                index,
+            } => write!(
+                f,
+                "training vector {index} has dimension {found}, expected {expected}"
+            ),
+            OcSvmError::InvalidConfig(msg) => write!(f, "invalid OC-SVM config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OcSvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(OcSvmError::EmptyTrainingSet.to_string().contains("empty"));
+        let e = OcSvmError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+            index: 7,
+        };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,112 @@
+use ibcm_logsim::ActionId;
+use serde::{Deserialize, Serialize};
+
+/// Turns an action sequence (or prefix) into the fixed-length feature vector
+/// the OC-SVMs consume: a length-normalized bag of actions, optionally with
+/// one extra feature encoding the (log-scaled) session length.
+///
+/// The length feature matters for reproducing the paper's Fig. 6: sessions
+/// much longer than average are rare in training, so every OC-SVM scores
+/// them as outliers — that effect requires length to be visible.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_ocsvm::SessionFeaturizer;
+/// use ibcm_logsim::ActionId;
+/// let f = SessionFeaturizer::new(4, true);
+/// let x = f.features(&[ActionId(0), ActionId(0), ActionId(2)]);
+/// assert_eq!(x.len(), 5);
+/// assert!((x[0] - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionFeaturizer {
+    vocab: usize,
+    include_length: bool,
+}
+
+impl SessionFeaturizer {
+    /// Creates a featurizer for a catalog of `vocab` actions.
+    pub fn new(vocab: usize, include_length: bool) -> Self {
+        SessionFeaturizer {
+            vocab,
+            include_length,
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.vocab + usize::from(self.include_length)
+    }
+
+    /// The bag-of-actions vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Whether the length feature is appended.
+    pub fn includes_length(&self) -> bool {
+        self.include_length
+    }
+
+    /// Featurizes an action sequence. Out-of-vocabulary actions contribute
+    /// nothing to the bag (but still count toward the length).
+    pub fn features(&self, actions: &[ActionId]) -> Vec<f64> {
+        let mut x = vec![0.0f64; self.dim()];
+        if actions.is_empty() {
+            return x;
+        }
+        let inv = 1.0 / actions.len() as f64;
+        for a in actions {
+            if a.index() < self.vocab {
+                x[a.index()] += inv;
+            }
+        }
+        if self.include_length {
+            // log1p keeps the tail informative without dwarfing the bag.
+            x[self.vocab] = (actions.len() as f64).ln_1p() / 10.0f64.ln_1p();
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_sums_to_one_for_in_vocab_sessions() {
+        let f = SessionFeaturizer::new(5, false);
+        let x = f.features(&[ActionId(1), ActionId(2), ActionId(1), ActionId(4)]);
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((x[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_session_is_zero_vector() {
+        let f = SessionFeaturizer::new(3, true);
+        assert!(f.features(&[]).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn out_of_vocab_ignored_in_bag() {
+        let f = SessionFeaturizer::new(2, false);
+        let x = f.features(&[ActionId(0), ActionId(9)]);
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!((x[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_feature_monotone() {
+        let f = SessionFeaturizer::new(2, true);
+        let short = f.features(&[ActionId(0); 5]);
+        let long = f.features(&[ActionId(0); 500]);
+        assert!(long[2] > short[2]);
+    }
+
+    #[test]
+    fn dim_accounts_for_length_flag() {
+        assert_eq!(SessionFeaturizer::new(7, false).dim(), 7);
+        assert_eq!(SessionFeaturizer::new(7, true).dim(), 8);
+    }
+}

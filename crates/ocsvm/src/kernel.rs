@@ -1,0 +1,79 @@
+use serde::{Deserialize, Serialize};
+
+/// Kernel functions for the one-class SVM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Radial basis function `exp(-gamma * ||x - y||^2)` (the standard
+    /// choice for OC-SVM novelty detection).
+    Rbf {
+        /// Bandwidth parameter.
+        gamma: f64,
+    },
+    /// Plain dot product.
+    Linear,
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "kernel arguments must share dimension");
+        match *self {
+            Kernel::Rbf { gamma } => {
+                let sq: f64 = x
+                    .iter()
+                    .zip(y.iter())
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                (-gamma * sq).exp()
+            }
+            Kernel::Linear => x.iter().zip(y.iter()).map(|(&a, &b)| a * b).sum(),
+        }
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::Rbf { gamma: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_self_similarity_is_one() {
+        let k = Kernel::Rbf { gamma: 0.7 };
+        let x = [1.0, -2.0, 0.5];
+        assert!((k.eval(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Kernel::Rbf { gamma: 1.0 };
+        let a = [0.0, 0.0];
+        let near = [0.1, 0.0];
+        let far = [3.0, 0.0];
+        assert!(k.eval(&a, &near) > k.eval(&a, &far));
+        assert!(k.eval(&a, &far) > 0.0);
+    }
+
+    #[test]
+    fn linear_is_dot_product() {
+        let k = Kernel::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn kernels_are_symmetric() {
+        for k in [Kernel::Rbf { gamma: 0.3 }, Kernel::Linear] {
+            let x = [0.2, 0.9, -1.0];
+            let y = [1.5, -0.4, 0.0];
+            assert!((k.eval(&x, &y) - k.eval(&y, &x)).abs() < 1e-12);
+        }
+    }
+}

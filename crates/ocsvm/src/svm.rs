@@ -1,0 +1,362 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::OcSvmError;
+use crate::kernel::Kernel;
+
+/// Hyperparameters of the ν-one-class SVM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OcSvmConfig {
+    /// Upper bound on the fraction of training outliers / lower bound on the
+    /// fraction of support vectors (Schölkopf's ν).
+    pub nu: f64,
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Convergence tolerance on the dual objective improvement per sweep.
+    pub tol: f64,
+    /// Maximum SMO sweeps over the training set.
+    pub max_sweeps: usize,
+    /// RNG seed for partner selection.
+    pub seed: u64,
+}
+
+impl Default for OcSvmConfig {
+    fn default() -> Self {
+        OcSvmConfig {
+            nu: 0.1,
+            kernel: Kernel::Rbf { gamma: 3.0 },
+            tol: 1e-6,
+            max_sweeps: 60,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained ν-one-class SVM: `f(x) = sum_i alpha_i K(x_i, x) - rho`, with
+/// `f(x) >= 0` on the learned support of the data and negative outside.
+///
+/// The dual is solved with pairwise (SMO-style) coordinate descent under the
+/// constraints `0 <= alpha_i <= 1/(nu*l)` and `sum_i alpha_i = 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcSvm {
+    config: OcSvmConfig,
+    support_vectors: Vec<Vec<f64>>,
+    alphas: Vec<f64>,
+    rho: f64,
+    dim: usize,
+}
+
+impl OcSvm {
+    /// Trains on `data` (each row one feature vector).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty training set, inconsistent dimensions,
+    /// or `nu` outside `(0, 1]`.
+    pub fn train(data: &[Vec<f64>], config: &OcSvmConfig) -> Result<Self, OcSvmError> {
+        if data.is_empty() {
+            return Err(OcSvmError::EmptyTrainingSet);
+        }
+        if !(config.nu > 0.0 && config.nu <= 1.0) {
+            return Err(OcSvmError::InvalidConfig(format!(
+                "nu must be in (0, 1], got {}",
+                config.nu
+            )));
+        }
+        let dim = data[0].len();
+        for (i, x) in data.iter().enumerate() {
+            if x.len() != dim {
+                return Err(OcSvmError::DimensionMismatch {
+                    expected: dim,
+                    found: x.len(),
+                    index: i,
+                });
+            }
+        }
+        let l = data.len();
+        let c = 1.0 / (config.nu * l as f64);
+        // Feasible start: alpha_i = 1/l (satisfies both constraints since
+        // 1/l <= 1/(nu*l) for nu <= 1).
+        let mut alphas = vec![1.0 / l as f64; l];
+        let kernel = config.kernel;
+
+        // Output cache f_i = sum_j alpha_j K(x_i, x_j).
+        let krow = |i: usize| -> Vec<f64> {
+            (0..l).map(|j| kernel.eval(&data[i], &data[j])).collect()
+        };
+        let mut f: Vec<f64> = (0..l)
+            .map(|i| {
+                data.iter()
+                    .zip(alphas.iter())
+                    .map(|(xj, &aj)| aj * kernel.eval(&data[i], xj))
+                    .sum()
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for _sweep in 0..config.max_sweeps {
+            let mut max_delta = 0.0f64;
+            for i in 0..l {
+                // Partner: the point with the most different output, found
+                // among a random probe set (cheap second-choice heuristic).
+                let mut j = rng.gen_range(0..l);
+                let mut best_gap = (f[i] - f[j]).abs();
+                for _ in 0..4 {
+                    let cand = rng.gen_range(0..l);
+                    let gap = (f[i] - f[cand]).abs();
+                    if gap > best_gap {
+                        best_gap = gap;
+                        j = cand;
+                    }
+                }
+                if i == j {
+                    continue;
+                }
+                let kii = kernel.eval(&data[i], &data[i]);
+                let kjj = kernel.eval(&data[j], &data[j]);
+                let kij = kernel.eval(&data[i], &data[j]);
+                let eta = kii + kjj - 2.0 * kij;
+                if eta <= 1e-12 {
+                    continue;
+                }
+                let s = alphas[i] + alphas[j];
+                // Unconstrained optimum of the pair sub-problem: the dual
+                // objective restricted to (alpha_i, s - alpha_i) is quadratic
+                // with gradient (f_i - f_j) at the current point.
+                let mut ai_new = alphas[i] - (f[i] - f[j]) / eta;
+                let lo = (s - c).max(0.0);
+                let hi = s.min(c);
+                ai_new = ai_new.clamp(lo, hi);
+                let delta = ai_new - alphas[i];
+                if delta.abs() < 1e-15 {
+                    continue;
+                }
+                let ki = krow(i);
+                let kj = krow(j);
+                alphas[i] = ai_new;
+                alphas[j] = s - ai_new;
+                for t in 0..l {
+                    f[t] += delta * (ki[t] - kj[t]);
+                }
+                max_delta = max_delta.max(delta.abs());
+            }
+            if max_delta < config.tol {
+                break;
+            }
+        }
+
+        // rho: average output over margin support vectors (0 < alpha < C);
+        // fall back to all support vectors if none are strictly inside.
+        let margin: Vec<usize> = (0..l)
+            .filter(|&i| alphas[i] > 1e-9 && alphas[i] < c - 1e-9)
+            .collect();
+        let pool: Vec<usize> = if margin.is_empty() {
+            (0..l).filter(|&i| alphas[i] > 1e-9).collect()
+        } else {
+            margin
+        };
+        let rho = pool.iter().map(|&i| f[i]).sum::<f64>() / pool.len().max(1) as f64;
+
+        // Keep only support vectors.
+        let mut support_vectors = Vec::new();
+        let mut sv_alphas = Vec::new();
+        for i in 0..l {
+            if alphas[i] > 1e-9 {
+                support_vectors.push(data[i].clone());
+                sv_alphas.push(alphas[i]);
+            }
+        }
+        Ok(OcSvm {
+            config: *config,
+            support_vectors,
+            alphas: sv_alphas,
+            rho,
+            dim,
+        })
+    }
+
+    /// Decision score `f(x)`: positive inside the learned region, negative
+    /// outside; larger means more typical of the training cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let k = self.config.kernel;
+        self.support_vectors
+            .iter()
+            .zip(self.alphas.iter())
+            .map(|(sv, &a)| a * k.eval(sv, x))
+            .sum::<f64>()
+            - self.rho
+    }
+
+    /// Binary inlier prediction (`decision(x) >= 0`).
+    pub fn is_inlier(&self, x: &[f64]) -> bool {
+        self.decision(x) >= 0.0
+    }
+
+    /// Number of support vectors retained.
+    pub fn n_support_vectors(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// The offset ρ of the decision function.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Feature dimensionality expected by [`OcSvm::decision`].
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Decomposes the model for persistence:
+    /// `(config, support_vectors, alphas, rho, dim)`.
+    pub fn parts(&self) -> (&OcSvmConfig, &[Vec<f64>], &[f64], f64, usize) {
+        (
+            &self.config,
+            &self.support_vectors,
+            &self.alphas,
+            self.rho,
+            self.dim,
+        )
+    }
+
+    /// Reassembles a model from persisted parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alpha and support-vector counts disagree.
+    pub fn from_parts(
+        config: OcSvmConfig,
+        support_vectors: Vec<Vec<f64>>,
+        alphas: Vec<f64>,
+        rho: f64,
+        dim: usize,
+    ) -> Self {
+        assert_eq!(
+            support_vectors.len(),
+            alphas.len(),
+            "one alpha per support vector"
+        );
+        OcSvm {
+            config,
+            support_vectors,
+            alphas,
+            rho,
+            dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: &[f64], n: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|&c| c + spread * (rng.gen::<f64>() - 0.5))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_inliers_from_far_outliers() {
+        let train = blob(&[0.0, 0.0], 60, 0.4, 1);
+        let svm = OcSvm::train(&train, &OcSvmConfig::default()).unwrap();
+        let inlier_score = svm.decision(&[0.05, -0.02]);
+        let outlier_score = svm.decision(&[4.0, 4.0]);
+        assert!(
+            inlier_score > outlier_score,
+            "inlier {inlier_score} vs outlier {outlier_score}"
+        );
+        assert!(svm.is_inlier(&[0.0, 0.0]));
+        assert!(!svm.is_inlier(&[4.0, 4.0]));
+    }
+
+    #[test]
+    fn nu_controls_training_outlier_fraction() {
+        let train = blob(&[0.0, 0.0], 100, 1.0, 2);
+        for nu in [0.05, 0.3] {
+            let cfg = OcSvmConfig {
+                nu,
+                ..OcSvmConfig::default()
+            };
+            let svm = OcSvm::train(&train, &cfg).unwrap();
+            let outliers = train.iter().filter(|x| !svm.is_inlier(x)).count();
+            let frac = outliers as f64 / train.len() as f64;
+            // nu upper-bounds the outlier fraction (allow slack for the
+            // approximate solver).
+            assert!(
+                frac <= nu + 0.1,
+                "nu={nu}: training outlier fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn alphas_satisfy_constraints() {
+        let train = blob(&[1.0, 2.0], 50, 0.6, 3);
+        let cfg = OcSvmConfig {
+            nu: 0.2,
+            ..OcSvmConfig::default()
+        };
+        let svm = OcSvm::train(&train, &cfg).unwrap();
+        let c = 1.0 / (0.2 * 50.0);
+        let total: f64 = svm.alphas.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum alpha = {total}");
+        assert!(svm.alphas.iter().all(|&a| a >= 0.0 && a <= c + 1e-9));
+    }
+
+    #[test]
+    fn closer_points_score_higher() {
+        let train = blob(&[0.0, 0.0], 80, 0.5, 4);
+        let svm = OcSvm::train(&train, &OcSvmConfig::default()).unwrap();
+        let mut prev = f64::INFINITY;
+        for r in [0.0, 0.5, 1.0, 2.0, 3.0] {
+            let s = svm.decision(&[r, 0.0]);
+            assert!(s <= prev + 1e-9, "score should decay with distance");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(
+            OcSvm::train(&[], &OcSvmConfig::default()).unwrap_err(),
+            OcSvmError::EmptyTrainingSet
+        );
+        let bad_dim = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            OcSvm::train(&bad_dim, &OcSvmConfig::default()),
+            Err(OcSvmError::DimensionMismatch { index: 1, .. })
+        ));
+        let cfg = OcSvmConfig {
+            nu: 0.0,
+            ..OcSvmConfig::default()
+        };
+        assert!(OcSvm::train(&[vec![1.0]], &cfg).is_err());
+    }
+
+    #[test]
+    fn single_point_training_works() {
+        let svm = OcSvm::train(&[vec![1.0, 1.0]], &OcSvmConfig::default()).unwrap();
+        assert!(svm.decision(&[1.0, 1.0]) >= svm.decision(&[0.0, 5.0]));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let train = blob(&[0.0, 0.0], 30, 0.5, 5);
+        let a = OcSvm::train(&train, &OcSvmConfig::default()).unwrap();
+        let b = OcSvm::train(&train, &OcSvmConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

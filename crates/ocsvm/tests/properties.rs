@@ -1,0 +1,78 @@
+//! Property-based tests for the one-class SVM and featurizer.
+
+use ibcm_logsim::ActionId;
+use ibcm_ocsvm::{Kernel, OcSvm, OcSvmConfig, SessionFeaturizer};
+use proptest::prelude::*;
+
+fn blob(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-1.0f64..1.0, dim), n..n + 10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Training succeeds on any non-degenerate blob, the dual constraints
+    /// hold, and decisions are finite everywhere.
+    #[test]
+    fn dual_constraints_hold(data in blob(10, 3), nu in 0.05f64..0.9) {
+        let cfg = OcSvmConfig {
+            nu,
+            max_sweeps: 15,
+            ..OcSvmConfig::default()
+        };
+        let svm = OcSvm::train(&data, &cfg).unwrap();
+        let (_, svs, alphas, rho, dim) = svm.parts();
+        prop_assert_eq!(svs.len(), alphas.len());
+        prop_assert_eq!(dim, 3);
+        let c = 1.0 / (nu * data.len() as f64);
+        let total: f64 = alphas.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum alpha {total}");
+        prop_assert!(alphas.iter().all(|&a| a >= -1e-12 && a <= c + 1e-9));
+        prop_assert!(rho.is_finite());
+        prop_assert!(svm.decision(&[0.0, 0.0, 0.0]).is_finite());
+        prop_assert!(svm.decision(&[100.0, -100.0, 100.0]).is_finite());
+    }
+
+    /// RBF kernel values are always in [0, 1] (0 only via f64 underflow at
+    /// extreme distances) and symmetric.
+    #[test]
+    fn rbf_kernel_bounds(x in prop::collection::vec(-5.0f64..5.0, 4),
+                         y in prop::collection::vec(-5.0f64..5.0, 4),
+                         gamma in 0.01f64..10.0) {
+        let k = Kernel::Rbf { gamma };
+        let v = k.eval(&x, &y);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        prop_assert!((v - k.eval(&y, &x)).abs() < 1e-12);
+    }
+
+    /// With an RBF kernel, the decision score far from the data approaches
+    /// -rho and is never above the score at a support vector... at least it
+    /// must be below the maximum achievable sum of alphas minus rho.
+    #[test]
+    fn faraway_points_score_low(data in blob(12, 2)) {
+        let svm = OcSvm::train(&data, &OcSvmConfig::default()).unwrap();
+        let far = svm.decision(&[1e6, 1e6]);
+        let (_, _, _, rho, _) = svm.parts();
+        // All kernel terms vanish at infinity: f(far) ~ -rho.
+        prop_assert!((far + rho).abs() < 1e-9, "far {far} vs -rho {}", -rho);
+        // And any in-sample point scores at least as high.
+        for x in &data {
+            prop_assert!(svm.decision(x) >= far - 1e-9);
+        }
+    }
+
+    /// Featurizer: output dimension is constant, bag entries in [0, 1],
+    /// independent of action order.
+    #[test]
+    fn featurizer_is_order_insensitive_in_bag(mut actions in prop::collection::vec(0usize..8, 1..30)) {
+        let f = SessionFeaturizer::new(8, false);
+        let a: Vec<ActionId> = actions.iter().map(|&x| ActionId(x)).collect();
+        let before = f.features(&a);
+        actions.sort_unstable();
+        let b: Vec<ActionId> = actions.iter().map(|&x| ActionId(x)).collect();
+        let after = f.features(&b);
+        for (x, y) in before.iter().zip(after.iter()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! `ibcm-patterns` — frequent-pattern mining over action sequences.
+//!
+//! §IV-B of the paper: *"We performed frequent patterns mining for the
+//! discovered clusters and found out that, for example, one of them includes
+//! all the sessions with actions to unlock user's access"* — i.e. pattern
+//! mining is how the discovered clusters are characterized semantically.
+//!
+//! Two miners are provided:
+//!
+//! - [`frequent_itemsets`]: Apriori over the *sets* of actions occurring in
+//!   sessions (order-insensitive signatures),
+//! - [`PrefixSpan`]: sequential patterns (ordered, possibly gapped
+//!   subsequences), the classic PrefixSpan algorithm with projected
+//!   databases.
+//!
+//! Both report support as the number of supporting sessions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod itemsets;
+mod prefixspan;
+
+pub use itemsets::{frequent_itemsets, Itemset};
+pub use prefixspan::{PrefixSpan, SequentialPattern};
+
+use ibcm_logsim::Session;
+
+/// Converts sessions into the `Vec<Vec<usize>>` form both miners consume.
+pub fn sessions_to_sequences(sessions: &[Session]) -> Vec<Vec<usize>> {
+    sessions
+        .iter()
+        .map(|s| s.actions().iter().map(|a| a.index()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_logsim::{ActionId, SessionId, UserId};
+
+    #[test]
+    fn conversion_preserves_order() {
+        let s = Session::new(
+            SessionId(0),
+            UserId(0),
+            0,
+            vec![ActionId(3), ActionId(1), ActionId(3)],
+        );
+        assert_eq!(sessions_to_sequences(&[s]), vec![vec![3, 1, 3]]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests: classical frequent-pattern mining laws must hold
+//! on arbitrary corpora.
+
+use ibcm_patterns::{frequent_itemsets, PrefixSpan};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn corpus() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..8, 1..12), 1..12)
+}
+
+/// Reference support count for a sequential (gapped, ordered) pattern.
+fn seq_support(sequences: &[Vec<usize>], pattern: &[usize]) -> usize {
+    sequences
+        .iter()
+        .filter(|s| {
+            let mut it = s.iter();
+            pattern.iter().all(|p| it.any(|x| x == p))
+        })
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every mined sequential pattern's support matches a brute-force count
+    /// and meets the threshold (soundness).
+    #[test]
+    fn prefixspan_supports_are_exact(seqs in corpus(), min_support in 1usize..4) {
+        let mined = PrefixSpan::new(min_support, 3).mine(&seqs);
+        for p in &mined {
+            prop_assert_eq!(
+                p.support,
+                seq_support(&seqs, &p.items),
+                "pattern {:?}",
+                p.items
+            );
+            prop_assert!(p.support >= min_support);
+        }
+    }
+
+    /// Completeness for length-1 and length-2 patterns: anything frequent
+    /// by brute force is mined.
+    #[test]
+    fn prefixspan_is_complete_for_short_patterns(seqs in corpus()) {
+        let min_support = 2usize;
+        let mined = PrefixSpan::new(min_support, 2).mine(&seqs);
+        let mined_set: BTreeSet<Vec<usize>> = mined.iter().map(|p| p.items.clone()).collect();
+        for a in 0..8 {
+            if seq_support(&seqs, &[a]) >= min_support {
+                prop_assert!(mined_set.contains(&vec![a]), "missing [{a}]");
+            }
+            for b in 0..8 {
+                if seq_support(&seqs, &[a, b]) >= min_support {
+                    prop_assert!(mined_set.contains(&vec![a, b]), "missing [{a},{b}]");
+                }
+            }
+        }
+    }
+
+    /// Itemset supports are exact and anti-monotone.
+    #[test]
+    fn itemset_supports_exact_and_antimonotone(seqs in corpus(), min_support in 1usize..4) {
+        let mined = frequent_itemsets(&seqs, min_support, 3);
+        let transactions: Vec<BTreeSet<usize>> =
+            seqs.iter().map(|s| s.iter().copied().collect()).collect();
+        for set in &mined {
+            let brute = transactions
+                .iter()
+                .filter(|t| set.items.iter().all(|i| t.contains(i)))
+                .count();
+            prop_assert_eq!(set.support, brute, "itemset {:?}", set.items);
+            // Anti-monotonicity against all single-item subsets.
+            for &i in &set.items {
+                let single = transactions.iter().filter(|t| t.contains(&i)).count();
+                prop_assert!(set.support <= single);
+            }
+        }
+    }
+
+    /// No duplicate itemsets in the output.
+    #[test]
+    fn itemsets_are_unique(seqs in corpus()) {
+        let mined = frequent_itemsets(&seqs, 1, 3);
+        let unique: BTreeSet<Vec<usize>> = mined.iter().map(|s| s.items.clone()).collect();
+        prop_assert_eq!(unique.len(), mined.len());
+    }
+}

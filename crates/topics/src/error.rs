@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors produced while fitting topic models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopicsError {
+    /// The corpus was empty or contained only empty documents.
+    EmptyCorpus,
+    /// A document contained a word index outside the configured vocabulary.
+    WordOutOfVocab {
+        /// Index of the offending document.
+        doc: usize,
+        /// The offending word index.
+        word: usize,
+        /// Configured vocabulary size.
+        vocab: usize,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TopicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicsError::EmptyCorpus => write!(f, "corpus has no non-empty documents"),
+            TopicsError::WordOutOfVocab { doc, word, vocab } => write!(
+                f,
+                "document {doc} contains word {word} outside vocabulary of size {vocab}"
+            ),
+            TopicsError::InvalidConfig(msg) => write!(f, "invalid LDA config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(TopicsError::EmptyCorpus.to_string().contains("corpus"));
+        let e = TopicsError::WordOutOfVocab {
+            doc: 1,
+            word: 9,
+            vocab: 5,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,440 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopicsError;
+
+/// Configuration for one LDA run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LdaConfig {
+    /// Number of topics `K`.
+    pub n_topics: usize,
+    /// Vocabulary size `d` (number of distinct actions).
+    pub vocab: usize,
+    /// Symmetric document-topic prior.
+    pub alpha: f64,
+    /// Symmetric topic-word prior.
+    pub beta: f64,
+    /// Gibbs sweeps over the corpus.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        LdaConfig {
+            n_topics: 13,
+            vocab: 300,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Collapsed Gibbs sampler for Latent Dirichlet Allocation (Blei et al.
+/// 2003), the topic model the paper's visual interface is built on.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_topics::{Lda, LdaConfig};
+/// let cfg = LdaConfig { n_topics: 2, vocab: 6, iterations: 30, seed: 7, ..LdaConfig::default() };
+/// let docs = vec![vec![0, 1, 0, 1], vec![4, 5, 4, 5], vec![0, 0, 1]];
+/// let model = Lda::new(cfg).fit(&docs)?;
+/// assert_eq!(model.theta(0).len(), 2);
+/// # Ok::<(), ibcm_topics::TopicsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lda {
+    config: LdaConfig,
+}
+
+/// A fitted LDA model: `phi` (topic-action) and `theta` (document-topic)
+/// matrices — exactly the two matrices the paper feeds to the visualization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicModel {
+    n_topics: usize,
+    vocab: usize,
+    n_docs: usize,
+    /// Row-major `n_topics x vocab`.
+    phi: Vec<f64>,
+    /// Row-major `n_docs x n_topics`.
+    theta: Vec<f64>,
+    perplexity: f64,
+}
+
+impl Lda {
+    /// Creates a sampler with the given configuration.
+    pub fn new(config: LdaConfig) -> Self {
+        Lda { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LdaConfig {
+        &self.config
+    }
+
+    /// Fits the model to `docs` (each document a slice of word indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty corpus, an invalid configuration, or a
+    /// word index `>= vocab`.
+    pub fn fit(&self, docs: &[Vec<usize>]) -> Result<TopicModel, TopicsError> {
+        let LdaConfig {
+            n_topics: k,
+            vocab: d,
+            alpha,
+            beta,
+            iterations,
+            seed,
+        } = self.config;
+        if k == 0 || d == 0 {
+            return Err(TopicsError::InvalidConfig(
+                "n_topics and vocab must be positive".into(),
+            ));
+        }
+        if alpha <= 0.0 || beta <= 0.0 {
+            return Err(TopicsError::InvalidConfig("priors must be positive".into()));
+        }
+        let m = docs.len();
+        let total_tokens: usize = docs.iter().map(Vec::len).sum();
+        if total_tokens == 0 {
+            return Err(TopicsError::EmptyCorpus);
+        }
+        for (di, doc) in docs.iter().enumerate() {
+            if let Some(&w) = doc.iter().find(|&&w| w >= d) {
+                return Err(TopicsError::WordOutOfVocab {
+                    doc: di,
+                    word: w,
+                    vocab: d,
+                });
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Count tables.
+        let mut n_kw = vec![0i64; k * d]; // topic-word
+        let mut n_k = vec![0i64; k]; // topic totals
+        let mut n_dk = vec![0i64; m * k]; // doc-topic
+        // Token topic assignments.
+        let mut z: Vec<Vec<usize>> = docs
+            .iter()
+            .map(|doc| (0..doc.len()).map(|_| rng.gen_range(0..k)).collect())
+            .collect();
+        for (di, doc) in docs.iter().enumerate() {
+            for (ti, &w) in doc.iter().enumerate() {
+                let t = z[di][ti];
+                n_kw[t * d + w] += 1;
+                n_k[t] += 1;
+                n_dk[di * k + t] += 1;
+            }
+        }
+
+        let beta_sum = beta * d as f64;
+        let mut probs = vec![0.0f64; k];
+        for _sweep in 0..iterations {
+            for (di, doc) in docs.iter().enumerate() {
+                for (ti, &w) in doc.iter().enumerate() {
+                    let old = z[di][ti];
+                    n_kw[old * d + w] -= 1;
+                    n_k[old] -= 1;
+                    n_dk[di * k + old] -= 1;
+
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        let p = (n_dk[di * k + t] as f64 + alpha)
+                            * (n_kw[t * d + w] as f64 + beta)
+                            / (n_k[t] as f64 + beta_sum);
+                        probs[t] = p;
+                        total += p;
+                    }
+                    let mut x = rng.gen::<f64>() * total;
+                    let mut new = k - 1;
+                    for (t, &p) in probs.iter().enumerate() {
+                        x -= p;
+                        if x < 0.0 {
+                            new = t;
+                            break;
+                        }
+                    }
+                    z[di][ti] = new;
+                    n_kw[new * d + w] += 1;
+                    n_k[new] += 1;
+                    n_dk[di * k + new] += 1;
+                }
+            }
+        }
+
+        // Posterior means.
+        let mut phi = vec![0.0f64; k * d];
+        for t in 0..k {
+            let denom = n_k[t] as f64 + beta_sum;
+            for w in 0..d {
+                phi[t * d + w] = (n_kw[t * d + w] as f64 + beta) / denom;
+            }
+        }
+        let alpha_sum = alpha * k as f64;
+        let mut theta = vec![0.0f64; m * k];
+        for (di, doc) in docs.iter().enumerate() {
+            let denom = doc.len() as f64 + alpha_sum;
+            for t in 0..k {
+                theta[di * k + t] = (n_dk[di * k + t] as f64 + alpha) / denom;
+            }
+        }
+
+        // Training perplexity.
+        let mut loglik = 0.0;
+        for (di, doc) in docs.iter().enumerate() {
+            for &w in doc {
+                let mut p = 0.0;
+                for t in 0..k {
+                    p += theta[di * k + t] * phi[t * d + w];
+                }
+                loglik += p.max(1e-300).ln();
+            }
+        }
+        let perplexity = (-loglik / total_tokens as f64).exp();
+
+        Ok(TopicModel {
+            n_topics: k,
+            vocab: d,
+            n_docs: m,
+            phi,
+            theta,
+            perplexity,
+        })
+    }
+}
+
+impl TopicModel {
+    /// Number of topics.
+    pub fn n_topics(&self) -> usize {
+        self.n_topics
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Topic-action distribution of topic `t` (row of the topic-action
+    /// matrix shown in the visual interface).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= n_topics`.
+    pub fn phi(&self, t: usize) -> &[f64] {
+        &self.phi[t * self.vocab..(t + 1) * self.vocab]
+    }
+
+    /// Document-topic distribution of document `di`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `di >= n_docs`.
+    pub fn theta(&self, di: usize) -> &[f64] {
+        &self.theta[di * self.n_topics..(di + 1) * self.n_topics]
+    }
+
+    /// Training-set perplexity (lower is better).
+    pub fn perplexity(&self) -> f64 {
+        self.perplexity
+    }
+
+    /// The `top_n` most probable actions of topic `t`, most probable first.
+    pub fn top_actions(&self, t: usize, top_n: usize) -> Vec<(usize, f64)> {
+        let mut pairs: Vec<(usize, f64)> =
+            self.phi(t).iter().copied().enumerate().collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        pairs.truncate(top_n);
+        pairs
+    }
+
+    /// Dominant topic of document `di`.
+    pub fn dominant_topic(&self, di: usize) -> usize {
+        let th = self.theta(di);
+        th.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Infers a theta vector for an unseen document by folding in: a few
+    /// Gibbs-like responsibility updates against the fixed `phi`.
+    pub fn infer_theta(&self, doc: &[usize], iterations: usize) -> Vec<f64> {
+        let k = self.n_topics;
+        let mut theta = vec![1.0 / k as f64; k];
+        if doc.is_empty() {
+            return theta;
+        }
+        for _ in 0..iterations.max(1) {
+            let mut counts = vec![0.0f64; k];
+            for &w in doc {
+                if w >= self.vocab {
+                    continue; // unseen action: no evidence
+                }
+                let mut resp = vec![0.0f64; k];
+                let mut total = 0.0;
+                for t in 0..k {
+                    let r = theta[t] * self.phi[t * self.vocab + w];
+                    resp[t] = r;
+                    total += r;
+                }
+                if total > 0.0 {
+                    for t in 0..k {
+                        counts[t] += resp[t] / total;
+                    }
+                }
+            }
+            let denom: f64 = counts.iter().sum::<f64>() + 0.1 * k as f64;
+            for t in 0..k {
+                theta[t] = (counts[t] + 0.1) / denom;
+            }
+        }
+        theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_corpus() -> Vec<Vec<usize>> {
+        // Words 0-2 co-occur; words 3-5 co-occur.
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            if i % 2 == 0 {
+                docs.push(vec![0, 1, 2, 0, 1, 2, 0]);
+            } else {
+                docs.push(vec![3, 4, 5, 3, 4, 5, 5]);
+            }
+        }
+        docs
+    }
+
+    fn fit_two_topics(seed: u64) -> TopicModel {
+        Lda::new(LdaConfig {
+            n_topics: 2,
+            vocab: 6,
+            iterations: 80,
+            seed,
+            ..LdaConfig::default()
+        })
+        .fit(&two_cluster_corpus())
+        .unwrap()
+    }
+
+    #[test]
+    fn phi_rows_are_distributions() {
+        let m = fit_two_topics(1);
+        for t in 0..2 {
+            let s: f64 = m.phi(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "phi row sums to {s}");
+            assert!(m.phi(t).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn theta_rows_are_distributions() {
+        let m = fit_two_topics(2);
+        for di in 0..m.n_docs() {
+            let s: f64 = m.theta(di).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_two_planted_topics() {
+        let m = fit_two_topics(3);
+        // Each topic should concentrate on one word block.
+        let t0_block0: f64 = m.phi(0)[0..3].iter().sum();
+        let t1_block0: f64 = m.phi(1)[0..3].iter().sum();
+        let (lo, hi) = if t0_block0 > t1_block0 {
+            (t1_block0, t0_block0)
+        } else {
+            (t0_block0, t1_block0)
+        };
+        assert!(hi > 0.9, "one topic should own block 0, got {hi}");
+        assert!(lo < 0.1, "other topic should avoid block 0, got {lo}");
+    }
+
+    #[test]
+    fn documents_assigned_to_their_topic() {
+        let m = fit_two_topics(4);
+        let d0 = m.dominant_topic(0); // block-0 doc
+        let d1 = m.dominant_topic(1); // block-1 doc
+        assert_ne!(d0, d1);
+        // All even docs share d0, all odd share d1.
+        for di in 0..m.n_docs() {
+            let expected = if di % 2 == 0 { d0 } else { d1 };
+            assert_eq!(m.dominant_topic(di), expected, "doc {di}");
+        }
+    }
+
+    #[test]
+    fn perplexity_better_than_uniform() {
+        let m = fit_two_topics(5);
+        assert!(m.perplexity() < 6.0, "perplexity {} vs uniform 6", m.perplexity());
+        assert!(m.perplexity() >= 1.0);
+    }
+
+    #[test]
+    fn infer_theta_matches_training_assignment() {
+        let m = fit_two_topics(6);
+        let t_block0 = m.dominant_topic(0);
+        let inferred = m.infer_theta(&[0, 1, 2, 1, 0], 10);
+        let arg = inferred
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(arg, t_block0);
+        let s: f64 = inferred.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infer_theta_handles_unseen_and_empty() {
+        let m = fit_two_topics(7);
+        let th = m.infer_theta(&[], 5);
+        assert!((th.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let th = m.infer_theta(&[99, 100], 5); // out-of-vocab only
+        assert!((th.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let cfg = LdaConfig {
+            n_topics: 2,
+            vocab: 3,
+            iterations: 5,
+            seed: 0,
+            ..LdaConfig::default()
+        };
+        assert_eq!(Lda::new(cfg).fit(&[]).unwrap_err(), TopicsError::EmptyCorpus);
+        assert!(matches!(
+            Lda::new(cfg).fit(&[vec![5]]),
+            Err(TopicsError::WordOutOfVocab { .. })
+        ));
+        let bad = LdaConfig { n_topics: 0, ..cfg };
+        assert!(Lda::new(bad).fit(&[vec![0]]).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = fit_two_topics(9);
+        let b = fit_two_topics(9);
+        assert_eq!(a, b);
+    }
+}

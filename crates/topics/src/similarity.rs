@@ -1,0 +1,99 @@
+/// Kullback–Leibler divergence `KL(p || q)` in nats.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    p.iter()
+        .zip(q.iter())
+        .filter(|(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| pi * (pi / qi.max(1e-300)).ln())
+        .sum()
+}
+
+/// Jensen–Shannon divergence between two distributions — the symmetric,
+/// bounded topic-similarity measure used to lay topics out in the t-SNE
+/// projection view and to weight chord-diagram links.
+///
+/// Returns a value in `[0, ln 2]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let a = [1.0, 0.0];
+/// let b = [0.0, 1.0];
+/// let d = ibcm_topics::js_divergence(&a, &b);
+/// assert!((d - std::f64::consts::LN_2).abs() < 1e-12);
+/// ```
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    let m: Vec<f64> = p.iter().zip(q.iter()).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Pairwise Jensen–Shannon distance matrix (square roots of divergences, a
+/// proper metric) for a set of topic distributions.
+pub fn topic_distance_matrix(topics: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = topics.len();
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = js_divergence(&topics[i], &topics[j]).max(0.0).sqrt();
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_nonnegative() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.3, 0.6];
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert!(kl_divergence(&q, &p) > 0.0);
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded() {
+        let p = [0.9, 0.1, 0.0];
+        let q = [0.2, 0.3, 0.5];
+        let d1 = js_divergence(&p, &q);
+        let d2 = js_divergence(&q, &p);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0 && d1 <= std::f64::consts::LN_2 + 1e-12);
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let topics = vec![
+            vec![0.5, 0.5, 0.0],
+            vec![0.0, 0.5, 0.5],
+            vec![1.0, 0.0, 0.0],
+        ];
+        let d = topic_distance_matrix(&topics);
+        for i in 0..3 {
+            assert_eq!(d[i][i], 0.0);
+            for j in 0..3 {
+                assert!((d[i][j] - d[j][i]).abs() < 1e-12);
+            }
+        }
+        // Triangle inequality for this small case.
+        assert!(d[0][2] <= d[0][1] + d[1][2] + 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests: LDA posteriors are valid distributions on any
+//! corpus, and the similarity measures respect their bounds.
+
+use ibcm_topics::{js_divergence, kl_divergence, Lda, LdaConfig};
+use proptest::prelude::*;
+
+fn corpus(vocab: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0..vocab, 1..15), 1..12)
+}
+
+fn simplex(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, n).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        v.iter_mut().for_each(|x| *x /= s);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// phi rows and theta rows are probability simplexes for any corpus.
+    #[test]
+    fn lda_posteriors_are_distributions(docs in corpus(8), k in 1usize..5, seed in 0u64..50) {
+        let cfg = LdaConfig {
+            n_topics: k,
+            vocab: 8,
+            iterations: 10,
+            seed,
+            ..LdaConfig::default()
+        };
+        let model = Lda::new(cfg).fit(&docs).unwrap();
+        for t in 0..k {
+            let s: f64 = model.phi(t).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(model.phi(t).iter().all(|&p| p > 0.0));
+        }
+        for d in 0..model.n_docs() {
+            let s: f64 = model.theta(d).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+        prop_assert!(model.perplexity() >= 1.0);
+        prop_assert!(model.perplexity().is_finite());
+    }
+
+    /// Folding in an unseen document always yields a simplex.
+    #[test]
+    fn infer_theta_is_simplex(docs in corpus(6), probe in prop::collection::vec(0usize..10, 0..20)) {
+        let cfg = LdaConfig {
+            n_topics: 3,
+            vocab: 6,
+            iterations: 8,
+            seed: 1,
+            ..LdaConfig::default()
+        };
+        let model = Lda::new(cfg).fit(&docs).unwrap();
+        let theta = model.infer_theta(&probe, 5);
+        let s: f64 = theta.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(theta.iter().all(|&p| p >= 0.0));
+    }
+
+    /// JS divergence: symmetric, bounded by ln 2, zero iff identical.
+    #[test]
+    fn js_properties(p in simplex(6), q in simplex(6)) {
+        let d_pq = js_divergence(&p, &q);
+        let d_qp = js_divergence(&q, &p);
+        prop_assert!((d_pq - d_qp).abs() < 1e-12);
+        prop_assert!(d_pq >= -1e-12);
+        prop_assert!(d_pq <= std::f64::consts::LN_2 + 1e-12);
+        prop_assert!(js_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    /// KL is non-negative (Gibbs' inequality) on full-support simplexes.
+    #[test]
+    fn kl_nonnegative(p in simplex(5), q in simplex(5)) {
+        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+    }
+}

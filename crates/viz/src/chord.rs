@@ -1,0 +1,145 @@
+use ibcm_topics::{Ensemble, TopicId};
+use serde::{Deserialize, Serialize};
+
+/// A link between two topics in the chord diagram: the more probability
+/// mass the topics share over the same actions, the thicker the link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChordLink {
+    /// First endpoint.
+    pub a: TopicId,
+    /// Second endpoint.
+    pub b: TopicId,
+    /// Number of actions the two topics share (both above the threshold).
+    pub shared_actions: usize,
+    /// Shared probability mass `sum_w min(phi_a(w), phi_b(w))`.
+    pub weight: f64,
+}
+
+/// The topic chord diagram (bottom-left view of the paper's Fig. 1): outer
+/// fans are topics (fan length = number of prominent actions), links encode
+/// shared actions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChordDiagramView {
+    /// Fan size per topic: number of actions above the threshold.
+    pub fan_sizes: Vec<(TopicId, usize)>,
+    /// Links with at least one shared action, strongest first.
+    pub links: Vec<ChordLink>,
+}
+
+impl ChordDiagramView {
+    /// Builds the diagram for a subset of topics (pass all ids for the full
+    /// view). An action "belongs to" a topic when its probability is at
+    /// least `min_prob`.
+    pub fn compute(ensemble: &Ensemble, selection: &[TopicId], min_prob: f64) -> Self {
+        let owned: Vec<(TopicId, Vec<usize>)> = selection
+            .iter()
+            .map(|&tid| {
+                let t = &ensemble.topics()[tid.index()];
+                let acts: Vec<usize> = t
+                    .distribution
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| p >= min_prob)
+                    .map(|(a, _)| a)
+                    .collect();
+                (tid, acts)
+            })
+            .collect();
+        let fan_sizes = owned.iter().map(|(t, a)| (*t, a.len())).collect();
+        let mut links = Vec::new();
+        for i in 0..owned.len() {
+            for j in (i + 1)..owned.len() {
+                let (ta, acts_a) = &owned[i];
+                let (tb, acts_b) = &owned[j];
+                let shared: Vec<usize> = acts_a
+                    .iter()
+                    .filter(|a| acts_b.contains(a))
+                    .copied()
+                    .collect();
+                if shared.is_empty() {
+                    continue;
+                }
+                let da = &ensemble.topics()[ta.index()].distribution;
+                let db = &ensemble.topics()[tb.index()].distribution;
+                let weight: f64 = da
+                    .iter()
+                    .zip(db.iter())
+                    .map(|(&x, &y)| x.min(y))
+                    .sum();
+                links.push(ChordLink {
+                    a: *ta,
+                    b: *tb,
+                    shared_actions: shared.len(),
+                    weight,
+                });
+            }
+        }
+        links.sort_by(|x, y| {
+            y.weight
+                .partial_cmp(&x.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ChordDiagramView { fan_sizes, links }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_topics::EnsembleConfig;
+
+    fn ensemble() -> Ensemble {
+        // Three blocks, two of which share word 2.
+        let docs: Vec<Vec<usize>> = (0..30)
+            .map(|i| match i % 3 {
+                0 => vec![0, 1, 2, 0, 1],
+                1 => vec![2, 3, 2, 3, 2],
+                _ => vec![4, 5, 4, 5, 4],
+            })
+            .collect();
+        let cfg = EnsembleConfig {
+            topic_counts: vec![3],
+            runs_per_count: 1,
+            iterations: 50,
+            ..EnsembleConfig::standard(6, 17)
+        };
+        Ensemble::fit(&cfg, &docs).unwrap()
+    }
+
+    #[test]
+    fn fans_cover_selection() {
+        let ens = ensemble();
+        let all: Vec<TopicId> = ens.topics().iter().map(|t| t.id).collect();
+        let view = ChordDiagramView::compute(&ens, &all, 0.05);
+        assert_eq!(view.fan_sizes.len(), 3);
+        assert!(view.fan_sizes.iter().all(|&(_, n)| n >= 1));
+    }
+
+    #[test]
+    fn links_sorted_by_weight() {
+        let ens = ensemble();
+        let all: Vec<TopicId> = ens.topics().iter().map(|t| t.id).collect();
+        let view = ChordDiagramView::compute(&ens, &all, 0.02);
+        for w in view.links.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+    }
+
+    #[test]
+    fn empty_selection_empty_view() {
+        let ens = ensemble();
+        let view = ChordDiagramView::compute(&ens, &[], 0.05);
+        assert!(view.fan_sizes.is_empty());
+        assert!(view.links.is_empty());
+    }
+
+    #[test]
+    fn shared_weight_bounded_by_one() {
+        let ens = ensemble();
+        let all: Vec<TopicId> = ens.topics().iter().map(|t| t.id).collect();
+        let view = ChordDiagramView::compute(&ens, &all, 0.02);
+        for l in &view.links {
+            assert!(l.weight >= 0.0 && l.weight <= 1.0 + 1e-9);
+        }
+    }
+}

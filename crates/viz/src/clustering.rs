@@ -1,0 +1,196 @@
+use ibcm_logsim::ClusterId;
+use ibcm_topics::{Ensemble, TopicId};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of the informed clustering step: a partition of the
+/// historical documents (sessions) into behavior clusters `G_1..G_k`, each
+/// defined by a group of ensemble topics the expert selected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    topic_groups: Vec<Vec<TopicId>>,
+    assignment: Vec<ClusterId>,
+}
+
+impl Clustering {
+    /// Builds a clustering by assigning every document to the topic group
+    /// holding the largest share of its document-topic mass (summed across
+    /// all ensemble runs contributing topics to the group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty or contains an empty group.
+    pub fn from_topic_groups(ensemble: &Ensemble, groups: Vec<Vec<TopicId>>) -> Self {
+        assert!(!groups.is_empty(), "need at least one topic group");
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "topic groups must be non-empty"
+        );
+        let n_docs = ensemble.runs().first().map_or(0, |m| m.n_docs());
+        let mut assignment = Vec::with_capacity(n_docs);
+        for di in 0..n_docs {
+            let mut best = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for (gi, group) in groups.iter().enumerate() {
+                let score = Self::group_score(ensemble, di, group);
+                if score > best_score {
+                    best_score = score;
+                    best = gi;
+                }
+            }
+            assignment.push(ClusterId(best));
+        }
+        Clustering {
+            topic_groups: groups,
+            assignment,
+        }
+    }
+
+    /// Document score of a topic group: total theta mass the document puts
+    /// on the group's topics, across all contributing runs.
+    pub fn group_score(ensemble: &Ensemble, doc: usize, group: &[TopicId]) -> f64 {
+        group
+            .iter()
+            .map(|&tid| {
+                let topic = &ensemble.topics()[tid.index()];
+                ensemble.runs()[topic.run].theta(doc)[topic.local_index]
+            })
+            .sum()
+    }
+
+    /// Wraps an externally computed assignment (ablations: k-means, random,
+    /// ground truth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment index is `>= n_clusters`.
+    pub fn from_assignment(assignment: Vec<ClusterId>, n_clusters: usize) -> Self {
+        assert!(
+            assignment.iter().all(|c| c.index() < n_clusters),
+            "assignment out of range"
+        );
+        Clustering {
+            topic_groups: vec![Vec::new(); n_clusters],
+            assignment,
+        }
+    }
+
+    /// Number of clusters `k`.
+    pub fn n_clusters(&self) -> usize {
+        self.topic_groups.len()
+    }
+
+    /// Per-document cluster assignment (document order of the ensemble's
+    /// corpus).
+    pub fn assignment(&self) -> &[ClusterId] {
+        &self.assignment
+    }
+
+    /// The topic groups defining each cluster (empty for wrapped external
+    /// assignments).
+    pub fn topic_groups(&self) -> &[Vec<TopicId>] {
+        &self.topic_groups
+    }
+
+    /// Document indices belonging to `cluster`.
+    pub fn members(&self, cluster: ClusterId) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == cluster)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Cluster sizes, indexed by cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_clusters()];
+        for c in &self.assignment {
+            sizes[c.index()] += 1;
+        }
+        sizes
+    }
+
+    /// Clusters ordered by ascending size (the paper sorts its per-cluster
+    /// figures this way).
+    pub fn by_ascending_size(&self) -> Vec<ClusterId> {
+        let sizes = self.sizes();
+        let mut order: Vec<usize> = (0..self.n_clusters()).collect();
+        order.sort_by_key(|&c| sizes[c]);
+        order.into_iter().map(ClusterId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_topics::EnsembleConfig;
+
+    fn ensemble() -> Ensemble {
+        let docs: Vec<Vec<usize>> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 0, 1, 0]
+                } else {
+                    vec![2, 3, 2, 3, 2]
+                }
+            })
+            .collect();
+        let cfg = EnsembleConfig {
+            topic_counts: vec![2],
+            runs_per_count: 2,
+            iterations: 50,
+            ..EnsembleConfig::standard(4, 23)
+        };
+        Ensemble::fit(&cfg, &docs).unwrap()
+    }
+
+    #[test]
+    fn groups_partition_documents() {
+        let ens = ensemble();
+        // Group topics by whether they favor word 0 or word 2.
+        let mut g0 = Vec::new();
+        let mut g1 = Vec::new();
+        for t in ens.topics() {
+            if t.distribution[0] + t.distribution[1] > t.distribution[2] + t.distribution[3] {
+                g0.push(t.id);
+            } else {
+                g1.push(t.id);
+            }
+        }
+        let clustering = Clustering::from_topic_groups(&ens, vec![g0, g1]);
+        assert_eq!(clustering.assignment().len(), 20);
+        // Even documents together, odd documents together.
+        let even = clustering.assignment()[0];
+        let odd = clustering.assignment()[1];
+        assert_ne!(even, odd);
+        for (i, &c) in clustering.assignment().iter().enumerate() {
+            assert_eq!(c, if i % 2 == 0 { even } else { odd }, "doc {i}");
+        }
+        let sizes = clustering.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 20);
+        assert_eq!(sizes, vec![10, 10]);
+    }
+
+    #[test]
+    fn members_match_assignment() {
+        let ens = ensemble();
+        let all: Vec<TopicId> = ens.topics().iter().map(|t| t.id).collect();
+        let clustering = Clustering::from_topic_groups(&ens, vec![all]);
+        assert_eq!(clustering.members(ClusterId(0)).len(), 20);
+    }
+
+    #[test]
+    fn ascending_order_is_sorted() {
+        let c = Clustering::from_assignment(
+            vec![ClusterId(0), ClusterId(1), ClusterId(1), ClusterId(1)],
+            2,
+        );
+        assert_eq!(c.by_ascending_size(), vec![ClusterId(0), ClusterId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment out of range")]
+    fn bad_external_assignment_panics() {
+        let _ = Clustering::from_assignment(vec![ClusterId(5)], 2);
+    }
+}

@@ -1,0 +1,432 @@
+use ibcm_logsim::ActionCatalog;
+use ibcm_topics::{Ensemble, TopicId};
+use serde::{Deserialize, Serialize};
+
+use crate::chord::ChordDiagramView;
+use crate::clustering::Clustering;
+use crate::matrix_view::TopicActionMatrixView;
+use crate::tsne::{TopicProjectionView, TsneConfig};
+
+/// One interaction the expert performed, recorded for auditability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ExpertOp {
+    /// Brushed a rectangle in the projection view, selecting topics.
+    Brush {
+        /// Topics captured by the brush.
+        selected: Vec<TopicId>,
+    },
+    /// Promoted the current selection to a new topic group.
+    CreateGroup {
+        /// Index of the created group.
+        group: usize,
+        /// The group's topics.
+        topics: Vec<TopicId>,
+    },
+    /// Removed a topic from a group (judged unrepresentative).
+    RemoveTopic {
+        /// Affected group.
+        group: usize,
+        /// Removed topic.
+        topic: TopicId,
+    },
+    /// Merged two groups.
+    MergeGroups {
+        /// Group kept.
+        into: usize,
+        /// Group dissolved.
+        from: usize,
+    },
+    /// Dropped a whole group for insufficient coverage.
+    DropGroup {
+        /// Dropped group index.
+        group: usize,
+        /// Its session count at the time.
+        size: usize,
+    },
+    /// Locked the groups in and produced the clustering.
+    Finalize {
+        /// Number of final clusters.
+        clusters: usize,
+    },
+}
+
+/// An interactive clustering session over an LDA [`Ensemble`] — the
+/// programmatic equivalent of the paper's visual interface workflow.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_topics::{Ensemble, EnsembleConfig};
+/// use ibcm_viz::{ExpertSession, TsneConfig};
+/// let docs = vec![vec![0, 1, 0], vec![2, 3, 2], vec![0, 1, 1], vec![3, 2, 3]];
+/// let ens = Ensemble::fit(
+///     &EnsembleConfig { topic_counts: vec![2], runs_per_count: 1, iterations: 20,
+///                       ..EnsembleConfig::standard(4, 1) },
+///     &docs,
+/// ).unwrap();
+/// let mut session = ExpertSession::new(&ens, &TsneConfig { iterations: 50, ..TsneConfig::default() });
+/// let all: Vec<_> = ens.topics().iter().map(|t| t.id).collect();
+/// session.create_group(all);
+/// let clustering = session.finalize();
+/// assert_eq!(clustering.n_clusters(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ExpertSession<'a> {
+    ensemble: &'a Ensemble,
+    projection: TopicProjectionView,
+    groups: Vec<Vec<TopicId>>,
+    log: Vec<ExpertOp>,
+}
+
+impl<'a> ExpertSession<'a> {
+    /// Opens a session: computes the projection view the expert would see.
+    pub fn new(ensemble: &'a Ensemble, tsne: &TsneConfig) -> Self {
+        ExpertSession {
+            ensemble,
+            projection: TopicProjectionView::compute(ensemble, tsne),
+            groups: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The projection view (Fig. 1, top left).
+    pub fn projection(&self) -> &TopicProjectionView {
+        &self.projection
+    }
+
+    /// The topic-action matrix view (Fig. 1, right).
+    pub fn matrix_view(&self, catalog: &ActionCatalog, min_prob: f64) -> TopicActionMatrixView {
+        TopicActionMatrixView::compute(self.ensemble, catalog, min_prob)
+    }
+
+    /// The chord diagram for a topic selection (Fig. 1, bottom left).
+    pub fn chord_view(&self, selection: &[TopicId], min_prob: f64) -> ChordDiagramView {
+        ChordDiagramView::compute(self.ensemble, selection, min_prob)
+    }
+
+    /// Brush-selects topics in the projection and logs the interaction.
+    pub fn brush(&mut self, x0: f64, y0: f64, x1: f64, y1: f64) -> Vec<TopicId> {
+        let selected = self.projection.brush(x0, y0, x1, y1);
+        self.log.push(ExpertOp::Brush {
+            selected: selected.clone(),
+        });
+        selected
+    }
+
+    /// The medoid of a topic group — highlighted by the interface for
+    /// closer inspection (§III).
+    pub fn medoid(&self, group: &[TopicId]) -> Option<TopicId> {
+        self.ensemble.medoid(group)
+    }
+
+    /// Creates a new topic group from a selection; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection is empty.
+    pub fn create_group(&mut self, topics: Vec<TopicId>) -> usize {
+        assert!(!topics.is_empty(), "cannot create an empty group");
+        let group = self.groups.len();
+        self.log.push(ExpertOp::CreateGroup {
+            group,
+            topics: topics.clone(),
+        });
+        self.groups.push(topics);
+        group
+    }
+
+    /// Removes a topic the expert judged unrepresentative.
+    pub fn remove_topic(&mut self, group: usize, topic: TopicId) {
+        if let Some(g) = self.groups.get_mut(group) {
+            if let Some(pos) = g.iter().position(|&t| t == topic) {
+                g.remove(pos);
+                self.log.push(ExpertOp::RemoveTopic { group, topic });
+            }
+        }
+    }
+
+    /// Merges group `from` into group `into`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are equal or out of range.
+    pub fn merge_groups(&mut self, into: usize, from: usize) {
+        assert!(into != from, "cannot merge a group into itself");
+        assert!(into < self.groups.len() && from < self.groups.len());
+        let moved = std::mem::take(&mut self.groups[from]);
+        self.groups[into].extend(moved);
+        self.groups.remove(from);
+        self.log.push(ExpertOp::MergeGroups { into, from });
+    }
+
+    /// Current (non-empty) groups.
+    pub fn groups(&self) -> &[Vec<TopicId>] {
+        &self.groups
+    }
+
+    /// Per-group session counts under the current grouping — the coverage
+    /// information the expert uses to judge representativeness.
+    pub fn coverage(&self) -> Vec<usize> {
+        if self.groups.is_empty() {
+            return Vec::new();
+        }
+        Clustering::from_topic_groups(self.ensemble, self.groups.clone()).sizes()
+    }
+
+    /// Drops groups with fewer than `min_sessions` documents (their
+    /// documents are reassigned among the survivors).
+    pub fn drop_small_groups(&mut self, min_sessions: usize) {
+        loop {
+            if self.groups.len() <= 1 {
+                return;
+            }
+            let sizes = self.coverage();
+            let Some((idx, &size)) = sizes
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &s)| s)
+                .filter(|&(_, &s)| s < min_sessions)
+            else {
+                return;
+            };
+            self.groups.remove(idx);
+            self.log.push(ExpertOp::DropGroup { group: idx, size });
+        }
+    }
+
+    /// The interaction log so far.
+    pub fn log(&self) -> &[ExpertOp] {
+        &self.log
+    }
+
+    /// Locks the groups in and produces the final [`Clustering`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no group was created.
+    pub fn finalize(mut self) -> Clustering {
+        assert!(!self.groups.is_empty(), "finalize requires at least one group");
+        self.groups.retain(|g| !g.is_empty());
+        self.log.push(ExpertOp::Finalize {
+            clusters: self.groups.len(),
+        });
+        Clustering::from_topic_groups(self.ensemble, self.groups)
+    }
+}
+
+/// Configuration of the [`SimulatedExpert`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulatedExpertConfig {
+    /// Number of behavior clusters to aim for (the paper's experts settled
+    /// on 13).
+    pub target_clusters: usize,
+    /// Minimum sessions a cluster must cover to survive (below this the
+    /// expert drops it as unrepresentative).
+    pub min_cluster_sessions: usize,
+    /// t-SNE settings for the projection the expert "looks at".
+    pub tsne: TsneConfig,
+}
+
+impl Default for SimulatedExpertConfig {
+    fn default() -> Self {
+        SimulatedExpertConfig {
+            target_clusters: 13,
+            min_cluster_sessions: 30,
+            tsne: TsneConfig::default(),
+        }
+    }
+}
+
+/// A reproducible stand-in for the human security experts: groups the
+/// ensemble's topics by similarity (what the projection shows spatially),
+/// checks coverage, drops unrepresentative groups, and finalizes — all
+/// through the same [`ExpertSession`] operations a human would use.
+///
+/// It sees only the views (topic distributions and document-topic mass),
+/// never any ground-truth label.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedExpert {
+    config: SimulatedExpertConfig,
+}
+
+impl SimulatedExpert {
+    /// Creates a simulated expert.
+    pub fn new(config: SimulatedExpertConfig) -> Self {
+        SimulatedExpert { config }
+    }
+
+    /// Runs the full interactive workflow and returns the clustering plus
+    /// the interaction log.
+    pub fn run(&self, ensemble: &Ensemble) -> (Clustering, Vec<ExpertOp>) {
+        let mut session = ExpertSession::new(ensemble, &self.config.tsne);
+        // Average-linkage agglomerative clustering on JS distances — the
+        // spatial grouping a human reads off the t-SNE view.
+        let groups = agglomerate(
+            &ensemble.distance_matrix(),
+            self.config.target_clusters.max(1),
+        );
+        for g in groups {
+            let topics: Vec<TopicId> = g.into_iter().map(TopicId).collect();
+            session.create_group(topics);
+        }
+        session.drop_small_groups(self.config.min_cluster_sessions);
+        let mut log = session.log().to_vec();
+        let clustering = session.finalize();
+        log.push(ExpertOp::Finalize {
+            clusters: clustering.n_clusters(),
+        });
+        (clustering, log)
+    }
+}
+
+/// Average-linkage agglomerative clustering of `n` items given a distance
+/// matrix, down to `target` clusters.
+fn agglomerate(dist: &[Vec<f64>], target: usize) -> Vec<Vec<usize>> {
+    let n = dist.len();
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while clusters.len() > target && clusters.len() > 1 {
+        let mut best = (0usize, 1usize);
+        let mut best_d = f64::INFINITY;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let mut total = 0.0;
+                for &a in &clusters[i] {
+                    for &b in &clusters[j] {
+                        total += dist[a][b];
+                    }
+                }
+                let avg = total / (clusters[i].len() * clusters[j].len()) as f64;
+                if avg < best_d {
+                    best_d = avg;
+                    best = (i, j);
+                }
+            }
+        }
+        let merged = clusters.remove(best.1);
+        clusters[best.0].extend(merged);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_topics::EnsembleConfig;
+
+    fn three_block_ensemble() -> Ensemble {
+        let docs: Vec<Vec<usize>> = (0..60)
+            .map(|i| match i % 3 {
+                0 => vec![0, 1, 0, 1, 0, 1],
+                1 => vec![2, 3, 2, 3, 2, 3],
+                _ => vec![4, 5, 4, 5, 4, 5],
+            })
+            .collect();
+        let cfg = EnsembleConfig {
+            topic_counts: vec![3, 4],
+            runs_per_count: 2,
+            iterations: 40,
+            ..EnsembleConfig::standard(6, 31)
+        };
+        Ensemble::fit(&cfg, &docs).unwrap()
+    }
+
+    fn fast_tsne() -> TsneConfig {
+        TsneConfig {
+            iterations: 60,
+            perplexity: 4.0,
+            ..TsneConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulated_expert_recovers_planted_blocks() {
+        let ens = three_block_ensemble();
+        let expert = SimulatedExpert::new(SimulatedExpertConfig {
+            target_clusters: 3,
+            min_cluster_sessions: 5,
+            tsne: fast_tsne(),
+        });
+        let (clustering, log) = expert.run(&ens);
+        assert_eq!(clustering.n_clusters(), 3);
+        // All docs of one block should land in the same cluster.
+        let a = clustering.assignment();
+        for i in 0..60 {
+            assert_eq!(a[i], a[i % 3], "doc {i} strayed from its block");
+        }
+        assert!(log
+            .iter()
+            .any(|op| matches!(op, ExpertOp::Finalize { clusters: 3 })));
+    }
+
+    #[test]
+    fn small_groups_are_dropped() {
+        let ens = three_block_ensemble();
+        let expert = SimulatedExpert::new(SimulatedExpertConfig {
+            target_clusters: 8, // more groups than real blocks
+            min_cluster_sessions: 10,
+            tsne: fast_tsne(),
+        });
+        let (clustering, log) = expert.run(&ens);
+        for size in clustering.sizes() {
+            assert!(size >= 10, "cluster of size {size} survived");
+        }
+        // Either some drop happened or the agglomeration was already clean.
+        assert!(clustering.n_clusters() <= 8);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn session_operations_are_logged() {
+        let ens = three_block_ensemble();
+        let mut session = ExpertSession::new(&ens, &fast_tsne());
+        let all: Vec<TopicId> = ens.topics().iter().map(|t| t.id).collect();
+        let selected = session.brush(-1e9, -1e9, 1e9, 1e9);
+        assert_eq!(selected.len(), all.len(), "brush-all selects everything");
+        let g0 = session.create_group(all[..2].to_vec());
+        let g1 = session.create_group(all[2..].to_vec());
+        session.remove_topic(g0, all[0]);
+        session.merge_groups(g0, g1);
+        assert_eq!(session.groups().len(), 1);
+        let log_len = session.log().len();
+        assert_eq!(log_len, 5); // brush + 2 creates + remove + merge
+        let clustering = session.finalize();
+        assert_eq!(clustering.n_clusters(), 1);
+    }
+
+    #[test]
+    fn medoid_available_through_session() {
+        let ens = three_block_ensemble();
+        let session = ExpertSession::new(&ens, &fast_tsne());
+        let all: Vec<TopicId> = ens.topics().iter().map(|t| t.id).collect();
+        assert!(session.medoid(&all).is_some());
+        assert!(session.medoid(&[]).is_none());
+    }
+
+    #[test]
+    fn agglomerate_merges_nearest() {
+        let d = vec![
+            vec![0.0, 0.1, 9.0, 9.0],
+            vec![0.1, 0.0, 9.0, 9.0],
+            vec![9.0, 9.0, 0.0, 0.1],
+            vec![9.0, 9.0, 0.1, 0.0],
+        ];
+        let mut groups = agglomerate(&d, 2);
+        for g in &mut groups {
+            g.sort();
+        }
+        groups.sort();
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn coverage_sums_to_corpus() {
+        let ens = three_block_ensemble();
+        let mut session = ExpertSession::new(&ens, &fast_tsne());
+        let all: Vec<TopicId> = ens.topics().iter().map(|t| t.id).collect();
+        session.create_group(all[..3].to_vec());
+        session.create_group(all[3..].to_vec());
+        let cov = session.coverage();
+        assert_eq!(cov.iter().sum::<usize>(), 60);
+    }
+}

@@ -1,0 +1,174 @@
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::chord::ChordDiagramView;
+use crate::json::Json;
+use crate::matrix_view::TopicActionMatrixView;
+use crate::tsne::TopicProjectionView;
+
+/// Serializes the interface views to JSON so any front end (or the paper's
+/// original system) can render them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VizExport;
+
+impl VizExport {
+    /// JSON for the topic projection view.
+    pub fn projection_json(view: &TopicProjectionView) -> Json {
+        view.points
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("topic", Json::from(p.topic.index())),
+                    ("x", Json::from(p.x)),
+                    ("y", Json::from(p.y)),
+                    ("run", Json::from(p.run)),
+                    ("weight", Json::from(p.weight)),
+                ])
+            })
+            .collect()
+    }
+
+    /// JSON for the topic-action matrix view.
+    pub fn matrix_json(view: &TopicActionMatrixView) -> Json {
+        let rows: Json = (0..view.n_rows())
+            .map(|t| -> Json { (0..view.n_cols()).map(|a| Json::from(view.cell(t, a))).collect() })
+            .collect();
+        Json::obj([
+            (
+                "topics",
+                view.topics().iter().map(|t| Json::from(t.index())).collect(),
+            ),
+            (
+                "actions",
+                view.action_names()
+                    .iter()
+                    .map(|n| Json::from(n.as_str()))
+                    .collect(),
+            ),
+            ("cells", rows),
+        ])
+    }
+
+    /// JSON for the chord diagram view.
+    pub fn chord_json(view: &ChordDiagramView) -> Json {
+        Json::obj([
+            (
+                "fans",
+                view.fan_sizes
+                    .iter()
+                    .map(|&(t, n)| {
+                        Json::obj([
+                            ("topic", Json::from(t.index())),
+                            ("size", Json::from(n)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            (
+                "links",
+                view.links
+                    .iter()
+                    .map(|l| {
+                        Json::obj([
+                            ("a", Json::from(l.a.index())),
+                            ("b", Json::from(l.b.index())),
+                            ("shared", Json::from(l.shared_actions)),
+                            ("weight", Json::from(l.weight)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    /// Writes a [`Json`] value to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(path: impl AsRef<Path>, value: &Json) -> std::io::Result<()> {
+        std::fs::write(path, value.to_string())
+    }
+}
+
+/// Writes a CSV file: a header row followed by data rows. Fields containing
+/// commas or quotes are quoted.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+///
+/// # Example
+///
+/// ```no_run
+/// ibcm_viz::write_csv(
+///     "out.csv",
+///     &["cluster", "accuracy"],
+///     [vec!["g0".to_string(), "0.91".to_string()]],
+/// )?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| {
+                if v.contains(',') || v.contains('"') || v.contains('\n') {
+                    format!("\"{}\"", v.replace('"', "\"\""))
+                } else {
+                    v.clone()
+                }
+            })
+            .collect();
+        writeln!(f, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsne::ProjectedTopic;
+
+    #[test]
+    fn projection_json_shape() {
+        let view = TopicProjectionView {
+            points: vec![ProjectedTopic {
+                topic: ibcm_topics::TopicId(2),
+                x: 1.0,
+                y: -2.0,
+                run: 0,
+                weight: 0.25,
+            }],
+        };
+        let j = VizExport::projection_json(&view).to_string();
+        assert!(j.contains("\"topic\":2"));
+        assert!(j.contains("\"x\":1"));
+        assert!(j.contains("\"weight\":0.25"));
+    }
+
+    #[test]
+    fn csv_round_trip_via_fs() {
+        let dir = std::env::temp_dir().join("ibcm_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            [
+                vec!["1".to_string(), "x,y".to_string()],
+                vec!["2".to_string(), "quo\"te".to_string()],
+            ],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n2,\"quo\"\"te\"\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! `ibcm-viz` — the security experts' visual interface, as data.
+//!
+//! The paper's informed clustering runs through an interactive visual system
+//! (Fig. 1) with three coordinated views: a **t-SNE projection** of the LDA
+//! ensemble's topics, a **topic-action matrix**, and a **chord diagram** of
+//! shared actions between topics. Security experts select/brush topic groups
+//! (with medoid highlighting), add or remove topics, and judge coverage;
+//! the result is a partition of the historical sessions into behavior
+//! clusters.
+//!
+//! A Rust library cannot ship the human experts, so this crate reproduces
+//! both halves of that loop:
+//!
+//! - the **views** the experts saw, computed exactly ([`TsneConfig`] /
+//!   [`tsne_embed`], [`TopicActionMatrixView`], [`ChordDiagramView`],
+//!   [`TopicProjectionView`]), exportable as JSON/CSV for any front end,
+//! - the **interaction session** ([`ExpertSession`]) with select / brush /
+//!   group / remove / coverage operations and an audit log,
+//! - a **simulated expert** ([`SimulatedExpert`]) that drives those same
+//!   operations with the criteria the paper says experts used
+//!   (representativeness and coverage), producing the final [`Clustering`].
+//!
+//! The simulated expert only sees the views (topic distributions and
+//! document-topic weights) — never the generator's ground-truth archetypes —
+//! so cluster recovery is a measurable outcome, not an assumption.
+
+#![forbid(unsafe_code)]
+// Index-based loops are the clearest notation for the numeric kernels here.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+mod chord;
+mod clustering;
+mod expert;
+mod export;
+pub mod json;
+mod matrix_view;
+pub mod svg;
+mod tsne;
+
+pub use chord::{ChordDiagramView, ChordLink};
+pub use clustering::Clustering;
+pub use expert::{ExpertOp, ExpertSession, SimulatedExpert, SimulatedExpertConfig};
+pub use export::{write_csv, VizExport};
+pub use matrix_view::TopicActionMatrixView;
+pub use tsne::{tsne_embed, TopicProjectionView, TsneConfig};

@@ -1,0 +1,156 @@
+use ibcm_logsim::ActionCatalog;
+use ibcm_topics::{Ensemble, TopicId};
+use serde::{Deserialize, Serialize};
+
+/// The topic-action matrix view (right-hand view of the paper's Fig. 1):
+/// rows are topics, columns are actions, cell opacity is the probability of
+/// the action within the topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicActionMatrixView {
+    topics: Vec<TopicId>,
+    /// Actions (columns), restricted to those that matter for some topic.
+    actions: Vec<usize>,
+    action_names: Vec<String>,
+    /// Row-major `topics x actions` probabilities.
+    cells: Vec<f64>,
+}
+
+impl TopicActionMatrixView {
+    /// Builds the matrix over all ensemble topics, keeping only actions
+    /// whose probability exceeds `min_prob` in at least one topic (the
+    /// interface elides all-blank columns).
+    pub fn compute(ensemble: &Ensemble, catalog: &ActionCatalog, min_prob: f64) -> Self {
+        let topics: Vec<TopicId> = ensemble.topics().iter().map(|t| t.id).collect();
+        let vocab = ensemble
+            .topics()
+            .first()
+            .map_or(0, |t| t.distribution.len());
+        let actions: Vec<usize> = (0..vocab)
+            .filter(|&a| {
+                ensemble
+                    .topics()
+                    .iter()
+                    .any(|t| t.distribution[a] >= min_prob)
+            })
+            .collect();
+        let action_names = actions
+            .iter()
+            .map(|&a| {
+                if a < catalog.len() {
+                    catalog.name(ibcm_logsim::ActionId(a)).to_string()
+                } else {
+                    format!("action{a}")
+                }
+            })
+            .collect();
+        let mut cells = Vec::with_capacity(topics.len() * actions.len());
+        for t in ensemble.topics() {
+            for &a in &actions {
+                cells.push(t.distribution[a]);
+            }
+        }
+        TopicActionMatrixView {
+            topics,
+            actions,
+            action_names,
+            cells,
+        }
+    }
+
+    /// Row order (topics).
+    pub fn topics(&self) -> &[TopicId] {
+        &self.topics
+    }
+
+    /// Column order (action indices into the catalog).
+    pub fn actions(&self) -> &[usize] {
+        &self.actions
+    }
+
+    /// Column labels.
+    pub fn action_names(&self) -> &[String] {
+        &self.action_names
+    }
+
+    /// Probability of column `a` in row `t` (indices into this view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cell(&self, t: usize, a: usize) -> f64 {
+        assert!(t < self.topics.len() && a < self.actions.len());
+        self.cells[t * self.actions.len() + a]
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_topics::EnsembleConfig;
+
+    fn view() -> TopicActionMatrixView {
+        let docs: Vec<Vec<usize>> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 0, 1]
+                } else {
+                    vec![2, 3, 2, 3]
+                }
+            })
+            .collect();
+        let cfg = EnsembleConfig {
+            topic_counts: vec![2],
+            runs_per_count: 1,
+            iterations: 40,
+            ..EnsembleConfig::standard(4, 3)
+        };
+        let ens = ibcm_topics::Ensemble::fit(&cfg, &docs).unwrap();
+        TopicActionMatrixView::compute(&ens, &ActionCatalog::standard(), 0.05)
+    }
+
+    #[test]
+    fn dimensions_consistent() {
+        let v = view();
+        assert_eq!(v.n_rows(), 2);
+        assert!(v.n_cols() >= 2 && v.n_cols() <= 4);
+        assert_eq!(v.action_names().len(), v.n_cols());
+    }
+
+    #[test]
+    fn cells_are_probabilities() {
+        let v = view();
+        for t in 0..v.n_rows() {
+            for a in 0..v.n_cols() {
+                let c = v.cell(t, a);
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn kept_columns_have_a_strong_topic() {
+        let v = view();
+        for a in 0..v.n_cols() {
+            assert!(
+                (0..v.n_rows()).any(|t| v.cell(t, a) >= 0.05),
+                "column {a} should matter somewhere"
+            );
+        }
+    }
+
+    #[test]
+    fn names_come_from_catalog() {
+        let v = view();
+        assert!(v.action_names().iter().all(|n| n.starts_with("Action")));
+    }
+}

@@ -1,0 +1,355 @@
+//! Standalone SVG rendering of the three interface views — so the paper's
+//! Fig. 1 is not just data but something a security analyst can open in a
+//! browser. No dependencies: the SVG is assembled with a small builder.
+
+use std::fmt::Write as _;
+
+use crate::chord::ChordDiagramView;
+use crate::matrix_view::TopicActionMatrixView;
+use crate::tsne::TopicProjectionView;
+
+/// Categorical palette for ensemble runs (cycled when there are more runs).
+const PALETTE: &[&str] = &[
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+];
+
+fn svg_open(out: &mut String, width: f64, height: f64) {
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"sans-serif\">"
+    );
+    let _ = write!(
+        out,
+        "<rect width=\"{width:.0}\" height=\"{height:.0}\" fill=\"white\"/>"
+    );
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders the topic projection view (t-SNE scatter) as an SVG document.
+/// Point area encodes topic weight; color encodes the ensemble run.
+pub fn render_projection(view: &TopicProjectionView, size: f64) -> String {
+    let mut out = String::new();
+    svg_open(&mut out, size, size);
+    if !view.points.is_empty() {
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in &view.points {
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+            ymin = ymin.min(p.y);
+            ymax = ymax.max(p.y);
+        }
+        let pad = 0.1 * size;
+        let span_x = (xmax - xmin).max(1e-9);
+        let span_y = (ymax - ymin).max(1e-9);
+        for p in &view.points {
+            let cx = pad + (p.x - xmin) / span_x * (size - 2.0 * pad);
+            let cy = pad + (p.y - ymin) / span_y * (size - 2.0 * pad);
+            let r = 3.0 + 20.0 * p.weight.sqrt();
+            let color = PALETTE[p.run % PALETTE.len()];
+            let _ = write!(
+                out,
+                "<circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"{r:.1}\" fill=\"{color}\" \
+                 fill-opacity=\"0.7\" stroke=\"#333\" stroke-width=\"0.5\"><title>{} \
+                 (run {}, weight {:.2})</title></circle>",
+                p.topic, p.run, p.weight
+            );
+            let _ = write!(
+                out,
+                "<text x=\"{cx:.1}\" y=\"{:.1}\" font-size=\"8\" text-anchor=\"middle\" \
+                 fill=\"#333\">{}</text>",
+                cy - r - 2.0,
+                p.topic
+            );
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders the topic-action matrix view as an SVG heatmap: cell opacity is
+/// the probability of the action within the topic (the paper's encoding).
+pub fn render_matrix(view: &TopicActionMatrixView, cell: f64) -> String {
+    let label_w = 140.0;
+    let label_h = 120.0;
+    let width = label_w + view.n_cols() as f64 * cell + 10.0;
+    let height = label_h + view.n_rows() as f64 * cell + 10.0;
+    let mut out = String::new();
+    svg_open(&mut out, width, height);
+    // Column labels, rotated.
+    for (a, name) in view.action_names().iter().enumerate() {
+        let x = label_w + (a as f64 + 0.5) * cell;
+        let _ = write!(
+            out,
+            "<text x=\"{x:.1}\" y=\"{:.1}\" font-size=\"7\" text-anchor=\"start\" \
+             transform=\"rotate(-60 {x:.1} {:.1})\">{}</text>",
+            label_h - 4.0,
+            label_h - 4.0,
+            esc(name)
+        );
+    }
+    // Rows.
+    let max_cell = (0..view.n_rows())
+        .flat_map(|t| (0..view.n_cols()).map(move |a| (t, a)))
+        .map(|(t, a)| view.cell(t, a))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    for (ti, topic) in view.topics().iter().enumerate() {
+        let y = label_h + ti as f64 * cell;
+        let _ = write!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"9\" text-anchor=\"end\">{topic}</text>",
+            label_w - 6.0,
+            y + cell * 0.7
+        );
+        for a in 0..view.n_cols() {
+            let opacity = view.cell(ti, a) / max_cell;
+            let x = label_w + a as f64 * cell;
+            let _ = write!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"#4e79a7\" fill-opacity=\"{opacity:.3}\" stroke=\"#eee\" \
+                 stroke-width=\"0.3\"/>",
+                cell, cell
+            );
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders the chord diagram: topics as arcs around a circle (fan length =
+/// number of prominent actions), links as curves whose width encodes shared
+/// probability mass.
+pub fn render_chord(view: &ChordDiagramView, size: f64) -> String {
+    let mut out = String::new();
+    svg_open(&mut out, size, size);
+    let n = view.fan_sizes.len();
+    if n > 0 {
+        let cx = size / 2.0;
+        let cy = size / 2.0;
+        let radius = size * 0.38;
+        let total_fan: usize = view.fan_sizes.iter().map(|&(_, s)| s.max(1)).sum();
+        let gap = 0.03; // radians between fans
+        let available = std::f64::consts::TAU - gap * n as f64;
+        // Fan angular extents proportional to action counts.
+        let mut angles = Vec::with_capacity(n);
+        let mut cursor = 0.0f64;
+        for &(topic, fan) in &view.fan_sizes {
+            let extent = available * fan.max(1) as f64 / total_fan.max(1) as f64;
+            angles.push((topic, cursor, cursor + extent));
+            cursor += extent + gap;
+        }
+        let point = |angle: f64| -> (f64, f64) {
+            (cx + radius * angle.cos(), cy + radius * angle.sin())
+        };
+        // Links first (under the fans).
+        let max_w = view
+            .links
+            .iter()
+            .map(|l| l.weight)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        for link in &view.links {
+            let a_mid = angles
+                .iter()
+                .find(|(t, ..)| *t == link.a)
+                .map(|(_, s, e)| (s + e) / 2.0);
+            let b_mid = angles
+                .iter()
+                .find(|(t, ..)| *t == link.b)
+                .map(|(_, s, e)| (s + e) / 2.0);
+            if let (Some(a), Some(b)) = (a_mid, b_mid) {
+                let (x1, y1) = point(a);
+                let (x2, y2) = point(b);
+                let w = 0.5 + 6.0 * link.weight / max_w;
+                let _ = write!(
+                    out,
+                    "<path d=\"M {x1:.1} {y1:.1} Q {cx:.1} {cy:.1} {x2:.1} {y2:.1}\" \
+                     fill=\"none\" stroke=\"#76b7b2\" stroke-opacity=\"0.6\" \
+                     stroke-width=\"{w:.1}\"><title>{} - {}: {} shared actions</title></path>",
+                    link.a, link.b, link.shared_actions
+                );
+            }
+        }
+        // Fans.
+        for (i, &(topic, start, end)) in angles.iter().enumerate() {
+            let (x1, y1) = point(start);
+            let (x2, y2) = point(end);
+            let large = i32::from(end - start > std::f64::consts::PI);
+            let color = PALETTE[i % PALETTE.len()];
+            let _ = write!(
+                out,
+                "<path d=\"M {x1:.1} {y1:.1} A {radius:.1} {radius:.1} 0 {large} 1 {x2:.1} {y2:.1}\" \
+                 fill=\"none\" stroke=\"{color}\" stroke-width=\"8\"><title>{topic}</title></path>"
+            );
+            let mid = (start + end) / 2.0;
+            let (tx, ty) = (
+                cx + (radius + 16.0) * mid.cos(),
+                cy + (radius + 16.0) * mid.sin(),
+            );
+            let _ = write!(
+                out,
+                "<text x=\"{tx:.1}\" y=\"{ty:.1}\" font-size=\"9\" text-anchor=\"middle\">{topic}</text>"
+            );
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Bundles the three rendered views into one standalone HTML page — the
+/// closest thing to the paper's Fig. 1 screenshot that a library can emit.
+pub fn render_dashboard(
+    projection: &TopicProjectionView,
+    matrix: &TopicActionMatrixView,
+    chord: &ChordDiagramView,
+    title: &str,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{}</title>\
+         <style>body{{font-family:sans-serif;margin:20px;background:#fafafa}}\
+         h1{{font-size:18px}}h2{{font-size:14px;color:#444}}\
+         .row{{display:flex;gap:24px;flex-wrap:wrap}}\
+         .panel{{background:white;border:1px solid #ddd;padding:12px;\
+         border-radius:6px;overflow:auto;max-height:720px}}</style></head><body>",
+        esc(title)
+    );
+    let _ = write!(out, "<h1>{}</h1><div class=\"row\">", esc(title));
+    let _ = write!(
+        out,
+        "<div class=\"panel\"><h2>Topic projection (t-SNE)</h2>{}</div>",
+        render_projection(projection, 480.0)
+    );
+    let _ = write!(
+        out,
+        "<div class=\"panel\"><h2>Topic chord diagram</h2>{}</div>",
+        render_chord(chord, 480.0)
+    );
+    let _ = write!(
+        out,
+        "</div><div class=\"panel\" style=\"margin-top:24px\">\
+         <h2>Topic-action matrix</h2>{}</div>",
+        render_matrix(matrix, 10.0)
+    );
+    out.push_str("</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsne::ProjectedTopic;
+    use ibcm_topics::TopicId;
+
+    fn projection() -> TopicProjectionView {
+        TopicProjectionView {
+            points: (0..5)
+                .map(|i| ProjectedTopic {
+                    topic: TopicId(i),
+                    x: i as f64,
+                    y: -(i as f64),
+                    run: i % 2,
+                    weight: 0.2,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn projection_svg_has_one_circle_per_topic() {
+        let svg = render_projection(&projection(), 400.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("t3"));
+    }
+
+    #[test]
+    fn empty_projection_is_valid_svg() {
+        let svg = render_projection(&TopicProjectionView { points: vec![] }, 100.0);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn matrix_svg_has_one_rect_per_cell() {
+        let docs = vec![vec![0usize, 1, 0], vec![2, 3, 2], vec![0, 0, 1]];
+        let cfg = ibcm_topics::EnsembleConfig {
+            topic_counts: vec![2],
+            runs_per_count: 1,
+            iterations: 15,
+            ..ibcm_topics::EnsembleConfig::standard(4, 3)
+        };
+        let ens = ibcm_topics::Ensemble::fit(&cfg, &docs).unwrap();
+        let view = TopicActionMatrixView::compute(
+            &ens,
+            &ibcm_logsim::ActionCatalog::standard(),
+            0.01,
+        );
+        let svg = render_matrix(&view, 12.0);
+        // One background rect plus rows x cols cells.
+        let cells = view.n_rows() * view.n_cols();
+        assert_eq!(svg.matches("<rect").count(), cells + 1);
+    }
+
+    #[test]
+    fn chord_svg_draws_fans_and_links() {
+        let view = ChordDiagramView {
+            fan_sizes: vec![(TopicId(0), 3), (TopicId(1), 2), (TopicId(2), 4)],
+            links: vec![crate::chord::ChordLink {
+                a: TopicId(0),
+                b: TopicId(2),
+                shared_actions: 2,
+                weight: 0.4,
+            }],
+        };
+        let svg = render_chord(&view, 300.0);
+        // 3 fan arcs + 1 link path.
+        assert_eq!(svg.matches("<path").count(), 4);
+        assert!(svg.contains("shared actions"));
+    }
+
+    #[test]
+    fn dashboard_embeds_all_three_views() {
+        let docs = vec![vec![0usize, 1, 0], vec![2, 3, 2], vec![0, 0, 1]];
+        let cfg = ibcm_topics::EnsembleConfig {
+            topic_counts: vec![2],
+            runs_per_count: 1,
+            iterations: 15,
+            ..ibcm_topics::EnsembleConfig::standard(4, 3)
+        };
+        let ens = ibcm_topics::Ensemble::fit(&cfg, &docs).unwrap();
+        let proj = TopicProjectionView::compute(
+            &ens,
+            &crate::tsne::TsneConfig {
+                iterations: 30,
+                ..crate::tsne::TsneConfig::default()
+            },
+        );
+        let matrix = TopicActionMatrixView::compute(
+            &ens,
+            &ibcm_logsim::ActionCatalog::standard(),
+            0.01,
+        );
+        let all: Vec<TopicId> = ens.topics().iter().map(|t| t.id).collect();
+        let chord = ChordDiagramView::compute(&ens, &all, 0.02);
+        let html = render_dashboard(&proj, &matrix, &chord, "ibcm <views>");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>"));
+        assert_eq!(html.matches("<svg").count(), 3);
+        assert!(html.contains("ibcm &lt;views&gt;"), "title escaped");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        // Action names never contain XML specials today, but the escaper
+        // must handle them anyway.
+        assert_eq!(esc("a<b&c>"), "a&lt;b&amp;c&gt;");
+    }
+}

@@ -1,0 +1,335 @@
+use ibcm_topics::Ensemble;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 10.0,
+            iterations: 400,
+            learning_rate: 10.0,
+            exaggeration: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds points described by a pairwise **distance matrix** into 2-D with
+/// exact t-SNE (van der Maaten & Hinton 2008). Exact is fine here: the
+/// interface projects ensemble *topics*, of which there are at most a few
+/// hundred.
+///
+/// Returns one `(x, y)` per input point.
+///
+/// # Panics
+///
+/// Panics if `distances` is not square.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_viz::{tsne_embed, TsneConfig};
+/// let d = vec![
+///     vec![0.0, 0.1, 5.0],
+///     vec![0.1, 0.0, 5.0],
+///     vec![5.0, 5.0, 0.0],
+/// ];
+/// let y = tsne_embed(&d, &TsneConfig { perplexity: 2.0, iterations: 100, ..TsneConfig::default() });
+/// assert_eq!(y.len(), 3);
+/// ```
+pub fn tsne_embed(distances: &[Vec<f64>], config: &TsneConfig) -> Vec<(f64, f64)> {
+    let n = distances.len();
+    for row in distances {
+        assert_eq!(row.len(), n, "distance matrix must be square");
+    }
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![(0.0, 0.0)];
+    }
+
+    // Conditional probabilities with per-point bandwidth matched to the
+    // target perplexity by binary search.
+    let target_entropy = config.perplexity.max(1.01).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-12f64, 1e12f64);
+        let mut beta = 1.0f64;
+        for _ in 0..60 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if j != i {
+                    p[i * n + j] = (-beta * distances[i][j] * distances[i][j]).exp();
+                    sum += p[i * n + j];
+                }
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let mut entropy = 0.0;
+            for j in 0..n {
+                if j != i && p[i * n + j] > 0.0 {
+                    let pj = p[i * n + j] / sum;
+                    entropy -= pj * pj.max(1e-300).ln();
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let sum: f64 = (0..n).filter(|&j| j != i).map(|j| p[i * n + j]).sum();
+        if sum > 0.0 {
+            for j in 0..n {
+                if j != i {
+                    p[i * n + j] /= sum;
+                }
+            }
+        }
+    }
+    // Symmetrize.
+    let mut pij = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = (p[i * n + j] + p[j * n + i]) / (2.0 * n as f64);
+        }
+    }
+
+    // Layout optimization.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>() * 1e-2, rng.gen::<f64>() * 1e-2))
+        .collect();
+    let mut vel = vec![(0.0f64, 0.0f64); n];
+    let exag_until = config.iterations / 4;
+    for iter in 0..config.iterations {
+        let exag = if iter < exag_until {
+            config.exaggeration
+        } else {
+            1.0
+        };
+        // Student-t affinities.
+        let mut qnum = vec![0.0f64; n * n];
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i].0 - y[j].0;
+                let dy = y[i].1 - y[j].1;
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                qnum[i * n + j] = q;
+                qnum[j * n + i] = q;
+                qsum += 2.0 * q;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut gx = 0.0;
+            let mut gy = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let mult =
+                    (exag * pij[i * n + j] - qnum[i * n + j] / qsum) * qnum[i * n + j];
+                gx += mult * (y[i].0 - y[j].0);
+                gy += mult * (y[i].1 - y[j].1);
+            }
+            vel[i].0 = momentum * vel[i].0 - config.learning_rate * 4.0 * gx;
+            vel[i].1 = momentum * vel[i].1 - config.learning_rate * 4.0 * gy;
+        }
+        for i in 0..n {
+            y[i].0 += vel[i].0;
+            y[i].1 += vel[i].1;
+        }
+        // Re-center.
+        let (mx, my) = y
+            .iter()
+            .fold((0.0, 0.0), |acc, p| (acc.0 + p.0, acc.1 + p.1));
+        let (mx, my) = (mx / n as f64, my / n as f64);
+        for p in &mut y {
+            p.0 -= mx;
+            p.1 -= my;
+        }
+    }
+    y
+}
+
+/// One point of the topic projection view (top-left view of the paper's
+/// Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProjectedTopic {
+    /// Topic id within the ensemble.
+    pub topic: ibcm_topics::TopicId,
+    /// 2-D layout coordinates.
+    pub x: f64,
+    /// 2-D layout coordinates.
+    pub y: f64,
+    /// Which ensemble run produced the topic.
+    pub run: usize,
+    /// Topic weight (share of documents dominated).
+    pub weight: f64,
+}
+
+/// The topic projection view: a t-SNE layout of every ensemble topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicProjectionView {
+    /// One point per ensemble topic.
+    pub points: Vec<ProjectedTopic>,
+}
+
+impl TopicProjectionView {
+    /// Lays out the topics of an [`Ensemble`] by their Jensen–Shannon
+    /// distances.
+    pub fn compute(ensemble: &Ensemble, config: &TsneConfig) -> Self {
+        let coords = tsne_embed(&ensemble.distance_matrix(), config);
+        let points = ensemble
+            .topics()
+            .iter()
+            .zip(coords)
+            .map(|(t, (x, y))| ProjectedTopic {
+                topic: t.id,
+                x,
+                y,
+                run: t.run,
+                weight: t.weight,
+            })
+            .collect();
+        TopicProjectionView { points }
+    }
+
+    /// Topics whose points fall inside the axis-aligned rectangle — the
+    /// interface's brush selection.
+    pub fn brush(&self, x0: f64, y0: f64, x1: f64, y1: f64) -> Vec<ibcm_topics::TopicId> {
+        let (xlo, xhi) = (x0.min(x1), x0.max(x1));
+        let (ylo, yhi) = (y0.min(y1), y0.max(y1));
+        self.points
+            .iter()
+            .filter(|p| p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi)
+            .map(|p| p.topic)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_distances() -> Vec<Vec<f64>> {
+        // Two groups of 4 points: close within, far across.
+        let n = 8;
+        let mut d = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    d[i][j] = if (i < 4) == (j < 4) { 0.1 } else { 4.0 };
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn preserves_cluster_structure() {
+        let cfg = TsneConfig {
+            perplexity: 3.0,
+            iterations: 300,
+            ..TsneConfig::default()
+        };
+        let y = tsne_embed(&clustered_distances(), &cfg);
+        let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let mut wn = 0;
+        let mut an = 0;
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                if (i < 4) == (j < 4) {
+                    within += dist(y[i], y[j]);
+                    wn += 1;
+                } else {
+                    across += dist(y[i], y[j]);
+                    an += 1;
+                }
+            }
+        }
+        let within = within / wn as f64;
+        let across = across / an as f64;
+        assert!(
+            across > 2.0 * within,
+            "embedding should separate the groups: within {within}, across {across}"
+        );
+    }
+
+    #[test]
+    fn output_is_centered_and_finite() {
+        let y = tsne_embed(&clustered_distances(), &TsneConfig::default());
+        let mx: f64 = y.iter().map(|p| p.0).sum::<f64>() / y.len() as f64;
+        assert!(mx.abs() < 1e-6);
+        assert!(y.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(tsne_embed(&[], &TsneConfig::default()).is_empty());
+        assert_eq!(
+            tsne_embed(&[vec![0.0]], &TsneConfig::default()),
+            vec![(0.0, 0.0)]
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = clustered_distances();
+        let a = tsne_embed(&d, &TsneConfig::default());
+        let b = tsne_embed(&d, &TsneConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn brush_selects_rectangle() {
+        let view = TopicProjectionView {
+            points: vec![
+                ProjectedTopic {
+                    topic: ibcm_topics::TopicId(0),
+                    x: 0.0,
+                    y: 0.0,
+                    run: 0,
+                    weight: 0.5,
+                },
+                ProjectedTopic {
+                    topic: ibcm_topics::TopicId(1),
+                    x: 10.0,
+                    y: 10.0,
+                    run: 0,
+                    weight: 0.5,
+                },
+            ],
+        };
+        assert_eq!(view.brush(-1.0, -1.0, 1.0, 1.0), vec![ibcm_topics::TopicId(0)]);
+        assert_eq!(view.brush(9.0, 11.0, 11.0, 9.0), vec![ibcm_topics::TopicId(1)]);
+    }
+}

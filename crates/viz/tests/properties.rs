@@ -1,0 +1,110 @@
+//! Property-based tests for the visualization substrate: t-SNE stays
+//! finite/centered on arbitrary metric inputs, and the JSON emitter always
+//! produces structurally valid JSON.
+#![allow(clippy::needless_range_loop)]
+
+use ibcm_viz::json::Json;
+use ibcm_viz::{tsne_embed, TsneConfig};
+use proptest::prelude::*;
+
+fn distance_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..10).prop_flat_map(|n| {
+        prop::collection::vec(0.01f64..5.0, n * (n - 1) / 2).prop_map(move |upper| {
+            let mut d = vec![vec![0.0; n]; n];
+            let mut it = upper.into_iter();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let v = it.next().unwrap();
+                    d[i][j] = v;
+                    d[j][i] = v;
+                }
+            }
+            d
+        })
+    })
+}
+
+/// A tiny structural JSON validator: checks that quotes/braces/brackets
+/// balance outside of strings and escapes are well-formed.
+fn is_structurally_valid_json(s: &str) -> bool {
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            } else if (c as u32) < 0x20 {
+                return false; // raw control character inside a string
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return false;
+        }
+    }
+    !in_str && depth_obj == 0 && depth_arr == 0
+}
+
+fn json_value() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1e9f64..1e9).prop_map(Json::Num),
+        "[\\x00-\\x7f]{0,12}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|pairs| {
+                Json::Obj(pairs.into_iter().collect())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// t-SNE output: one point per input, all finite, centered at origin.
+    #[test]
+    fn tsne_output_is_finite_and_centered(d in distance_matrix()) {
+        let cfg = TsneConfig {
+            iterations: 50,
+            perplexity: 2.0,
+            ..TsneConfig::default()
+        };
+        let y = tsne_embed(&d, &cfg);
+        prop_assert_eq!(y.len(), d.len());
+        prop_assert!(y.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+        let mx: f64 = y.iter().map(|p| p.0).sum::<f64>() / y.len() as f64;
+        let my: f64 = y.iter().map(|p| p.1).sum::<f64>() / y.len() as f64;
+        prop_assert!(mx.abs() < 1e-6 && my.abs() < 1e-6);
+    }
+
+    /// Every emitted JSON document is structurally valid.
+    #[test]
+    fn json_emitter_is_structurally_valid(v in json_value()) {
+        let s = v.to_string();
+        prop_assert!(is_structurally_valid_json(&s), "invalid: {s}");
+    }
+
+    /// Emission is deterministic (object keys sorted).
+    #[test]
+    fn json_emission_deterministic(v in json_value()) {
+        prop_assert_eq!(v.to_string(), v.clone().to_string());
+    }
+}

@@ -1,0 +1,56 @@
+//! Adopting the pipeline on *your own* logs: export a synthetic corpus to
+//! the CSV event format, re-import it with [`ibcm::LogImporter`] (as you
+//! would a production log), train the full pipeline on the imported
+//! dataset, and score sessions — no generator involved after import.
+//!
+//! ```sh
+//! cargo run --release --example import_logs
+//! ```
+
+use std::io::BufReader;
+
+use ibcm::{
+    write_csv_log, CatalogMode, Generator, GeneratorConfig, LogImporter, Pipeline, PipelineConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stand-in for a real log file: dump a synthetic corpus as CSV events.
+    let path = std::env::temp_dir().join("ibcm-portal-events.csv");
+    {
+        let synthetic = Generator::new(GeneratorConfig::tiny(29)).generate();
+        let file = std::fs::File::create(&path)?;
+        write_csv_log(&synthetic, file)?;
+    }
+    println!(
+        "event log: {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // Import it the way a deployment would.
+    let file = std::fs::File::open(&path)?;
+    let dataset = LogImporter::new(CatalogMode::Standard).read_csv(BufReader::new(file))?;
+    let stats = dataset.stats();
+    println!(
+        "imported {} sessions from {} users over {} days ({} distinct actions)",
+        stats.sessions, stats.users, stats.days, stats.distinct_actions
+    );
+
+    // Train the full pipeline on imported data — note the sessions carry no
+    // ground-truth archetypes; the clustering is purely data-driven.
+    let trained = Pipeline::new(PipelineConfig::test_profile(29)).train(&dataset)?;
+    println!("trained {} behavior clusters from the imported log", trained.detector().n_clusters());
+
+    // Score the most recent session as a deployment would.
+    let latest = dataset.sessions().last().expect("non-empty log");
+    let verdict = trained.detector().score_session(latest.actions());
+    println!(
+        "latest session {} -> cluster {}, avg likelihood {:.4}, perplexity {:.1}",
+        latest.id(),
+        verdict.cluster,
+        verdict.score.avg_likelihood,
+        verdict.score.perplexity()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: synthesize an admin-portal log, train the full pipeline
+//! (LDA ensemble -> simulated-expert clustering -> per-cluster OC-SVM +
+//! LSTM), and score a normal vs. a random session.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ibcm::{Generator, GeneratorConfig, Pipeline, PipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Historical normal-behavior sessions (substitute your own log here).
+    let dataset = Generator::new(GeneratorConfig::tiny(7)).generate();
+    let stats = dataset.stats();
+    println!(
+        "dataset: {} sessions, {} users, {} actions, mean length {:.1}",
+        stats.sessions, stats.users, stats.catalog_actions, stats.mean_length
+    );
+
+    // 2. Training phase (paper Fig. 2): topic modeling, informed
+    //    clustering, per-cluster routing and behavior models.
+    let trained = Pipeline::new(PipelineConfig::test_profile(7)).train(&dataset)?;
+    println!(
+        "trained {} behavior clusters; expert performed {} interface operations",
+        trained.detector().n_clusters(),
+        trained.expert_log().len()
+    );
+    for c in trained.clusters_by_size() {
+        println!(
+            "  cluster {}: {} sessions ({} train / {} val / {} test)",
+            c.cluster,
+            c.size(),
+            c.train.len(),
+            c.validation.len(),
+            c.test.len()
+        );
+    }
+
+    // 3. Prediction phase: route a session by OC-SVM score and estimate its
+    //    normality as the average likelihood of its actions.
+    let detector = trained.detector();
+    let normal = &dataset.sessions()[0];
+    let verdict = detector.score_session(normal.actions());
+    println!(
+        "normal session  -> cluster {}, avg likelihood {:.4}, avg loss {:.3}",
+        verdict.cluster, verdict.score.avg_likelihood, verdict.score.avg_loss
+    );
+
+    let random = &dataset.random_sessions(1, 99)[0];
+    let verdict = detector.score_session(random.actions());
+    println!(
+        "random session  -> cluster {}, avg likelihood {:.4}, avg loss {:.3}",
+        verdict.cluster, verdict.score.avg_likelihood, verdict.score.avg_loss
+    );
+
+    // 4. Persist the detector for deployment.
+    let path = std::env::temp_dir().join("ibcm-quickstart.ibcd");
+    detector.save(&path)?;
+    println!("detector saved to {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! Integration: the experiment harness reproduces the *shapes* of the
+//! paper's figures at test scale — who wins, in which direction curves
+//! move, and where populations separate.
+
+use std::sync::OnceLock;
+
+use ibcm::experiments;
+use ibcm::{Dataset, Generator, GeneratorConfig, Pipeline, PipelineConfig, TrainedPipeline};
+
+fn fixture() -> &'static (Dataset, TrainedPipeline) {
+    static FIXTURE: OnceLock<(Dataset, TrainedPipeline)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = Generator::new(GeneratorConfig::tiny(51)).generate();
+        let trained = Pipeline::new(PipelineConfig::test_profile(51))
+            .train(&dataset)
+            .expect("pipeline trains");
+        (dataset, trained)
+    })
+}
+
+#[test]
+fn fig3_shape_lengths_are_heavy_tailed() {
+    let (dataset, _) = fixture();
+    let stats = dataset.stats();
+    assert!((8.0..25.0).contains(&stats.mean_length));
+    assert!(stats.p98_length < 91);
+    assert!(stats.max_length > stats.p98_length);
+    let hist = dataset.length_histogram(10);
+    // The first bins hold the bulk of the mass.
+    let head: usize = hist.iter().take(3).map(|&(_, c)| c).sum();
+    assert!(head * 2 > stats.sessions, "most sessions are short");
+}
+
+#[test]
+fn fig4_shape_models_are_specific() {
+    let (_, trained) = fixture();
+    let rows = experiments::fig4_cluster_vs_others(trained);
+    let wins = rows
+        .iter()
+        .filter(|r| r.own_accuracy > r.others_accuracy)
+        .count();
+    assert!(
+        wins * 10 >= rows.len() * 8,
+        "own accuracy should beat others on >= 80% of clusters ({wins}/{})",
+        rows.len()
+    );
+}
+
+#[test]
+fn fig5_shape_informed_clusters_beat_size_matched_subsets() {
+    let (_, trained) = fixture();
+    let lm = PipelineConfig::test_profile(51).lm;
+    let baselines = experiments::train_global_baselines(trained, &lm, 51).unwrap();
+    let rows = experiments::fig5_fig10_baselines(trained, &baselines);
+    let mean_cluster: f64 = rows.iter().map(|r| r.cluster_model.accuracy as f64).sum::<f64>()
+        / rows.len() as f64;
+    let mean_subset: f64 = rows.iter().map(|r| r.subset_model.accuracy as f64).sum::<f64>()
+        / rows.len() as f64;
+    assert!(
+        mean_cluster > mean_subset,
+        "informed clustering must beat arbitrary subsets: {mean_cluster} vs {mean_subset}"
+    );
+    // Fig. 10's loss mirror: lower loss for the cluster models.
+    let mean_cluster_loss: f64 = rows.iter().map(|r| r.cluster_model.avg_loss as f64).sum::<f64>()
+        / rows.len() as f64;
+    let mean_subset_loss: f64 = rows.iter().map(|r| r.subset_model.avg_loss as f64).sum::<f64>()
+        / rows.len() as f64;
+    assert!(mean_cluster_loss < mean_subset_loss);
+}
+
+#[test]
+fn fig6_shape_ocsvm_scores_decay_past_average_length() {
+    let (_, trained) = fixture();
+    let rows = experiments::fig6_ocsvm_scores(trained, 200);
+    assert!(rows.len() > 20, "need a long enough curve");
+    // The paper's curve peaks around the average session length (bags of
+    // typical sessions) and decays for unusually long sessions. Compare the
+    // peak over the typical region against the deep tail, requiring enough
+    // tail sessions to be meaningful.
+    let peak = rows
+        .iter()
+        .filter(|r| r.position <= 30)
+        .map(|r| r.max_mean)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let tail: Vec<&experiments::OcSvmScoreRow> = rows
+        .iter()
+        .filter(|r| r.position > 60 && r.count >= 2)
+        .collect();
+    if tail.len() >= 5 {
+        let late: f64 = tail.iter().map(|r| r.max_mean).sum::<f64>() / tail.len() as f64;
+        assert!(
+            late < peak,
+            "long sessions should look like outliers: peak {peak} late {late}"
+        );
+    }
+}
+
+#[test]
+fn fig8_fig9_shape_random_sessions_are_abnormal() {
+    let (dataset, trained) = fixture();
+    let rows = experiments::fig8_fig9_normality(trained, dataset, 99);
+    let (test, random) = (&rows[0], &rows[1]);
+    assert!(test.avg_likelihood > 3.0 * random.avg_likelihood);
+    assert!(random.avg_loss > 1.5 * test.avg_loss, "paper: ~2x loss");
+    // Random likelihood should be near chance (1/|A|).
+    let chance = 1.0 / dataset.catalog().len() as f64;
+    assert!(
+        random.avg_likelihood < 10.0 * chance,
+        "random likelihood {} vs chance {chance}",
+        random.avg_likelihood
+    );
+}
+
+#[test]
+fn fig11_shape_lock_in_tracks_true_cluster() {
+    let (_, trained) = fixture();
+    let lm = PipelineConfig::test_profile(51).lm;
+    let baselines = experiments::train_global_baselines(trained, &lm, 51).unwrap();
+    let rows = experiments::fig11_fig12_per_cluster(trained, &baselines.global);
+    for r in &rows {
+        // Locked routing must not be catastrophically worse than knowing
+        // the true cluster.
+        assert!(
+            r.locked.avg_likelihood > 0.5 * r.true_cluster.avg_likelihood,
+            "cluster {}: locked {} vs true {}",
+            r.cluster,
+            r.locked.avg_likelihood,
+            r.true_cluster.avg_likelihood
+        );
+    }
+}
+
+#[test]
+fn ablation_shapes_hold() {
+    let (_, trained) = fixture();
+    use experiments::RoutingStrategy;
+    let chance = 1.0 / trained.detector().n_clusters() as f64;
+    let full = experiments::routing_accuracy(trained, RoutingStrategy::Full);
+    let locked = experiments::routing_accuracy(trained, RoutingStrategy::LockIn(15));
+    assert!(full > chance && locked > chance);
+    // Random partitions must produce near-chance purity; k-means better.
+    let n = trained.clustering().assignment().len();
+    let k = trained.detector().n_clusters();
+    let random = experiments::random_assignment(n, k, 1);
+    let kmeans = experiments::kmeans_assignment(trained.ensemble(), k, 20, 1);
+    assert_eq!(random.len(), n);
+    assert_eq!(kmeans.len(), n);
+}

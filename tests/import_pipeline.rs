@@ -1,0 +1,74 @@
+//! Integration: the full pipeline on *imported* logs — including a catalog
+//! built from the log itself (`CatalogMode::FromLog`), which exercises the
+//! pipeline with a vocabulary that differs from the standard catalog.
+
+use std::io::Write as _;
+
+use ibcm::{write_csv_log, CatalogMode, Generator, GeneratorConfig, LogImporter, Pipeline, PipelineConfig};
+
+#[test]
+fn pipeline_trains_on_reimported_log() {
+    // Synthesize, export, re-import with the standard catalog.
+    let synthetic = Generator::new(GeneratorConfig::tiny(71)).generate();
+    let mut csv = Vec::new();
+    write_csv_log(&synthetic, &mut csv).unwrap();
+    let imported = LogImporter::new(CatalogMode::Standard)
+        .read_csv(csv.as_slice())
+        .unwrap();
+    assert_eq!(imported.sessions().len(), synthetic.sessions().len());
+
+    let trained = Pipeline::new(PipelineConfig::test_profile(71))
+        .train(&imported)
+        .expect("pipeline trains on imported data");
+    assert!(trained.detector().n_clusters() >= 2);
+    // Imported sessions carry no archetype labels: purity must degrade to 0
+    // gracefully, not panic.
+    assert_eq!(ibcm::experiments::clustering_purity(&trained), 0.0);
+    // Scoring still separates normal from random.
+    let normal = trained
+        .detector()
+        .score_session(imported.sessions()[0].actions());
+    let random = trained
+        .detector()
+        .score_session(imported.random_sessions(1, 3)[0].actions());
+    assert!(normal.score.avg_likelihood.is_finite());
+    assert!(random.score.avg_likelihood.is_finite());
+}
+
+#[test]
+fn pipeline_trains_on_custom_vocabulary() {
+    // A log whose actions are NOT in the standard catalog: the FromLog
+    // catalog defines the vocabulary, and the whole pipeline must follow.
+    let mut csv = Vec::new();
+    writeln!(csv, "session,user,minute,action").unwrap();
+    // Two behaviors over a custom 6-action vocabulary, 120 sessions.
+    for i in 0..120 {
+        let (user, actions): (usize, [&str; 6]) = if i % 2 == 0 {
+            (i % 7, ["OpOpen", "OpRead", "OpRead", "OpClose", "OpOpen", "OpRead"])
+        } else {
+            (7 + i % 7, ["OpPush", "OpPull", "OpMerge", "OpPush", "OpPull", "OpMerge"])
+        };
+        for a in actions {
+            writeln!(csv, "s{i},u{user},{},{a}", i * 3).unwrap();
+        }
+    }
+    let dataset = LogImporter::new(CatalogMode::FromLog)
+        .read_csv(csv.as_slice())
+        .unwrap();
+    assert_eq!(dataset.catalog().len(), 6);
+
+    let mut cfg = PipelineConfig::test_profile(5);
+    cfg.expert.target_clusters = 2;
+    cfg.expert.min_cluster_sessions = 10;
+    let trained = Pipeline::new(cfg).train(&dataset).expect("custom vocab pipeline");
+    assert_eq!(trained.detector().n_clusters(), 2);
+
+    // Each behavior routes to its own cluster and scores high.
+    let open_read = &dataset.sessions()[0];
+    let push_pull = &dataset.sessions()[1];
+    let v1 = trained.detector().score_session(open_read.actions());
+    let v2 = trained.detector().score_session(push_pull.actions());
+    assert_ne!(v1.cluster, v2.cluster, "behaviors should separate");
+    assert!(v1.score.avg_likelihood > 0.3, "likelihood {}", v1.score.avg_likelihood);
+    assert!(v2.score.avg_likelihood > 0.3, "likelihood {}", v2.score.avg_likelihood);
+}

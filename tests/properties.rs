@@ -1,0 +1,142 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for *any* input, exercised through the public facade.
+
+use std::sync::OnceLock;
+
+use ibcm::{
+    ActionId, LmTrainConfig, LstmLm, MisuseDetector, NgramConfig, NgramLm, OcSvm, OcSvmConfig,
+    SessionFeaturizer,
+};
+use proptest::prelude::*;
+
+/// A small detector trained once and shared across property cases.
+fn detector() -> &'static MisuseDetector {
+    static DET: OnceLock<MisuseDetector> = OnceLock::new();
+    DET.get_or_init(|| {
+        let vocab = 8;
+        let featurizer = SessionFeaturizer::new(vocab, true);
+        let seqs0: Vec<Vec<usize>> = (0..15).map(|_| vec![0, 1, 2, 3, 0, 1, 2, 3]).collect();
+        let seqs1: Vec<Vec<usize>> = (0..15).map(|_| vec![4, 5, 6, 7, 4, 5, 6, 7]).collect();
+        let feats = |seqs: &[Vec<usize>]| -> Vec<Vec<f64>> {
+            seqs.iter()
+                .map(|s| {
+                    let acts: Vec<ActionId> = s.iter().map(|&t| ActionId(t)).collect();
+                    featurizer.features(&acts)
+                })
+                .collect()
+        };
+        let cfg = OcSvmConfig::default();
+        let router = ibcm::ClusterRouter::new(
+            vec![
+                OcSvm::train(&feats(&seqs0), &cfg).unwrap(),
+                OcSvm::train(&feats(&seqs1), &cfg).unwrap(),
+            ],
+            featurizer,
+        );
+        let lm_cfg = LmTrainConfig {
+            vocab,
+            hidden: 10,
+            dropout: 0.0,
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.01,
+            patience: 0,
+            ..LmTrainConfig::default()
+        };
+        MisuseDetector::new(
+            router,
+            vec![
+                LstmLm::train(&lm_cfg, &seqs0, &[]).unwrap(),
+                LstmLm::train(&lm_cfg, &seqs1, &[]).unwrap(),
+            ],
+            15,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any session (including empty and out-of-vocab actions) gets a finite
+    /// verdict with likelihood in [0, 1] and non-negative loss.
+    #[test]
+    fn verdicts_are_well_formed(actions in prop::collection::vec(0usize..12, 0..40)) {
+        let acts: Vec<ActionId> = actions.iter().map(|&a| ActionId(a)).collect();
+        let v = detector().score_session(&acts);
+        prop_assert!(v.cluster.index() < detector().n_clusters());
+        prop_assert!((0.0..=1.0).contains(&v.score.avg_likelihood));
+        prop_assert!(v.score.avg_loss >= 0.0);
+        prop_assert!(v.score.avg_likelihood.is_finite() && v.score.avg_loss.is_finite());
+    }
+
+    /// Scoring is a pure function of the action sequence.
+    #[test]
+    fn scoring_is_deterministic(actions in prop::collection::vec(0usize..8, 2..30)) {
+        let acts: Vec<ActionId> = actions.iter().map(|&a| ActionId(a)).collect();
+        prop_assert_eq!(
+            detector().score_session(&acts),
+            detector().score_session(&acts)
+        );
+    }
+
+    /// The featurizer always emits a fixed-dimension vector whose bag part
+    /// is a sub-probability (sums to <= 1, exactly 1 when all in vocab).
+    #[test]
+    fn featurizer_emits_subprobability(actions in prop::collection::vec(0usize..20, 0..60)) {
+        let f = SessionFeaturizer::new(10, true);
+        let acts: Vec<ActionId> = actions.iter().map(|&a| ActionId(a)).collect();
+        let x = f.features(&acts);
+        prop_assert_eq!(x.len(), 11);
+        let bag: f64 = x[..10].iter().sum();
+        prop_assert!(bag <= 1.0 + 1e-9);
+        if !actions.is_empty() && actions.iter().all(|&a| a < 10) {
+            prop_assert!((bag - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The n-gram model's next-action distribution is a valid probability
+    /// simplex for any prefix.
+    #[test]
+    fn ngram_probs_are_simplex(
+        train in prop::collection::vec(prop::collection::vec(0usize..6, 2..12), 1..8),
+        prefix in prop::collection::vec(0usize..6, 0..10),
+    ) {
+        let lm = NgramLm::train(
+            &NgramConfig { vocab: 6, ..NgramConfig::default() },
+            &train,
+        );
+        prop_assume!(lm.is_ok());
+        let p = lm.unwrap().next_probs(&prefix);
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    /// Detector serialization round-trips for the shared fixture detector
+    /// regardless of which probe session is compared.
+    #[test]
+    fn persisted_detector_scores_identically(actions in prop::collection::vec(0usize..8, 2..20)) {
+        static RESTORED: OnceLock<MisuseDetector> = OnceLock::new();
+        let restored = RESTORED.get_or_init(|| {
+            MisuseDetector::from_bytes(&detector().to_bytes()).unwrap()
+        });
+        let acts: Vec<ActionId> = actions.iter().map(|&a| ActionId(a)).collect();
+        prop_assert_eq!(
+            detector().score_session(&acts),
+            restored.score_session(&acts)
+        );
+    }
+
+    /// OC-SVM decisions are finite for arbitrary probe vectors.
+    #[test]
+    fn ocsvm_decisions_finite(probe in prop::collection::vec(-10.0f64..10.0, 3)) {
+        static SVM: OnceLock<OcSvm> = OnceLock::new();
+        let svm = SVM.get_or_init(|| {
+            let data: Vec<Vec<f64>> = (0..20)
+                .map(|i| vec![(i % 5) as f64 * 0.1, 1.0, -0.5])
+                .collect();
+            OcSvm::train(&data, &OcSvmConfig::default()).unwrap()
+        });
+        prop_assert!(svm.decision(&probe).is_finite());
+    }
+}
