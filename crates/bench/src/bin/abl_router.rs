@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("strategy,routing_accuracy");
     let mut rows = Vec::new();
     for s in strategies {
-        let acc = routing_accuracy(&trained, s);
+        let acc = routing_accuracy(&trained, s, harness.threads);
         println!("{},{acc:.4}", s.label());
         rows.push(vec![s.label(), fmt(acc)]);
     }

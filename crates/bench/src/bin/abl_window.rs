@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("lock_in,routing_accuracy");
     let mut rows = Vec::new();
     for k in [1usize, 3, 5, 10, 15, 25, 50, 100, usize::MAX] {
-        let acc = routing_accuracy(&trained, RoutingStrategy::LockIn(k));
+        let acc = routing_accuracy(&trained, RoutingStrategy::LockIn(k), harness.threads);
         let label = if k == usize::MAX {
             "inf".to_string()
         } else {

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trained = harness.train(&dataset)?;
     let lm = harness.scale.pipeline_config(harness.seed).lm;
     let baselines = train_global_baselines(&trained, &lm, harness.seed)?;
-    let rows = fig11_fig12_per_cluster(&trained, &baselines.global);
+    let rows = fig11_fig12_per_cluster(&trained, &baselines.global, harness.threads);
     println!(
         "cluster,size,true_lik,routed_lik,locked_lik,global_lik,true_loss,routed_loss,locked_loss,global_loss"
     );

@@ -12,7 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let harness = Harness::from_env()?;
     let dataset = harness.dataset();
     let trained = harness.train(&dataset)?;
-    let rows = fig6_ocsvm_scores(&trained, 300);
+    let rows = fig6_ocsvm_scores(&trained, 300, harness.threads);
     println!("position,right_mean,max_mean,count");
     for r in rows.iter().take(40) {
         println!(

@@ -12,7 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let harness = Harness::from_env()?;
     let dataset = harness.dataset();
     let trained = harness.train(&dataset)?;
-    let rows = fig7_online_likelihood(&trained, 300);
+    let rows = fig7_online_likelihood(&trained, 300, harness.threads);
     println!("position,every_step_mean,every_step_std,locked_mean,locked_std,count");
     for r in rows.iter().take(40) {
         println!(

@@ -11,7 +11,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let harness = Harness::from_env()?;
     let dataset = harness.dataset();
     let trained = harness.train(&dataset)?;
-    let rows = fig8_fig9_normality(&trained, &dataset, harness.seed ^ 0xab);
+    let rows = fig8_fig9_normality(&trained, &dataset, harness.seed ^ 0xab, harness.threads);
     println!("population,avg_likelihood,avg_loss,sessions");
     for r in &rows {
         println!(

@@ -171,7 +171,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Fig. 6 -----------------------------------------------------------------
-    let fig6 = experiments::fig6_ocsvm_scores(&trained, 300);
+    let fig6 = experiments::fig6_ocsvm_scores(&trained, 300, harness.threads);
     harness.write_csv(
         "fig6_ocsvm_scores",
         &["position", "right_mean", "max_mean", "count"],
@@ -198,7 +198,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ---- Fig. 7 ---------------------------------------------------------------
-    let fig7 = experiments::fig7_online_likelihood(&trained, 300);
+    let fig7 = experiments::fig7_online_likelihood(&trained, 300, harness.threads);
     harness.write_csv(
         "fig7_online_likelihood",
         &["position", "every_step_mean", "every_step_std", "locked_mean", "locked_std", "count"],
@@ -225,7 +225,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Figs. 8 & 9 ----------------------------------------------------------
-    let fig8 = experiments::fig8_fig9_normality(&trained, &dataset, harness.seed ^ 0xab);
+    let fig8 = experiments::fig8_fig9_normality(&trained, &dataset, harness.seed ^ 0xab, harness.threads);
     harness.write_csv(
         "fig8_fig9_normality",
         &["population", "avg_likelihood", "avg_loss", "sessions"],
@@ -252,7 +252,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Figs. 11 & 12 -----------------------------------------------------------
-    let fig11 = experiments::fig11_fig12_per_cluster(&trained, &baselines.global);
+    let fig11 = experiments::fig11_fig12_per_cluster(&trained, &baselines.global, harness.threads);
     harness.write_csv(
         "fig11_fig12_normality_percluster",
         &[
@@ -289,7 +289,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- §IV-D top-20 -----------------------------------------------------------
-    let top = experiments::top_suspicious(&trained, &dataset, 10, 20, harness.seed ^ 0x515);
+    let top = experiments::top_suspicious(&trained, &dataset, 10, 20, harness.seed ^ 0x515, harness.threads);
     harness.write_csv(
         "top20_suspicious",
         &["rank", "avg_likelihood", "avg_loss", "cluster", "injected", "actions"],
@@ -320,7 +320,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RoutingStrategy::NearestCentroid,
         RoutingStrategy::Knn(5),
     ] {
-        let acc = routing_accuracy(&trained, s);
+        let acc = routing_accuracy(&trained, s, harness.threads);
         abl_rows.push(vec![s.label(), fmt(acc)]);
     }
     harness.write_csv("abl_router", &["strategy", "routing_accuracy"], abl_rows)?;

@@ -10,7 +10,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let harness = Harness::from_env()?;
     let dataset = harness.dataset();
     let trained = harness.train(&dataset)?;
-    let top = top_suspicious(&trained, &dataset, 10, 20, harness.seed ^ 0x515);
+    let top = top_suspicious(&trained, &dataset, 10, 20, harness.seed ^ 0x515, harness.threads);
     let hits = top.iter().filter(|s| s.injected_misuse).count();
     println!("# {hits}/{} of the top-{} are injected misuse bursts", 10, top.len());
     println!("rank,avg_likelihood,avg_loss,cluster,injected,actions");

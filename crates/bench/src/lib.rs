@@ -83,6 +83,10 @@ pub struct Harness {
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the parallel stages (`IBCM_THREADS`, defaulting
+    /// to the available cores). Results are identical at any value; see
+    /// DESIGN.md, "Parallelism & determinism".
+    pub threads: usize,
     results_dir: PathBuf,
 }
 
@@ -91,14 +95,16 @@ impl Harness {
     pub fn from_env() -> std::io::Result<Self> {
         let scale = Scale::from_env();
         let seed = seed_from_env();
+        let threads = ibcm_core::par::default_threads();
         let results_dir = std::env::var("IBCM_RESULTS")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
         std::fs::create_dir_all(&results_dir)?;
-        eprintln!("[ibcm] scale={} seed={seed}", scale.label());
+        eprintln!("[ibcm] scale={} seed={seed} threads={threads}", scale.label());
         Ok(Harness {
             scale,
             seed,
+            threads,
             results_dir,
         })
     }

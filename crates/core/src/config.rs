@@ -40,6 +40,16 @@ pub struct PipelineConfig {
     pub train_frac: f64,
     /// Validation fraction of each cluster's sessions.
     pub val_frac: f64,
+    /// Worker threads for the parallel stages (per-cluster model training;
+    /// the LDA ensemble reads the same environment default directly).
+    ///
+    /// Profiles initialize this from [`ibcm_par::default_threads`] — the
+    /// `IBCM_THREADS` environment variable if set, otherwise the machine's
+    /// available cores. `0` is clamped to 1 by
+    /// [`PipelineConfig::effective_parallelism`]. Any value produces
+    /// bit-identical training results; see DESIGN.md, "Parallelism &
+    /// determinism".
+    pub parallelism: usize,
 }
 
 impl PipelineConfig {
@@ -72,6 +82,7 @@ impl PipelineConfig {
             lock_in: 15,
             train_frac: 0.7,
             val_frac: 0.15,
+            parallelism: ibcm_par::default_threads(),
         }
     }
 
@@ -103,6 +114,7 @@ impl PipelineConfig {
             lock_in: 15,
             train_frac: 0.7,
             val_frac: 0.15,
+            parallelism: ibcm_par::default_threads(),
         }
     }
 
@@ -127,6 +139,13 @@ impl PipelineConfig {
             seed: self.seed,
             ..EnsembleConfig::standard(vocab, self.seed)
         }
+    }
+
+    /// The worker-thread count the parallel stages actually use:
+    /// [`PipelineConfig::parallelism`] with the degenerate value `0`
+    /// clamped to 1 (sequential).
+    pub fn effective_parallelism(&self) -> usize {
+        self.parallelism.max(1)
     }
 
     /// The derived OC-SVM configuration.
@@ -197,6 +216,17 @@ mod tests {
         assert!((cfg.lm.learning_rate - 1e-3).abs() < 1e-9);
         assert_eq!(cfg.expert.target_clusters, 13);
         assert_eq!(cfg.lock_in, 15);
+    }
+
+    #[test]
+    fn parallelism_zero_clamps_to_one() {
+        let mut cfg = PipelineConfig::test_profile(0);
+        assert!(cfg.parallelism >= 1, "profiles default to at least 1 worker");
+        cfg.parallelism = 0;
+        assert_eq!(cfg.effective_parallelism(), 1);
+        assert!(cfg.validate().is_ok(), "0 workers is clamped, not rejected");
+        cfg.parallelism = 8;
+        assert_eq!(cfg.effective_parallelism(), 8);
     }
 
     #[test]

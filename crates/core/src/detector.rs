@@ -153,19 +153,78 @@ impl MisuseDetector {
         }
     }
 
+    /// Scores a batch of sessions on `threads` worker threads, preserving
+    /// input order.
+    ///
+    /// Sessions are independent at inference time, so the batch is chunked
+    /// across the shared [`crate::par`] pool; each verdict lands in the slot
+    /// of its input index, making the output identical to a sequential
+    /// [`MisuseDetector::score_session`] loop at any thread count. `threads`
+    /// of 0 or 1 runs inline. Pass
+    /// [`PipelineConfig::effective_parallelism`](crate::PipelineConfig::effective_parallelism)
+    /// to follow the pipeline-wide setting.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use ibcm_core::{Pipeline, PipelineConfig};
+    /// use ibcm_logsim::{Generator, GeneratorConfig};
+    ///
+    /// let dataset = Generator::new(GeneratorConfig::tiny(7)).generate();
+    /// let config = PipelineConfig::test_profile(7);
+    /// let threads = config.effective_parallelism();
+    /// let trained = Pipeline::new(config).train(&dataset)?;
+    /// let sessions: Vec<Vec<ibcm_logsim::ActionId>> = dataset
+    ///     .sessions()
+    ///     .iter()
+    ///     .map(|s| s.actions().to_vec())
+    ///     .collect();
+    /// let verdicts = trained.detector().score_sessions(&sessions, threads);
+    /// assert_eq!(verdicts.len(), sessions.len());
+    /// # Ok::<(), ibcm_core::CoreError>(())
+    /// ```
+    pub fn score_sessions<S>(&self, sessions: &[S], threads: usize) -> Vec<SessionVerdict>
+    where
+        S: AsRef<[ActionId]> + Sync,
+    {
+        ibcm_par::par_map(threads, sessions, |_, s| self.score_session(s.as_ref()))
+    }
+
     /// Ranks sessions most-suspicious-first (ascending average likelihood,
     /// ties broken by descending loss) — the paper's §IV-D analyst review
     /// list. Sessions too short to score (< 2 actions) are excluded.
     ///
+    /// Scores sequentially; see [`MisuseDetector::rank_suspicious_par`] for
+    /// the multi-threaded variant (identical output).
+    ///
     /// Returns `(index into the input, verdict)` pairs.
     pub fn rank_suspicious<S>(&self, sessions: &[S], top_k: usize) -> Vec<(usize, SessionVerdict)>
     where
-        S: AsRef<[ActionId]>,
+        S: AsRef<[ActionId]> + Sync,
     {
-        let mut scored: Vec<(usize, SessionVerdict)> = sessions
-            .iter()
+        self.rank_suspicious_par(sessions, top_k, 1)
+    }
+
+    /// [`MisuseDetector::rank_suspicious`] with scoring parallelized over
+    /// `threads` workers via [`MisuseDetector::score_sessions`].
+    ///
+    /// The ranking is a stable sort over order-preserved batch scores, so
+    /// the result — including tie order — is identical at any thread count.
+    ///
+    /// Returns `(index into the input, verdict)` pairs.
+    pub fn rank_suspicious_par<S>(
+        &self,
+        sessions: &[S],
+        top_k: usize,
+        threads: usize,
+    ) -> Vec<(usize, SessionVerdict)>
+    where
+        S: AsRef<[ActionId]> + Sync,
+    {
+        let mut scored: Vec<(usize, SessionVerdict)> = self
+            .score_sessions(sessions, threads)
+            .into_iter()
             .enumerate()
-            .map(|(i, s)| (i, self.score_session(s.as_ref())))
             .filter(|(_, v)| v.score.n_predictions > 0)
             .collect();
         scored.sort_by(|a, b| {
@@ -272,6 +331,49 @@ mod tests {
         let ranked = d.rank_suspicious(&sessions, 2);
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].0, 2, "the scrambled session should rank first");
+    }
+
+    #[test]
+    fn batch_scoring_matches_sequential_at_any_thread_count() {
+        let d = detector();
+        let sessions: Vec<Vec<ActionId>> = (0..13)
+            .map(|i| {
+                if i % 2 == 0 {
+                    acts(&[0, 1, 2, 0, 1, 2])
+                } else {
+                    acts(&[3, 4, 5, 3, 4])
+                }
+            })
+            .collect();
+        let sequential: Vec<SessionVerdict> =
+            sessions.iter().map(|s| d.score_session(s)).collect();
+        for threads in [0, 1, 2, 4, 32] {
+            assert_eq!(
+                d.score_sessions(&sessions, threads),
+                sequential,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_ranking_matches_sequential() {
+        let d = detector();
+        let sessions: Vec<Vec<ActionId>> = vec![
+            acts(&[0, 1, 2, 0, 1, 2]),
+            acts(&[3, 4, 5, 3, 4, 5]),
+            acts(&[2, 2, 5, 5, 0, 3]),
+            acts(&[0]),
+            acts(&[0, 1, 2, 0, 1, 2, 0]),
+        ];
+        let sequential = d.rank_suspicious(&sessions, 3);
+        for threads in [2, 4] {
+            assert_eq!(
+                d.rank_suspicious_par(&sessions, 3, threads),
+                sequential,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

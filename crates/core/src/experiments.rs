@@ -3,7 +3,7 @@
 //! binaries are thin CSV-writing wrappers around these.
 
 use ibcm_lm::{LmTrainConfig, LstmLm, SequenceEval};
-use ibcm_logsim::{ClusterId, Dataset, Session};
+use ibcm_logsim::{ActionId, ClusterId, Dataset, Session};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -203,25 +203,41 @@ pub struct OcSvmScoreRow {
 }
 
 /// Fig. 6: per-position OC-SVM score development over the united test sets.
-pub fn fig6_ocsvm_scores(trained: &TrainedPipeline, max_positions: usize) -> Vec<OcSvmScoreRow> {
+///
+/// Per-session prefix scores are computed on `threads` workers; the
+/// position-wise sums are folded sequentially in session order, so the
+/// output is bit-identical to the single-threaded run.
+pub fn fig6_ocsvm_scores(
+    trained: &TrainedPipeline,
+    max_positions: usize,
+    threads: usize,
+) -> Vec<OcSvmScoreRow> {
     let router = trained.detector().router();
+    let sessions: Vec<(&Session, ClusterId)> = trained
+        .clusters()
+        .iter()
+        .flat_map(|c| c.test.iter().map(move |s| (s, c.cluster)))
+        .collect();
+    let per_session: Vec<Option<(Vec<f64>, Vec<f64>)>> =
+        ibcm_par::par_map(threads, &sessions, |_, &(s, cluster)| {
+            let horizon = s.len().min(max_positions);
+            if horizon == 0 {
+                return None;
+            }
+            let prefix = &s.actions()[..horizon];
+            Some((
+                router.prefix_scores(prefix, cluster),
+                router.prefix_max_scores(prefix),
+            ))
+        });
     let mut right = vec![0.0f64; max_positions];
     let mut maxes = vec![0.0f64; max_positions];
     let mut counts = vec![0usize; max_positions];
-    for c in trained.clusters() {
-        for s in &c.test {
-            let horizon = s.len().min(max_positions);
-            if horizon == 0 {
-                continue;
-            }
-            let prefix = &s.actions()[..horizon];
-            let right_scores = router.prefix_scores(prefix, c.cluster);
-            let max_scores = router.prefix_max_scores(prefix);
-            for p in 0..horizon {
-                right[p] += right_scores[p];
-                maxes[p] += max_scores[p];
-                counts[p] += 1;
-            }
+    for (right_scores, max_scores) in per_session.into_iter().flatten() {
+        for (p, (r, m)) in right_scores.iter().zip(max_scores.iter()).enumerate() {
+            right[p] += r;
+            maxes[p] += m;
+            counts[p] += 1;
         }
     }
     (0..max_positions)
@@ -255,20 +271,32 @@ pub struct OnlineLikelihoodRow {
 
 /// Fig. 7: the online regime over the united test sets, comparing
 /// every-step routing against first-`lock_in` majority-vote routing.
+///
+/// The per-session simulation (the expensive part: one LM scorer per
+/// cluster, advanced action by action) runs on `threads` workers; each
+/// session's per-position likelihood pairs are folded into the global
+/// sums sequentially in session order, so the output is bit-identical to
+/// the single-threaded run.
 pub fn fig7_online_likelihood(
     trained: &TrainedPipeline,
     max_positions: usize,
+    threads: usize,
 ) -> Vec<OnlineLikelihoodRow> {
     let det = trained.detector();
     let router = det.router();
     let k = det.n_clusters();
-    let mut acc = vec![[0.0f64; 4]; max_positions]; // sum, sq, lsum, lsq
-    let mut counts = vec![0usize; max_positions];
-    for c in trained.clusters() {
-        for s in &c.test {
+    let sessions: Vec<&Session> = trained
+        .clusters()
+        .iter()
+        .flat_map(|c| c.test.iter())
+        .collect();
+    // (p_every, p_locked) per predicted position of one session.
+    let per_session: Vec<Vec<(f64, f64)>> =
+        ibcm_par::par_map(threads, &sessions, |_, &s| {
             let tokens = det.encode(s.actions());
+            let mut pairs = Vec::new();
             if tokens.len() < 2 {
-                continue;
+                return pairs;
             }
             let locked = router
                 .route_with_lock_in(s.actions(), det.lock_in())
@@ -278,22 +306,29 @@ pub fn fig7_online_likelihood(
                 .collect();
             scorers.iter_mut().for_each(|sc| sc.advance(tokens[0]));
             for (t, &tok) in tokens.iter().enumerate().skip(1) {
-                let pos = t - 1;
-                if pos >= max_positions {
+                if t > max_positions {
                     break;
                 }
                 // Baseline 1: cluster re-predicted from the observed prefix.
                 let every_cluster =
                     router.route(&s.actions()[..t]).cluster;
-                let p_every = scorers[every_cluster.index()].probs()[tok] as f64;
-                let p_locked = scorers[locked.index()].probs()[tok] as f64;
-                acc[pos][0] += p_every;
-                acc[pos][1] += p_every * p_every;
-                acc[pos][2] += p_locked;
-                acc[pos][3] += p_locked * p_locked;
-                counts[pos] += 1;
+                pairs.push((
+                    scorers[every_cluster.index()].probs()[tok] as f64,
+                    scorers[locked.index()].probs()[tok] as f64,
+                ));
                 scorers.iter_mut().for_each(|sc| sc.advance(tok));
             }
+            pairs
+        });
+    let mut acc = vec![[0.0f64; 4]; max_positions]; // sum, sq, lsum, lsq
+    let mut counts = vec![0usize; max_positions];
+    for pairs in per_session {
+        for (pos, (p_every, p_locked)) in pairs.into_iter().enumerate() {
+            acc[pos][0] += p_every;
+            acc[pos][1] += p_every * p_every;
+            acc[pos][2] += p_locked;
+            acc[pos][3] += p_locked * p_locked;
+            counts[pos] += 1;
         }
     }
     (0..max_positions)
@@ -330,18 +365,24 @@ pub struct NormalityRow {
 /// Figs. 8 and 9: normality of the real test sessions vs. the artificial
 /// random test set (same count, lengths uniform in `[5, 25]`, uniform
 /// actions — §IV-D).
+///
+/// Scoring is batched over `threads` workers via
+/// [`MisuseDetector::score_sessions`](crate::MisuseDetector::score_sessions);
+/// the population means are folded in session order, so the output is
+/// bit-identical to the single-threaded run.
 pub fn fig8_fig9_normality(
     trained: &TrainedPipeline,
     dataset: &Dataset,
     seed: u64,
+    threads: usize,
 ) -> Vec<NormalityRow> {
     let det = trained.detector();
     let score_all = |sessions: &[Session]| -> (f64, f64, usize) {
+        let refs: Vec<&[ActionId]> = sessions.iter().map(|s| s.actions()).collect();
         let mut lik = 0.0;
         let mut loss = 0.0;
         let mut n = 0usize;
-        for s in sessions {
-            let v = det.score_session(s.actions());
+        for v in det.score_sessions(&refs, threads) {
             if v.score.n_predictions > 0 {
                 lik += v.score.avg_likelihood as f64;
                 loss += v.score.avg_loss as f64;
@@ -393,15 +434,18 @@ pub struct PerClusterNormalityRow {
 
 /// Figs. 11 and 12: per-cluster normality (likelihood and loss) for the four
 /// baselines the appendix compares, ascending cluster size.
+///
+/// Each cluster's row is an independent job on `threads` workers; rows are
+/// collected in cluster order before the final size sort, so the output is
+/// bit-identical to the single-threaded run.
 pub fn fig11_fig12_per_cluster(
     trained: &TrainedPipeline,
     global: &LstmLm,
+    threads: usize,
 ) -> Vec<PerClusterNormalityRow> {
     let det = trained.detector();
-    let mut rows: Vec<PerClusterNormalityRow> = trained
-        .clusters()
-        .iter()
-        .map(|c| {
+    let mut rows: Vec<PerClusterNormalityRow> =
+        ibcm_par::par_map(threads, trained.clusters(), |_, c| {
             let test_tokens = encode(&c.test);
             let true_eval = det.model(c.cluster).evaluate(&test_tokens);
             let eval_with = |pick: &dyn Fn(&Session) -> ClusterId| -> SequenceEval {
@@ -442,8 +486,7 @@ pub fn fig11_fig12_per_cluster(
                 locked,
                 global: global.evaluate(&test_tokens),
             }
-        })
-        .collect();
+        });
     rows.sort_by_key(|r| r.size);
     rows
 }
@@ -468,12 +511,17 @@ pub struct SuspiciousSession {
 
 /// §IV-D: mixes the united test sets with `n_misuse` injected misuse bursts
 /// and returns the top-`k` most suspicious sessions.
+///
+/// Scoring runs on `threads` workers via
+/// [`MisuseDetector::rank_suspicious_par`](crate::MisuseDetector::rank_suspicious_par);
+/// the ranking (including tie order) is identical at any thread count.
 pub fn top_suspicious(
     trained: &TrainedPipeline,
     dataset: &Dataset,
     n_misuse: usize,
     k: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<SuspiciousSession> {
     let det = trained.detector();
     let mut sessions: Vec<(Vec<ibcm_logsim::ActionId>, bool)> = trained
@@ -486,7 +534,7 @@ pub fn top_suspicious(
     }
     let action_lists: Vec<Vec<ibcm_logsim::ActionId>> =
         sessions.iter().map(|(a, _)| a.clone()).collect();
-    let ranked = det.rank_suspicious(&action_lists, k);
+    let ranked = det.rank_suspicious_par(&action_lists, k, threads);
     ranked
         .into_iter()
         .enumerate()
@@ -651,7 +699,15 @@ impl RoutingStrategy {
 
 /// Ablation: fraction of test sessions routed back to the cluster whose
 /// split they belong to, under the given strategy.
-pub fn routing_accuracy(trained: &TrainedPipeline, strategy: RoutingStrategy) -> f64 {
+///
+/// Per-session routing decisions are independent and run on `threads`
+/// workers; the hit count is an order-insensitive integer sum, so the
+/// result is identical at any thread count.
+pub fn routing_accuracy(
+    trained: &TrainedPipeline,
+    strategy: RoutingStrategy,
+    threads: usize,
+) -> f64 {
     let det = trained.detector();
     let featurizer = det.router().featurizer();
     // Reference data for the instance-based strategies.
@@ -678,10 +734,13 @@ pub fn routing_accuracy(trained: &TrainedPipeline, strategy: RoutingStrategy) ->
     let sq_dist =
         |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
 
-    let mut hits = 0usize;
-    let mut total = 0usize;
-    for c in trained.clusters() {
-        for s in &c.test {
+    let sessions: Vec<(&Session, ClusterId)> = trained
+        .clusters()
+        .iter()
+        .flat_map(|c| c.test.iter().map(move |s| (s, c.cluster)))
+        .collect();
+    let hits_per_session: Vec<bool> =
+        ibcm_par::par_map(threads, &sessions, |_, &(s, actual)| {
             let predicted = match strategy {
                 RoutingStrategy::Full => det.router().route(s.actions()).cluster,
                 RoutingStrategy::LockIn(k) => {
@@ -722,11 +781,10 @@ pub fn routing_accuracy(trained: &TrainedPipeline, strategy: RoutingStrategy) ->
                     )
                 }
             };
-            hits += usize::from(predicted == c.cluster);
-            total += 1;
-        }
-    }
-    hits as f64 / total.max(1) as f64
+            predicted == actual
+        });
+    let hits = hits_per_session.iter().filter(|&&hit| hit).count();
+    hits as f64 / sessions.len().max(1) as f64
 }
 
 /// One configuration's outcome in the hyperparameter search.
@@ -888,12 +946,14 @@ pub fn detection_quality(
     dataset: &Dataset,
     n_abnormal: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<DetectionQualityRow> {
     let det = trained.detector();
     let score = |sessions: &[Session]| -> Vec<ibcm_lm::SessionScore> {
-        sessions
-            .iter()
-            .map(|s| det.score_session(s.actions()).score)
+        let refs: Vec<&[ActionId]> = sessions.iter().map(|s| s.actions()).collect();
+        det.score_sessions(&refs, threads)
+            .into_iter()
+            .map(|v| v.score)
             .filter(|s| s.n_predictions > 0)
             .collect()
     };
@@ -989,7 +1049,7 @@ mod tests {
     #[test]
     fn fig6_scores_decay_for_long_sessions() {
         let (_, t) = trained();
-        let rows = fig6_ocsvm_scores(&t, 60);
+        let rows = fig6_ocsvm_scores(&t, 60, 2);
         assert!(!rows.is_empty());
         // Counts must be non-increasing with position.
         for w in rows.windows(2) {
@@ -1004,7 +1064,7 @@ mod tests {
     #[test]
     fn fig7_curves_have_valid_stats() {
         let (_, t) = trained();
-        let rows = fig7_online_likelihood(&t, 30);
+        let rows = fig7_online_likelihood(&t, 30, 2);
         assert!(!rows.is_empty());
         for r in &rows {
             assert!((0.0..=1.0).contains(&r.every_step_mean));
@@ -1016,7 +1076,7 @@ mod tests {
     #[test]
     fn fig8_normality_separates_populations() {
         let (d, t) = trained();
-        let rows = fig8_fig9_normality(&t, &d, 77);
+        let rows = fig8_fig9_normality(&t, &d, 77, 2);
         assert_eq!(rows.len(), 2);
         let test = &rows[0];
         let random = &rows[1];
@@ -1032,7 +1092,7 @@ mod tests {
     #[test]
     fn top_suspicious_surfaces_injected_misuse() {
         let (d, t) = trained();
-        let top = top_suspicious(&t, &d, 10, 20, 5);
+        let top = top_suspicious(&t, &d, 10, 20, 5, 2);
         assert!(!top.is_empty());
         let injected_in_top = top.iter().filter(|s| s.injected_misuse).count();
         assert!(
@@ -1066,7 +1126,7 @@ mod tests {
             RoutingStrategy::NearestCentroid,
             RoutingStrategy::Knn(5),
         ] {
-            let acc = routing_accuracy(&t, strategy);
+            let acc = routing_accuracy(&t, strategy, 2);
             assert!(
                 acc > chance,
                 "{} accuracy {acc} vs chance {chance}",
@@ -1128,7 +1188,7 @@ mod tests {
     #[test]
     fn detection_quality_beats_chance_for_both_populations() {
         let (d, t) = trained();
-        let rows = detection_quality(&t, &d, 40, 9);
+        let rows = detection_quality(&t, &d, 40, 9, 2);
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(

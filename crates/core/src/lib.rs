@@ -43,7 +43,13 @@
 #![forbid(unsafe_code)]
 // Index-based loops are the clearest notation for the numeric kernels here.
 #![allow(clippy::needless_range_loop)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+
+/// The deterministic worker pool shared by the parallel stages (LDA
+/// ensemble fitting, per-cluster model training, batch scoring). Re-exported
+/// so downstream users size thread counts with the same
+/// [`par::default_threads`] policy (`IBCM_THREADS`, then available cores).
+pub use ibcm_par as par;
 
 mod config;
 mod detector;

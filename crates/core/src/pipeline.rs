@@ -59,10 +59,30 @@ impl Pipeline {
 
     /// Runs the full training phase on a dataset of normal behavior.
     ///
+    /// Per-cluster model training runs on
+    /// [`PipelineConfig::parallelism`](crate::PipelineConfig) worker
+    /// threads; results are bit-identical at any thread count because every
+    /// cluster derives its own seeds (see DESIGN.md, "Parallelism &
+    /// determinism").
+    ///
     /// # Errors
     ///
     /// Returns an error if the configuration is invalid, the corpus is too
     /// small to form a single cluster, or any component fails to train.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use ibcm_core::{Pipeline, PipelineConfig};
+    /// use ibcm_logsim::{Generator, GeneratorConfig};
+    ///
+    /// let dataset = Generator::new(GeneratorConfig::tiny(7)).generate();
+    /// let mut config = PipelineConfig::test_profile(7);
+    /// config.parallelism = 4; // same detector as parallelism = 1, faster
+    /// let trained = Pipeline::new(config).train(&dataset)?;
+    /// assert!(trained.detector().n_clusters() >= 1);
+    /// # Ok::<(), ibcm_core::CoreError>(())
+    /// ```
     pub fn train(&self, dataset: &Dataset) -> Result<TrainedPipeline, CoreError> {
         self.config.validate()?;
         let catalog = dataset.catalog();
@@ -116,10 +136,20 @@ impl Pipeline {
     /// well as by [`Pipeline::train`]). Groups with fewer than 4 sessions
     /// are skipped; surviving clusters are renumbered contiguously.
     ///
+    /// Each group's split → featurize → OC-SVM → LSTM chain is one job on
+    /// the shared [`crate::par`] worker pool
+    /// ([`PipelineConfig::effective_parallelism`](crate::PipelineConfig::effective_parallelism)
+    /// workers). Jobs derive every seed from the group's *original* index
+    /// `gi` (`seed.wrapping_add(gi)` for the split,
+    /// `lm.seed.wrapping_add(gi)` for the language model) and outputs are
+    /// reassembled in group order, so the result is bit-identical at any
+    /// thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InsufficientData`] if no group is trainable, or
-    /// propagates component failures.
+    /// propagates the first component failure in group order — a failing
+    /// job surfaces as a [`CoreError`], it does not panic the pool.
     pub fn train_clustered(
         &self,
         dataset: &Dataset,
@@ -128,50 +158,76 @@ impl Pipeline {
         let vocab = dataset.catalog().len();
         let featurizer = SessionFeaturizer::new(vocab, true);
         let svm_config = self.config.ocsvm_config();
+
+        // One job per original group index. Jobs own their sessions and
+        // borrow only immutable config, so they are independent; `gi` rides
+        // along because the seed derivation must use the original index
+        // even for groups that end up skipped or renumbered.
+        let config = &self.config;
+        let featurizer_ref = &featurizer;
+        let svm_config_ref = &svm_config;
+        let jobs: Vec<_> = cluster_sessions
+            .into_iter()
+            .enumerate()
+            .map(|(gi, sessions)| {
+                move || -> Result<Option<(OcSvm, LstmLm, ibcm_logsim::Split)>, CoreError> {
+                    if sessions.len() < 4 {
+                        return Ok(None); // cannot split 70/15/15 meaningfully
+                    }
+                    let split = split_sessions(
+                        sessions,
+                        config.train_frac,
+                        config.val_frac,
+                        config.seed.wrapping_add(gi as u64),
+                    )?;
+                    if split.train.is_empty() {
+                        return Ok(None);
+                    }
+                    let features: Vec<Vec<f64>> = split
+                        .train
+                        .iter()
+                        .map(|s| featurizer_ref.features(s.actions()))
+                        .collect();
+                    let svm = OcSvm::train(&features, svm_config_ref)?;
+
+                    let encode = |ss: &[Session]| -> Vec<Vec<usize>> {
+                        ss.iter()
+                            .map(|s| s.actions().iter().map(|a| a.index()).collect())
+                            .collect()
+                    };
+                    let lm_config = LmTrainConfig {
+                        vocab,
+                        seed: config.lm.seed.wrapping_add(gi as u64),
+                        ..config.lm
+                    };
+                    let model = LstmLm::train(
+                        &lm_config,
+                        &encode(&split.train),
+                        &encode(&split.validation),
+                    )?;
+                    Ok(Some((svm, model, split)))
+                }
+            })
+            .collect();
+        let outputs = ibcm_par::run_jobs(self.config.effective_parallelism(), jobs);
+
+        // Reassemble in group order: renumber survivors contiguously and
+        // propagate the first error, exactly as the sequential loop did.
         let mut clusters = Vec::new();
         let mut svms = Vec::new();
         let mut models = Vec::new();
-        for (gi, sessions) in cluster_sessions.into_iter().enumerate() {
-            if sessions.len() < 4 {
-                continue; // cannot split 70/15/15 meaningfully
+        for output in outputs {
+            if let Some((svm, model, split)) = output? {
+                let cluster = ClusterId(clusters.len());
+                clusters.push(ClusterData {
+                    cluster,
+                    train: split.train,
+                    validation: split.validation,
+                    test: split.test,
+                });
+                svms.push(svm);
+                models.push(model);
             }
-            let split = split_sessions(
-                sessions,
-                self.config.train_frac,
-                self.config.val_frac,
-                self.config.seed.wrapping_add(gi as u64),
-            )?;
-            if split.train.is_empty() {
-                continue;
-            }
-            let features: Vec<Vec<f64>> = split
-                .train
-                .iter()
-                .map(|s| featurizer.features(s.actions()))
-                .collect();
-            let svm = OcSvm::train(&features, &svm_config)?;
-
-            let encode = |ss: &[Session]| -> Vec<Vec<usize>> {
-                ss.iter()
-                    .map(|s| s.actions().iter().map(|a| a.index()).collect())
-                    .collect()
-            };
-            let lm_config = LmTrainConfig {
-                vocab,
-                seed: self.config.lm.seed.wrapping_add(gi as u64),
-                ..self.config.lm
-            };
-            let model = LstmLm::train(&lm_config, &encode(&split.train), &encode(&split.validation))?;
-
-            let cluster = ClusterId(clusters.len());
-            clusters.push(ClusterData {
-                cluster,
-                train: split.train,
-                validation: split.validation,
-                test: split.test,
-            });
-            svms.push(svm);
-            models.push(model);
         }
         if clusters.is_empty() {
             return Err(CoreError::InsufficientData(

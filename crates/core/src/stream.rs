@@ -138,7 +138,7 @@ impl StreamMonitor<'_> {
         });
         *last_seen = event.minute;
         let outcome = monitor.feed(event.action);
-        let alarm = outcome.alarm.then(|| StreamAlarm {
+        let alarm = outcome.alarm.then_some(StreamAlarm {
             user: event.user,
             position: outcome.position,
             minute: event.minute,

@@ -1,0 +1,249 @@
+//! `ibcm-par` — the deterministic scoped worker pool shared by every
+//! parallel stage of the pipeline.
+//!
+//! Three call sites use this crate and nothing else for parallelism: the
+//! LDA ensemble (`ibcm-topics`), per-cluster model training
+//! (`ibcm-core::Pipeline::train_clustered`), and batch session scoring
+//! (`ibcm-core::MisuseDetector::score_sessions`). Centralizing the idiom
+//! keeps the threading model analyzable in one place; DESIGN.md's
+//! "Parallelism & determinism" section documents the contract.
+//!
+//! # Determinism contract
+//!
+//! Every function here guarantees **bit-identical results at any thread
+//! count**, including 1. Two properties make this hold:
+//!
+//! 1. *Jobs are self-seeded.* Callers derive any randomness from a
+//!    per-job seed (e.g. `seed.wrapping_add(job_index)`) **before**
+//!    submitting the job; no job reads shared mutable state.
+//! 2. *Results are index-addressed.* Workers race only over **which** job
+//!    they pull (an atomic counter); each result is written to the slot of
+//!    its input index, so the output `Vec` is always in input order no
+//!    matter how the schedule interleaved.
+//!
+//! Thread-count selection (the `IBCM_THREADS` environment variable,
+//! [`default_threads`]) therefore affects wall-clock time only, never
+//! output bytes.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = ibcm_par::run_jobs(
+//!     4,
+//!     (0..8u64).map(|i| move || i * i).collect::<Vec<_>>(),
+//! );
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the `IBCM_THREADS` environment variable if it
+/// parses to a positive integer, otherwise the machine's available
+/// parallelism, and at least 1.
+pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("IBCM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` on up to `threads` scoped worker threads and returns their
+/// results **in input order**.
+///
+/// `threads` is clamped to `[1, jobs.len()]`; with one effective worker
+/// the jobs run inline on the calling thread with no pool overhead.
+/// Workers pull job indices from a shared atomic counter (dynamic load
+/// balancing — a slow job does not hold up the queue behind it) and write
+/// each result into the slot of its job index, which is what makes the
+/// output independent of scheduling.
+///
+/// # Panics
+///
+/// If a job panics the panic is propagated to the caller once the scope
+/// joins, matching the behavior of running the jobs inline. Fallible jobs
+/// should return `Result` and let the caller fold errors instead (see
+/// `Pipeline::train_clustered`).
+pub fn run_jobs<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let n = jobs.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let job_slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = job_slots[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("each job index is claimed exactly once");
+                let out = job();
+                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every claimed job stores a result")
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning outputs in
+/// input order.
+///
+/// Items are claimed in contiguous chunks (about eight chunks per worker)
+/// to amortize counter contention when items are cheap; chunking affects
+/// scheduling only, never results, because outputs remain index-addressed.
+/// `f` receives `(index, &item)` so callers can derive per-item seeds or
+/// labels from the stable input position.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = (n / (threads * 8)).max(1);
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    *results[i].lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some(f(i, &items[i]));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every chunk stores its results")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_jobs_preserves_input_order() {
+        // Stagger job durations so completion order differs from input
+        // order; results must still come back in input order.
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    if i % 4 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let out = run_jobs(4, jobs);
+        assert_eq!(out, (0..32u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_identical_across_thread_counts() {
+        let make_jobs = || {
+            (0..40u64)
+                .map(|i| move || i.wrapping_mul(0x9E37_79B9).rotate_left(13))
+                .collect::<Vec<_>>()
+        };
+        let seq = run_jobs(1, make_jobs());
+        for threads in [2, 3, 4, 16] {
+            assert_eq!(run_jobs(threads, make_jobs()), seq);
+        }
+    }
+
+    #[test]
+    fn run_jobs_handles_empty_and_oversized_pools() {
+        let empty: Vec<fn() -> u8> = Vec::new();
+        assert!(run_jobs(8, empty).is_empty());
+        let out = run_jobs(64, vec![|| 1u8, || 2u8]);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let out = run_jobs(0, vec![|| 7u32, || 8u32]);
+        assert_eq!(out, vec![7, 8]);
+        let mapped = par_map(0, &[1u32, 2, 3], |_, &x| x + 1);
+        assert_eq!(mapped, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 4, 9] {
+            assert_eq!(par_map(threads, &items, |_, &x| x * x + 1), seq);
+        }
+    }
+
+    #[test]
+    fn par_map_passes_stable_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = par_map(3, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_honors_ibcm_threads_env() {
+        // Only valid positive values are set, so the concurrent
+        // `default_threads_is_positive` test stays correct throughout.
+        let saved = std::env::var("IBCM_THREADS").ok();
+        std::env::set_var("IBCM_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("IBCM_THREADS", " 12 ");
+        assert_eq!(default_threads(), 12, "whitespace is trimmed");
+        match saved {
+            Some(v) => std::env::set_var("IBCM_THREADS", v),
+            None => std::env::remove_var("IBCM_THREADS"),
+        }
+        assert!(default_threads() >= 1);
+    }
+}

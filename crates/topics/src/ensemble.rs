@@ -101,11 +101,14 @@ pub struct Ensemble {
 
 impl Ensemble {
     /// Fits every ensemble member. Members are independent, so they are
-    /// trained on crossbeam scoped threads when more than one is requested.
+    /// trained on the shared [`ibcm_par`] worker pool; member `i` derives
+    /// its seed from the configuration alone, so results are identical at
+    /// any thread count (see DESIGN.md, "Parallelism & determinism").
     ///
     /// # Errors
     ///
-    /// Propagates the first member error ([`TopicsError`]).
+    /// Propagates the first member error ([`TopicsError`]) in
+    /// configuration order.
     pub fn fit(config: &EnsembleConfig, docs: &[Vec<usize>]) -> Result<Self, TopicsError> {
         let mut member_cfgs = Vec::new();
         for &k in &config.topic_counts {
@@ -129,18 +132,16 @@ impl Ensemble {
             ));
         }
 
-        let results: Vec<Result<TopicModel, TopicsError>> = if member_cfgs.len() == 1 {
-            vec![Lda::new(member_cfgs[0]).fit(docs)]
-        } else {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = member_cfgs
-                    .iter()
-                    .map(|cfg| scope.spawn(move |_| Lda::new(*cfg).fit(docs)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("LDA member panicked")).collect()
-            })
-            .expect("ensemble scope panicked")
-        };
+        let results: Vec<Result<TopicModel, TopicsError>> = ibcm_par::run_jobs(
+            ibcm_par::default_threads(),
+            member_cfgs
+                .iter()
+                .map(|cfg| {
+                    let cfg = *cfg;
+                    move || Lda::new(cfg).fit(docs)
+                })
+                .collect(),
+        );
 
         let mut runs = Vec::with_capacity(results.len());
         for r in results {

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trained.detector().n_clusters()
     );
 
-    let top = top_suspicious(&trained, &dataset, 8, 10, 123);
+    let top = top_suspicious(&trained, &dataset, 8, 10, 123, ibcm_core::par::default_threads());
     let mut caught = 0;
     for s in &top {
         if s.injected_misuse {

@@ -44,8 +44,8 @@
 #![warn(missing_docs)]
 
 pub use ibcm_core::{
-    experiments, AlarmPolicy, ClusterData, CoreError, DriftConfig, DriftDetector, DriftStatus,
-    MisuseDetector, MonitorEvent, OnlineMonitor,
+    experiments, par, AlarmPolicy, ClusterData, CoreError, DriftConfig, DriftDetector,
+    DriftStatus, MisuseDetector, MonitorEvent, OnlineMonitor,
     Pipeline, PipelineConfig, SessionEvent, SessionVerdict, SharedMonitor, StreamAlarm,
     StreamConfig, StreamMonitor, TrainedPipeline, WeightedVerdict,
 };

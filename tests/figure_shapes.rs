@@ -71,7 +71,7 @@ fn fig5_shape_informed_clusters_beat_size_matched_subsets() {
 #[test]
 fn fig6_shape_ocsvm_scores_decay_past_average_length() {
     let (_, trained) = fixture();
-    let rows = experiments::fig6_ocsvm_scores(trained, 200);
+    let rows = experiments::fig6_ocsvm_scores(trained, 200, 2);
     assert!(rows.len() > 20, "need a long enough curve");
     // The paper's curve peaks around the average session length (bags of
     // typical sessions) and decays for unusually long sessions. Compare the
@@ -98,7 +98,7 @@ fn fig6_shape_ocsvm_scores_decay_past_average_length() {
 #[test]
 fn fig8_fig9_shape_random_sessions_are_abnormal() {
     let (dataset, trained) = fixture();
-    let rows = experiments::fig8_fig9_normality(trained, dataset, 99);
+    let rows = experiments::fig8_fig9_normality(trained, dataset, 99, 2);
     let (test, random) = (&rows[0], &rows[1]);
     assert!(test.avg_likelihood > 3.0 * random.avg_likelihood);
     assert!(random.avg_loss > 1.5 * test.avg_loss, "paper: ~2x loss");
@@ -116,7 +116,7 @@ fn fig11_shape_lock_in_tracks_true_cluster() {
     let (_, trained) = fixture();
     let lm = PipelineConfig::test_profile(51).lm;
     let baselines = experiments::train_global_baselines(trained, &lm, 51).unwrap();
-    let rows = experiments::fig11_fig12_per_cluster(trained, &baselines.global);
+    let rows = experiments::fig11_fig12_per_cluster(trained, &baselines.global, 2);
     for r in &rows {
         // Locked routing must not be catastrophically worse than knowing
         // the true cluster.
@@ -135,8 +135,8 @@ fn ablation_shapes_hold() {
     let (_, trained) = fixture();
     use experiments::RoutingStrategy;
     let chance = 1.0 / trained.detector().n_clusters() as f64;
-    let full = experiments::routing_accuracy(trained, RoutingStrategy::Full);
-    let locked = experiments::routing_accuracy(trained, RoutingStrategy::LockIn(15));
+    let full = experiments::routing_accuracy(trained, RoutingStrategy::Full, 2);
+    let locked = experiments::routing_accuracy(trained, RoutingStrategy::LockIn(15), 2);
     assert!(full > chance && locked > chance);
     // Random partitions must produce near-chance purity; k-means better.
     let n = trained.clustering().assignment().len();

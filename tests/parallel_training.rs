@@ -1,0 +1,55 @@
+//! Integration: the threading model's contract (DESIGN.md, "Parallelism &
+//! determinism"). Training must be bit-identical at any worker count,
+//! per-cluster job failures must surface as [`CoreError`] instead of
+//! panicking the pool, and degenerate thread counts must be clamped.
+
+use ibcm::{CoreError, Generator, GeneratorConfig, MisuseDetector, Pipeline, PipelineConfig};
+
+fn detector_bytes(parallelism: usize) -> Vec<u8> {
+    let dataset = Generator::new(GeneratorConfig::tiny(31)).generate();
+    let mut config = PipelineConfig::test_profile(31);
+    config.parallelism = parallelism;
+    let trained = Pipeline::new(config).train(&dataset).unwrap();
+    trained.detector().to_bytes()
+}
+
+#[test]
+fn training_is_byte_identical_across_thread_counts() {
+    let one = detector_bytes(1);
+    let four = detector_bytes(4);
+    assert_eq!(
+        one, four,
+        "persisted detectors must be byte-identical at 1 and 4 workers"
+    );
+    // parallelism = 0 is clamped to 1, so it must also reproduce the bytes.
+    assert_eq!(one, detector_bytes(0), "parallelism 0 clamps to sequential");
+    // And the bytes round-trip through the persistence layer.
+    let back = MisuseDetector::from_bytes(&one).unwrap();
+    assert_eq!(back.to_bytes(), one);
+}
+
+#[test]
+fn cluster_job_failure_surfaces_as_core_error() {
+    let dataset = Generator::new(GeneratorConfig::tiny(33)).generate();
+    let mut config = PipelineConfig::test_profile(33);
+    config.lm.hidden = 0; // invalid: every LM job must fail inside the pool
+    config.parallelism = 4;
+    let groups = vec![dataset.sessions().to_vec()];
+    let err = Pipeline::new(config)
+        .train_clustered(&dataset, groups)
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::Lm(_)),
+        "expected the job's LmError to propagate as CoreError::Lm, got {err:?}"
+    );
+}
+
+#[test]
+fn profiles_pick_up_ibcm_threads_policy() {
+    // The profiles size their pool via `par::default_threads`; whatever the
+    // environment says, the result must be a usable worker count.
+    let threads = ibcm::par::default_threads();
+    assert!(threads >= 1);
+    assert_eq!(PipelineConfig::test_profile(1).parallelism, threads);
+    assert_eq!(PipelineConfig::default_profile(1).parallelism, threads);
+}

@@ -1,0 +1,332 @@
+//! Vendored offline stand-in for the `bytes` crate.
+//!
+//! Implements the little-endian cursor API subset the workspace's binary
+//! persistence formats use: [`BytesMut`] + [`BufMut`] for writing,
+//! [`Bytes`] + [`Buf`] for reading. Backed by a plain `Vec<u8>` (no
+//! zero-copy sharing); semantics of the provided methods — including
+//! panics on overrun — match upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// Read access to a byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Number of bytes left between the cursor and the end.
+    fn remaining(&self) -> usize;
+
+    /// The bytes left, as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Moves the cursor forward `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies `dst.len()` bytes into `dst`, advancing the cursor.
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice out of bounds: {} > {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write access to a growable byte buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a slice of bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// A growable, writable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.buf,
+            pos: 0,
+        }
+    }
+
+    /// Copies the written bytes into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+///
+/// [`Buf::advance`] moves the view forward, so `len`/`to_vec`/`Deref`
+/// always reflect the *remaining* bytes, as in upstream `bytes`.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates a buffer by copying `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Creates a buffer from a static slice (copied; no zero-copy here).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+
+    /// Number of remaining bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the remaining bytes into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// Returns a new buffer over `range` of the remaining bytes (a copy
+    /// here; upstream shares storage). Panics if the range is out of
+    /// bounds, as upstream does.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            start <= end && end <= len,
+            "slice out of bounds: {start}..{end} of {len}"
+        );
+        Bytes {
+            data: self.data[self.pos + start..self.pos + end].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.remaining(),
+            "advance out of bounds: {} > {}",
+            cnt,
+            self.remaining()
+        );
+        self.pos += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 3);
+        w.put_f32_le(1.5);
+        w.put_f64_le(-2.25);
+        w.put_slice(b"tail");
+        let mut r = Bytes::copy_from_slice(&w.to_vec());
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 4 + 8 + 4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        let mut tail = [0u8; 4];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn freeze_preserves_contents() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"abc");
+        let b = w.freeze();
+        assert_eq!(b.to_vec(), b"abc");
+        assert_eq!(&b[..], b"abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overrun_panics() {
+        let mut r = Bytes::from_static(b"ab");
+        r.get_u32_le();
+    }
+
+    #[test]
+    fn slice_is_relative_to_the_cursor() {
+        let mut b = Bytes::from_static(b"abcdef");
+        b.advance(2);
+        assert_eq!(b.slice(1..3).to_vec(), b"de");
+        assert_eq!(b.slice(..).to_vec(), b"cdef");
+        assert_eq!(b.slice(..=1).to_vec(), b"cd");
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_overrun_panics() {
+        let _ = Bytes::from_static(b"ab").slice(0..3);
+    }
+}

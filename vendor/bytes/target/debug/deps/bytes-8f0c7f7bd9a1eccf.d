@@ -1,0 +1,7 @@
+/root/repo/vendor/bytes/target/debug/deps/bytes-8f0c7f7bd9a1eccf.d: src/lib.rs
+
+/root/repo/vendor/bytes/target/debug/deps/libbytes-8f0c7f7bd9a1eccf.rlib: src/lib.rs
+
+/root/repo/vendor/bytes/target/debug/deps/libbytes-8f0c7f7bd9a1eccf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/bytes/target/debug/deps/bytes-f5c98ba577a4e1b6.d: src/lib.rs
+
+/root/repo/vendor/bytes/target/debug/deps/bytes-f5c98ba577a4e1b6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/bytes/target/release/deps/bytes-1174dc10f18d305f.d: src/lib.rs
+
+/root/repo/vendor/bytes/target/release/deps/libbytes-1174dc10f18d305f.rlib: src/lib.rs
+
+/root/repo/vendor/bytes/target/release/deps/libbytes-1174dc10f18d305f.rmeta: src/lib.rs
+
+src/lib.rs:

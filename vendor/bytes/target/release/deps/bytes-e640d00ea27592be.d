@@ -1,0 +1,5 @@
+/root/repo/vendor/bytes/target/release/deps/bytes-e640d00ea27592be.d: src/lib.rs
+
+/root/repo/vendor/bytes/target/release/deps/bytes-e640d00ea27592be: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,1 @@
+/root/repo/vendor/bytes/target/release/libbytes.rlib: /root/repo/vendor/bytes/src/lib.rs

@@ -1,0 +1,827 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's API the workspace's property tests
+//! use: the [`proptest!`] macro with `#![proptest_config(..)]`, the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, numeric-range and tuple strategies, a
+//! char-class regex subset for `&str` strategies, `prop::collection::vec`,
+//! [`arbitrary::any`], [`prop_oneof!`], and the `prop_assert*` /
+//! [`prop_assume!`] macros.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case panics with the assertion message;
+//!   inputs are not minimized.
+//! - **Deterministic generation.** The RNG is seeded from the test's
+//!   module path and name, so every run generates the same cases. Change
+//!   `cases` via `ProptestConfig::with_cases` to widen coverage.
+//! - Strategies are generators only (`gen_value`), not value trees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test configuration, RNG, and per-case error type.
+
+    /// Per-test configuration (subset of upstream's `Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration that runs `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!` and is not counted.
+        Reject(String),
+        /// An assertion failed; the test panics with this message.
+        Fail(String),
+    }
+
+    /// Deterministic RNG (SplitMix64) that drives all generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test's name (FNV-1a hash), so each
+        /// test has its own reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, bound)`. Panics if `bound == 0`.
+        pub fn next_index(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "cannot sample from an empty set");
+            ((self.next_u64() as u128).wrapping_mul(bound as u128) >> 64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike upstream proptest, a strategy here is a plain generator —
+    /// there is no value tree and no shrinking.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates an intermediate value, builds a second strategy from
+        /// it, and generates the final value from that.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and
+        /// `recurse` wraps a strategy for depth `d` into one for depth
+        /// `d + 1`. Nesting is bounded by `depth`; the size hints are
+        /// accepted for API compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur.clone()).boxed();
+                let shallow = leaf.clone();
+                cur = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                    // Half leaves, half deeper nesting; the bottom-up
+                    // construction bounds total depth structurally.
+                    if rng.next_u64() & 1 == 0 {
+                        shallow.gen_value(rng)
+                    } else {
+                        deeper.gen_value(rng)
+                    }
+                }));
+            }
+            cur
+        }
+
+        /// Type-erases the strategy behind a cheap-to-clone handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| s.gen_value(rng)))
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.source.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among several strategies (used by [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.next_index(self.0.len());
+            self.0[idx].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.next_f64() as $t;
+                    let v = self.start + u * (self.end - self.start);
+                    if v < self.end { v } else { self.start }
+                }
+            }
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let u = rng.next_f64() as $t;
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident: $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        /// Treats the string as a regex-subset pattern (see
+        /// [`crate::string`]) and generates matching strings.
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! String generation from a small regex subset.
+    //!
+    //! Supported syntax: literal characters, character classes
+    //! `[a-z0-9_]` with ranges and `\xHH` / `\\` / `\-` / `\]` escapes,
+    //! and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded
+    //! forms cap repetition at 8). This covers the patterns used by the
+    //! workspace's property tests; anything else panics with a clear
+    //! message.
+
+    use crate::test_runner::TestRng;
+
+    enum Element {
+        /// Inclusive char spans; sampling is uniform over the union.
+        Class(Vec<(char, char)>),
+    }
+
+    struct Quantified {
+        element: Element,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let elements = parse(pattern);
+        let mut out = String::new();
+        for q in &elements {
+            let count = q.min + rng.next_index(q.max - q.min + 1);
+            for _ in 0..count {
+                out.push(sample_class(&q.element, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_class(e: &Element, rng: &mut TestRng) -> char {
+        let Element::Class(spans) = e;
+        let total: u32 = spans.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+        let mut k = rng.next_index(total as usize) as u32;
+        for &(lo, hi) in spans {
+            let size = hi as u32 - lo as u32 + 1;
+            if k < size {
+                return char::from_u32(lo as u32 + k)
+                    .expect("class spans must avoid surrogate code points");
+            }
+            k -= size;
+        }
+        unreachable!("sample index within total size")
+    }
+
+    fn parse(pattern: &str) -> Vec<Quantified> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let element = if chars[i] == '[' {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                class
+            } else {
+                let c = if chars[i] == '\\' {
+                    let (c, next) = parse_escape(&chars, i + 1, pattern);
+                    i = next;
+                    c
+                } else {
+                    let c = chars[i];
+                    i += 1;
+                    c
+                };
+                Element::Class(vec![(c, c)])
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            out.push(Quantified { element, min, max });
+        }
+        out
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Element, usize) {
+        let mut spans = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                let (c, next) = parse_escape(chars, i + 1, pattern);
+                i = next;
+                c
+            } else {
+                let c = chars[i];
+                i += 1;
+                c
+            };
+            if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                i += 1; // consume '-'
+                let hi = if chars[i] == '\\' {
+                    let (c, next) = parse_escape(chars, i + 1, pattern);
+                    i = next;
+                    c
+                } else {
+                    let c = chars[i];
+                    i += 1;
+                    c
+                };
+                assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                spans.push((lo, hi));
+            } else {
+                spans.push((lo, lo));
+            }
+        }
+        assert!(
+            i < chars.len(),
+            "unterminated character class in pattern {pattern:?}"
+        );
+        assert!(!spans.is_empty(), "empty character class in {pattern:?}");
+        (Element::Class(spans), i + 1)
+    }
+
+    fn parse_escape(chars: &[char], i: usize, pattern: &str) -> (char, usize) {
+        assert!(i < chars.len(), "dangling escape in pattern {pattern:?}");
+        match chars[i] {
+            'x' => {
+                assert!(
+                    i + 2 < chars.len(),
+                    "truncated \\xHH escape in pattern {pattern:?}"
+                );
+                let hex: String = chars[i + 1..=i + 2].iter().collect();
+                let v = u32::from_str_radix(&hex, 16)
+                    .unwrap_or_else(|_| panic!("bad \\x{hex} escape in pattern {pattern:?}"));
+                (
+                    char::from_u32(v).expect("\\xHH is always a valid char"),
+                    i + 3,
+                )
+            }
+            'n' => ('\n', i + 1),
+            't' => ('\t', i + 1),
+            'r' => ('\r', i + 1),
+            c => (c, i + 1),
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        if i >= chars.len() {
+            return (1, 1, i);
+        }
+        match chars[i] {
+            '?' => (0, 1, i + 1),
+            '*' => (0, 8, i + 1),
+            '+' => (1, 8, i + 1),
+            '{' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated {{}} in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("quantifier lower bound"),
+                        n.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("exact quantifier");
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+                (min, max, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The admissible sizes for a generated collection.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_exclusive - self.size.lo;
+            let len = self.size.lo + rng.next_index(span.max(1));
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point and the [`Arbitrary`] trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for an [`Arbitrary`] type.
+    pub struct Any<A>(PhantomData<A>);
+
+    /// Returns the canonical strategy generating any value of `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn gen_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests (`use proptest::prelude::*`).
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror of upstream's `prelude::prop` module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// item becomes a `#[test]`-able function that generates inputs and runs
+/// the body for `cases` iterations.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the
+/// [`test_runner::Config`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strategy), &mut rng);)+
+                let outcome = (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(reason)) => {
+                        rejected += 1;
+                        if rejected > config.cases.saturating_mul(64) {
+                            panic!(
+                                "prop_assume! rejected too many cases ({rejected}); last: {reason}"
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        panic!("proptest case {passed} failed: {message}");
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with an optional formatted message) instead of panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Discards the current case without failing (vetoes inputs that do not
+/// satisfy a precondition).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_generate_in_bounds() {
+        let mut rng = TestRng::from_name("selftest");
+        let s = prop::collection::vec(0usize..10, 3..7);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::from_name("selftest-str");
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".gen_value(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[\\x00-\\x7f]{0,12}".gen_value(&mut rng);
+            assert!(t.chars().count() <= 12);
+            assert!(t.chars().all(|c| (c as u32) <= 0x7f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = prop::collection::vec(0u64..1000, 0..20);
+        let run = || {
+            let mut rng = TestRng::from_name("determinism");
+            (0..50).map(|_| strat.gen_value(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline end to end: patterns, assume, assert.
+        #[test]
+        fn macro_roundtrip(mut v in prop::collection::vec(1usize..100, 1..10), flag in any::<bool>()) {
+            prop_assume!(!v.is_empty());
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]), "sorted order");
+            prop_assert_eq!(v.len(), v.iter().count());
+            prop_assert_ne!(v[0], 0);
+            let _ = flag;
+        }
+
+        /// Tuple + oneof + flat_map composition.
+        #[test]
+        fn combinators_compose(pair in (1usize..5).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(prop_oneof![0i64..10, 100i64..110], n))
+        })) {
+            let (n, items) = pair;
+            prop_assert_eq!(items.len(), n);
+            prop_assert!(items.iter().all(|&x| (0..10).contains(&x) || (100..110).contains(&x)));
+        }
+    }
+}

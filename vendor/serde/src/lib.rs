@@ -1,0 +1,22 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config types for
+//! forward compatibility but never serializes through serde (persistence is
+//! the hand-rolled binary format in `ibcm-core::persist`). This stand-in
+//! provides the two trait names with blanket implementations, plus no-op
+//! derive macros behind the usual `derive` feature, so existing annotations
+//! compile unchanged in the offline build environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

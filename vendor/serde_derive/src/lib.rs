@@ -1,0 +1,24 @@
+//! Vendored no-op stand-ins for serde's derive macros.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]`; nothing actually serializes through serde (persistence is
+//! a hand-rolled binary format in `ibcm-core::persist`). In the offline
+//! build environment the real `serde_derive` is unavailable, so these
+//! derives expand to nothing — the vendored `serde` crate provides blanket
+//! trait impls, keeping any future `T: Serialize` bounds satisfiable.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
