@@ -1,0 +1,327 @@
+//! Fault-injection harness for the stream monitor.
+//!
+//! Turns an `ibcm-logsim` dataset into an interleaved event stream, injects
+//! each fault class the [`FaultPolicy`](crate::FaultPolicy) recognizes —
+//! out-of-order timestamps, duplicated deliveries, unknown actions, unknown
+//! users — and replays the result through a [`StreamMonitor`](crate::StreamMonitor), optionally
+//! killing the monitor mid-stream and resuming from an `IBCS` checkpoint.
+//! Every injector is seeded and deterministic, so a chaos run is exactly
+//! reproducible.
+//!
+//! The `chaos_replay` binary in `ibcm-bench` and the `chaos_stream`
+//! integration tests are thin wrappers around this module.
+
+use crate::detector::MisuseDetector;
+use crate::error::CoreError;
+use crate::stream::{FaultCounters, SessionEvent, StreamAlarm, StreamConfig};
+use ibcm_logsim::{ActionId, Dataset, UserId};
+
+/// SplitMix64: a tiny, seedable, statistically solid generator. The chaos
+/// harness carries its own so injection stays deterministic without coupling
+/// to any external RNG crate.
+#[derive(Debug, Clone)]
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        ChaosRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`0` when `bound` is `0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Flattens a dataset into one interleaved, time-ordered event stream: each
+/// session's actions arrive one minute apart starting at the session's
+/// start minute. The sort is stable over the dataset's session order, so
+/// the stream is deterministic.
+pub fn event_stream(dataset: &Dataset) -> Vec<SessionEvent> {
+    let mut events: Vec<SessionEvent> = Vec::new();
+    for session in dataset.sessions() {
+        for (i, &action) in session.actions().iter().enumerate() {
+            events.push(SessionEvent {
+                user: session.user(),
+                action,
+                minute: session.start_minute() + i as u64,
+            });
+        }
+    }
+    events.sort_by_key(|e| e.minute);
+    events
+}
+
+/// Rewinds `count` randomly chosen events' timestamps by 1–30 minutes,
+/// leaving arrival order untouched — the injected events arrive with clocks
+/// behind the stream clock (the out-of-order fault class). Returns how many
+/// events were actually modified.
+pub fn inject_out_of_order(events: &mut [SessionEvent], count: usize, seed: u64) -> usize {
+    if events.len() < 2 {
+        return 0;
+    }
+    let mut rng = ChaosRng::new(seed ^ 0x00f0);
+    let mut injected = 0;
+    for _ in 0..count {
+        let i = 1 + rng.below((events.len() - 1) as u64) as usize;
+        let rewind = 1 + rng.below(30);
+        events[i].minute = events[i].minute.saturating_sub(rewind);
+        injected += 1;
+    }
+    injected
+}
+
+/// Redelivers `count` randomly chosen events: a copy is inserted
+/// immediately after the original with the same user, action, and minute
+/// (the duplicate fault class). Returns how many copies were inserted.
+pub fn inject_duplicates(events: &mut Vec<SessionEvent>, count: usize, seed: u64) -> usize {
+    if events.is_empty() {
+        return 0;
+    }
+    let mut rng = ChaosRng::new(seed ^ 0x0d0d);
+    let mut injected = 0;
+    for _ in 0..count {
+        let i = rng.below(events.len() as u64) as usize;
+        let copy = events[i];
+        events.insert(i + 1, copy);
+        injected += 1;
+    }
+    injected
+}
+
+/// Rewrites `count` randomly chosen events' actions to ids at or beyond
+/// `vocab` (the unknown-action fault class). Returns how many were
+/// rewritten.
+pub fn inject_unknown_actions(
+    events: &mut [SessionEvent],
+    count: usize,
+    vocab: usize,
+    seed: u64,
+) -> usize {
+    if events.is_empty() {
+        return 0;
+    }
+    let mut rng = ChaosRng::new(seed ^ 0xac10);
+    let mut injected = 0;
+    for _ in 0..count {
+        let i = rng.below(events.len() as u64) as usize;
+        events[i].action = ActionId(vocab + rng.below(64) as usize);
+        injected += 1;
+    }
+    injected
+}
+
+/// Rewrites `count` randomly chosen events' users to ids at or beyond
+/// `known_users` (the unknown-user fault class). Returns how many were
+/// rewritten.
+pub fn inject_unknown_users(
+    events: &mut [SessionEvent],
+    count: usize,
+    known_users: usize,
+    seed: u64,
+) -> usize {
+    if events.is_empty() {
+        return 0;
+    }
+    let mut rng = ChaosRng::new(seed ^ 0x05e7);
+    let mut injected = 0;
+    for _ in 0..count {
+        let i = rng.below(events.len() as u64) as usize;
+        events[i].user = UserId(known_users + rng.below(64) as usize);
+        injected += 1;
+    }
+    injected
+}
+
+/// Everything one replay of an event stream produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Events fed to the monitor.
+    pub events: usize,
+    /// Scoring alarms, in stream order.
+    pub alarms: Vec<StreamAlarm>,
+    /// Shed alarms (capacity enforcement), in stream order.
+    pub shed: Vec<StreamAlarm>,
+    /// Final fault counters.
+    pub counters: FaultCounters,
+    /// Sessions still active when the stream ended.
+    pub active_at_end: usize,
+}
+
+impl ReplayReport {
+    /// The alarm stream rendered one alarm per line — the "downstream
+    /// output" that kill/restore runs compare byte-for-byte.
+    pub fn alarm_log(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for a in &self.alarms {
+            let _ = writeln!(out, "{a:?}");
+        }
+        for s in &self.shed {
+            let _ = writeln!(out, "{s:?}");
+        }
+        out
+    }
+}
+
+/// Replays `events` through a fresh [`StreamMonitor`](crate::StreamMonitor) under `config`.
+pub fn replay(
+    detector: &MisuseDetector,
+    config: StreamConfig,
+    events: &[SessionEvent],
+) -> ReplayReport {
+    let mut sm = detector.stream_monitor(config);
+    let mut alarms = Vec::new();
+    let mut shed = Vec::new();
+    for &event in events {
+        let out = sm.ingest(event);
+        alarms.extend(out.alarm);
+        shed.extend(out.shed);
+    }
+    ReplayReport {
+        events: events.len(),
+        alarms,
+        shed,
+        counters: sm.fault_counters(),
+        active_at_end: sm.active_sessions(),
+    }
+}
+
+/// What a kill/restore replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KillReplayReport {
+    /// The reference run that was never interrupted.
+    pub uninterrupted: ReplayReport,
+    /// The run that was killed at `kill_at` events, checkpointed, restored,
+    /// and resumed (alarms from both halves concatenated).
+    pub resumed: ReplayReport,
+    /// Size of the `IBCS` checkpoint taken at the kill point.
+    pub checkpoint_bytes: usize,
+    /// Whether the resumed run's alarm output is byte-identical to the
+    /// uninterrupted run's — the recovery invariant.
+    pub identical: bool,
+}
+
+/// Replays `events` twice — once uninterrupted and once killed after
+/// `kill_at` events, checkpointed, restored from the checkpoint bytes, and
+/// resumed — and compares the two runs' downstream output.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Persist`] if the checkpoint fails to restore
+/// (it never should; a failure here is itself a harness finding).
+pub fn replay_with_kill(
+    detector: &MisuseDetector,
+    config: StreamConfig,
+    events: &[SessionEvent],
+    kill_at: usize,
+) -> Result<KillReplayReport, CoreError> {
+    let uninterrupted = replay(detector, config.clone(), events);
+    let kill_at = kill_at.min(events.len());
+
+    let mut alarms = Vec::new();
+    let mut shed = Vec::new();
+    let mut sm = detector.stream_monitor(config);
+    for &event in &events[..kill_at] {
+        let out = sm.ingest(event);
+        alarms.extend(out.alarm);
+        shed.extend(out.shed);
+    }
+    let checkpoint = sm.checkpoint();
+    drop(sm); // the "kill": all live state is gone
+    let mut sm = detector.restore_stream_monitor(&checkpoint)?;
+    for &event in &events[kill_at..] {
+        let out = sm.ingest(event);
+        alarms.extend(out.alarm);
+        shed.extend(out.shed);
+    }
+    let resumed = ReplayReport {
+        events: events.len(),
+        alarms,
+        shed,
+        counters: sm.fault_counters(),
+        active_at_end: sm.active_sessions(),
+    };
+    let identical = resumed.alarm_log() == uninterrupted.alarm_log()
+        && resumed.counters == uninterrupted.counters
+        && resumed.active_at_end == uninterrupted.active_at_end;
+    Ok(KillReplayReport {
+        uninterrupted,
+        resumed,
+        checkpoint_bytes: checkpoint.len(),
+        identical,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcm_logsim::{Generator, GeneratorConfig};
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<u64> = (0..8).map(|_| ChaosRng::new(7).next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| ChaosRng::new(7).next_u64()).collect();
+        assert_eq!(a, b);
+        let mut r = ChaosRng::new(7);
+        for _ in 0..100 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(ChaosRng::new(1).below(0), 0);
+    }
+
+    #[test]
+    fn event_stream_is_time_ordered_and_deterministic() {
+        let dataset = Generator::new(GeneratorConfig::tiny(3)).generate();
+        let events = event_stream(&dataset);
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].minute <= w[1].minute));
+        assert_eq!(events, event_stream(&dataset));
+    }
+
+    #[test]
+    fn injectors_create_their_fault_class() {
+        let dataset = Generator::new(GeneratorConfig::tiny(3)).generate();
+        let base = event_stream(&dataset);
+
+        let mut ooo = base.clone();
+        assert_eq!(inject_out_of_order(&mut ooo, 5, 42), 5);
+        assert!(
+            !ooo.windows(2).all(|w| w[0].minute <= w[1].minute),
+            "rewound timestamps must break monotonicity"
+        );
+
+        let mut dup = base.clone();
+        assert_eq!(inject_duplicates(&mut dup, 5, 42), 5);
+        assert_eq!(dup.len(), base.len() + 5);
+        assert!(dup.windows(2).any(|w| w[0] == w[1]));
+
+        let vocab = 10;
+        let mut ua = base.clone();
+        inject_unknown_actions(&mut ua, 5, vocab, 42);
+        assert!(ua.iter().any(|e| e.action.index() >= vocab));
+
+        let mut uu = base.clone();
+        inject_unknown_users(&mut uu, 5, 100, 42);
+        assert!(uu.iter().any(|e| e.user.index() >= 100));
+
+        // Seeded injection is reproducible.
+        let mut again = base.clone();
+        inject_out_of_order(&mut again, 5, 42);
+        assert_eq!(ooo, again);
+    }
+}

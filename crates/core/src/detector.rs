@@ -37,6 +37,12 @@ pub struct MisuseDetector {
     router: ClusterRouter,
     models: Vec<LstmLm>,
     lock_in: usize,
+    /// Optional cluster-agnostic language model. Persisted in the `IBCD` v2
+    /// format; the lenient loader substitutes it for any per-cluster model
+    /// whose bytes fail to deserialize, so a partially corrupt detector
+    /// file degrades (routing still works, scoring falls back to global
+    /// behavior) instead of erroring out.
+    fallback: Option<Box<LstmLm>>,
 }
 
 impl MisuseDetector {
@@ -57,12 +63,32 @@ impl MisuseDetector {
             router,
             models,
             lock_in,
+            fallback: None,
         }
+    }
+
+    /// Attaches a global fallback language model (typically one trained on
+    /// all sessions regardless of cluster). Persisted with the detector;
+    /// used by [`MisuseDetector::from_bytes_lenient`] to stand in for
+    /// per-cluster models that fail to deserialize.
+    pub fn with_fallback(mut self, model: LstmLm) -> Self {
+        self.fallback = Some(Box::new(model));
+        self
+    }
+
+    /// The global fallback language model, if one is attached.
+    pub fn fallback(&self) -> Option<&LstmLm> {
+        self.fallback.as_deref()
     }
 
     /// Number of behavior clusters.
     pub fn n_clusters(&self) -> usize {
         self.models.len()
+    }
+
+    /// The models' shared vocabulary size (0 if the detector has no models).
+    pub fn vocab_size(&self) -> usize {
+        self.models.first().map_or(0, |m| m.vocab_size())
     }
 
     /// The online lock-in horizon (15 in the paper).

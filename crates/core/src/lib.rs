@@ -51,6 +51,7 @@
 /// [`par::default_threads`] policy (`IBCM_THREADS`, then available cores).
 pub use ibcm_par as par;
 
+pub mod chaos;
 mod config;
 mod detector;
 mod drift;
@@ -66,5 +67,9 @@ pub use detector::{MisuseDetector, SessionVerdict, WeightedVerdict};
 pub use drift::{DriftConfig, DriftDetector, DriftStatus};
 pub use error::CoreError;
 pub use monitor::{AlarmPolicy, MonitorEvent, OnlineMonitor, SharedMonitor};
+pub use persist::LoadReport;
 pub use pipeline::{ClusterData, Pipeline, TrainedPipeline};
-pub use stream::{SessionEvent, StreamAlarm, StreamConfig, StreamMonitor};
+pub use stream::{
+    ClockPolicy, FaultAction, FaultCounters, FaultKind, FaultPolicy, ObserveOutcome,
+    SessionEvent, StreamAlarm, StreamAlarmKind, StreamConfig, StreamMonitor,
+};

@@ -128,6 +128,18 @@ impl OnlineMonitor<'_> {
         self.alarms
     }
 
+    /// Number of actions fed so far.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Every action fed so far, in order. Checkpointing serializes this and
+    /// rebuilds an identical monitor by deterministic replay (see the
+    /// `IBCS` format in `persist.rs`).
+    pub fn fed_actions(&self) -> &[ActionId] {
+        &self.prefix
+    }
+
     /// The cluster currently in effect, if any action has been fed.
     pub fn current_cluster(&self) -> Option<ClusterId> {
         if let Some(locked) = self.locked {
@@ -157,11 +169,11 @@ impl OnlineMonitor<'_> {
             .expect("at least one action has been fed");
 
         // Advance every cluster model; keep the effective cluster's score.
-        let vocab = self.detector.model(cluster).vocab_size();
+        // The checked feed skips out-of-vocabulary actions and corrupt
+        // models (typed `LmError`s) instead of panicking the monitor.
         let mut chosen: Option<StepScore> = None;
-        if action.index() < vocab {
-            for (ci, scorer) in self.scorers.iter_mut().enumerate() {
-                let s = scorer.feed(action.index());
+        for (ci, scorer) in self.scorers.iter_mut().enumerate() {
+            if let Ok(s) = scorer.try_feed(action.index()) {
                 if ci == cluster.index() {
                     chosen = s;
                 }

@@ -1,92 +1,268 @@
-//! Persistence for trained [`MisuseDetector`]s.
+//! Persistence for trained [`MisuseDetector`]s and live [`StreamMonitor`]
+//! checkpoints.
 //!
-//! Single-file binary format: `IBCD` magic, version, lock-in horizon, the
-//! router bytes (length-prefixed), then each cluster model's bytes
-//! (length-prefixed).
+//! Two single-file binary formats live here:
+//!
+//! * **`IBCD`** — a trained detector. Version 2 wraps the payload (lock-in
+//!   horizon, length-prefixed router bytes, length-prefixed per-cluster
+//!   model bytes, optional fallback model) in a length + FNV-1a checksum
+//!   envelope, so any truncation or single-byte corruption is rejected with
+//!   [`CoreError::Persist`] instead of being parsed into garbage. Version 1
+//!   files (no envelope, no fallback) are still readable.
+//! * **`IBCS`** — a checkpoint of a live [`StreamMonitor`]: the stream
+//!   configuration, clock, fault counters and, per active session, the full
+//!   prefix of fed actions. Restoring replays each prefix through a fresh
+//!   per-session monitor, which is deterministic, so a restored monitor
+//!   produces byte-identical downstream alarms to one that was never
+//!   interrupted. The checkpoint stores a fingerprint of the detector it
+//!   was taken against (cluster count, vocabulary, lock-in) and refuses to
+//!   restore against a different one.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ibcm_lm::LstmLm;
+use ibcm_logsim::{ActionId, UserId};
 use ibcm_ocsvm::ClusterRouter;
 
 use crate::detector::MisuseDetector;
 use crate::error::CoreError;
+use crate::monitor::AlarmPolicy;
+use crate::stream::{
+    ClockPolicy, FaultAction, FaultCounters, FaultPolicy, SessionSnapshot, StreamConfig,
+    StreamMonitor, StreamSnapshot,
+};
 
 const MAGIC: &[u8; 4] = b"IBCD";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+const CKPT_MAGIC: &[u8; 4] = b"IBCS";
+const CKPT_VERSION: u32 = 1;
+
+/// FNV-1a over the payload. Multiplication by the odd FNV prime is a
+/// bijection modulo 2^64, so two equal-length payloads differing in any
+/// single byte always hash differently — exactly the corruption class the
+/// envelope must catch.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn persist_err(msg: impl Into<String>) -> CoreError {
+    CoreError::Persist(msg.into())
+}
+
+/// Wraps `payload` in the magic/version/length/checksum envelope.
+fn envelope(magic: &[u8; 4], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(payload.len() + 24);
+    buf.put_slice(magic);
+    buf.put_u32_le(version);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_slice(payload);
+    buf.put_u64_le(fnv1a(payload));
+    buf.to_vec()
+}
+
+/// Opens a checksummed envelope, returning `(version, payload)`.
+fn open_envelope(
+    data: &[u8],
+    magic: &[u8; 4],
+    what: &str,
+    versioned: impl Fn(u32) -> bool,
+) -> Result<(u32, Bytes), CoreError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 8 {
+        return Err(persist_err(format!("{what} header truncated")));
+    }
+    let mut m = [0u8; 4];
+    buf.copy_to_slice(&mut m);
+    if &m != magic {
+        return Err(persist_err(format!("bad {what} magic {m:?}")));
+    }
+    let version = buf.get_u32_le();
+    if !versioned(version) {
+        return Err(persist_err(format!(
+            "unsupported {what} format version {version}"
+        )));
+    }
+    if version == 1 && magic == MAGIC {
+        // Legacy detector files: no envelope; the rest is the payload.
+        return Ok((version, buf));
+    }
+    if buf.remaining() < 8 {
+        return Err(persist_err(format!("{what} length truncated")));
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() != len + 8 {
+        return Err(persist_err(format!(
+            "{what} payload length mismatch: header says {len}, {} bytes follow",
+            buf.remaining().saturating_sub(8)
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    buf.copy_to_slice(&mut payload);
+    let stored = buf.get_u64_le();
+    if fnv1a(&payload) != stored {
+        return Err(persist_err(format!("{what} checksum mismatch")));
+    }
+    Ok((version, Bytes::copy_from_slice(&payload)))
+}
+
+fn take_block(buf: &mut Bytes, what: &str) -> Result<Vec<u8>, CoreError> {
+    if buf.remaining() < 8 {
+        return Err(persist_err(format!("{what} block header truncated")));
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len {
+        return Err(persist_err(format!("{what} block body truncated")));
+    }
+    let mut block = vec![0u8; len];
+    buf.copy_to_slice(&mut block);
+    Ok(block)
+}
+
+fn need(buf: &Bytes, bytes: usize, what: &str) -> Result<(), CoreError> {
+    if buf.remaining() < bytes {
+        return Err(persist_err(format!("{what} truncated")));
+    }
+    Ok(())
+}
+
+/// What [`MisuseDetector::from_bytes_lenient`] had to do to load the file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Clusters whose model bytes failed to deserialize; each now scores
+    /// with the detector's fallback model instead.
+    pub degraded_clusters: Vec<usize>,
+}
+
+impl LoadReport {
+    /// `true` when every cluster model loaded from its own bytes.
+    pub fn is_clean(&self) -> bool {
+        self.degraded_clusters.is_empty()
+    }
+}
 
 impl MisuseDetector {
-    /// Serializes the detector to bytes.
+    /// Serializes the detector to bytes (`IBCD` version 2).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
-        buf.put_u32_le(self.lock_in() as u32);
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(self.lock_in() as u32);
         let router_bytes = self.router().to_bytes();
-        buf.put_u64_le(router_bytes.len() as u64);
-        buf.put_slice(&router_bytes);
-        buf.put_u32_le(self.n_clusters() as u32);
+        payload.put_u64_le(router_bytes.len() as u64);
+        payload.put_slice(&router_bytes);
+        payload.put_u32_le(self.n_clusters() as u32);
         for c in 0..self.n_clusters() {
             let model_bytes = self.model(ibcm_logsim::ClusterId(c)).to_bytes();
-            buf.put_u64_le(model_bytes.len() as u64);
-            buf.put_slice(&model_bytes);
+            payload.put_u64_le(model_bytes.len() as u64);
+            payload.put_slice(&model_bytes);
         }
-        buf.to_vec()
+        match self.fallback() {
+            Some(model) => {
+                payload.put_u8(1);
+                let bytes = model.to_bytes();
+                payload.put_u64_le(bytes.len() as u64);
+                payload.put_slice(&bytes);
+            }
+            None => payload.put_u8(0),
+        }
+        envelope(MAGIC, VERSION, &payload)
     }
 
-    /// Reconstructs a detector from [`MisuseDetector::to_bytes`] output.
+    /// Reconstructs a detector from [`MisuseDetector::to_bytes`] output
+    /// (version 2, checksummed) or a legacy version-1 file.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Persist`] on malformed bytes.
+    /// Returns [`CoreError::Persist`] on malformed, truncated, or corrupted
+    /// bytes — including any single-byte corruption of a version-2 file,
+    /// which the envelope checksum catches.
     pub fn from_bytes(data: &[u8]) -> Result<Self, CoreError> {
-        let mut buf = Bytes::copy_from_slice(data);
-        if buf.remaining() < 12 {
-            return Err(CoreError::Persist("header truncated".into()));
+        let (detector, report) = Self::parse(data, false)?;
+        debug_assert!(report.is_clean());
+        Ok(detector)
+    }
+
+    /// Like [`MisuseDetector::from_bytes`], but degrades instead of failing
+    /// when a per-cluster model's bytes do not deserialize: the cluster is
+    /// given the file's fallback model and listed in the returned
+    /// [`LoadReport`]. Routing is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] when the envelope, router, or
+    /// fallback itself is corrupt, or when a cluster model is corrupt and
+    /// the file carries no fallback to stand in for it.
+    pub fn from_bytes_lenient(data: &[u8]) -> Result<(Self, LoadReport), CoreError> {
+        Self::parse(data, true)
+    }
+
+    fn parse(data: &[u8], lenient: bool) -> Result<(Self, LoadReport), CoreError> {
+        let (version, mut payload) =
+            open_envelope(data, MAGIC, "detector", |v| v == 1 || v == 2)?;
+        need(&payload, 4, "detector lock-in")?;
+        let lock_in = payload.get_u32_le() as usize;
+        if lock_in == 0 {
+            return Err(persist_err("lock_in must be positive"));
         }
-        let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(CoreError::Persist(format!("bad magic {magic:?}")));
-        }
-        let version = buf.get_u32_le();
-        if version != VERSION {
-            return Err(CoreError::Persist(format!(
-                "unsupported detector format version {version}"
-            )));
-        }
-        let lock_in = buf.get_u32_le() as usize;
-        let take_block = |buf: &mut Bytes| -> Result<Vec<u8>, CoreError> {
-            if buf.remaining() < 8 {
-                return Err(CoreError::Persist("block header truncated".into()));
-            }
-            let len = buf.get_u64_le() as usize;
-            if buf.remaining() < len {
-                return Err(CoreError::Persist("block body truncated".into()));
-            }
-            let mut block = vec![0u8; len];
-            buf.copy_to_slice(&mut block);
-            Ok(block)
-        };
-        let router = ClusterRouter::from_bytes(&take_block(&mut buf)?)
-            .map_err(|e| CoreError::Persist(e.to_string()))?;
-        if buf.remaining() < 4 {
-            return Err(CoreError::Persist("model count truncated".into()));
-        }
-        let n = buf.get_u32_le() as usize;
+        let router = ClusterRouter::from_bytes(&take_block(&mut payload, "router")?)
+            .map_err(|e| persist_err(e.to_string()))?;
+        need(&payload, 4, "model count")?;
+        let n = payload.get_u32_le() as usize;
         if n != router.n_clusters() {
-            return Err(CoreError::Persist(
-                "model count disagrees with router clusters".into(),
+            return Err(persist_err(
+                "model count disagrees with router clusters",
             ));
         }
-        let mut models = Vec::with_capacity(n);
-        for _ in 0..n {
-            let block = take_block(&mut buf)?;
-            models.push(LstmLm::from_bytes(&block).map_err(|e| CoreError::Persist(e.to_string()))?);
+        let mut models: Vec<Option<LstmLm>> = Vec::with_capacity(n);
+        let mut report = LoadReport::default();
+        for i in 0..n {
+            let block = take_block(&mut payload, "model")?;
+            match LstmLm::from_bytes(&block) {
+                Ok(model) => models.push(Some(model)),
+                Err(e) if lenient => {
+                    report.degraded_clusters.push(i);
+                    models.push(None);
+                    let _ = e;
+                }
+                Err(e) => return Err(persist_err(e.to_string())),
+            }
         }
-        if lock_in == 0 {
-            return Err(CoreError::Persist("lock_in must be positive".into()));
+        let fallback = if version >= 2 {
+            need(&payload, 1, "fallback flag")?;
+            if payload.get_u8() == 1 {
+                let block = take_block(&mut payload, "fallback")?;
+                Some(
+                    LstmLm::from_bytes(&block).map_err(|e| persist_err(e.to_string()))?,
+                )
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if version >= 2 && payload.remaining() != 0 {
+            return Err(persist_err(format!(
+                "{} trailing bytes after detector payload",
+                payload.remaining()
+            )));
         }
-        Ok(MisuseDetector::new(router, models, lock_in))
+        let models: Vec<LstmLm> = models
+            .into_iter()
+            .map(|m| match m {
+                Some(model) => Ok(model),
+                None => fallback.clone().ok_or_else(|| {
+                    persist_err("cluster model corrupt and no fallback model present")
+                }),
+            })
+            .collect::<Result<_, CoreError>>()?;
+        let mut detector = MisuseDetector::new(router, models, lock_in);
+        if let Some(fb) = fallback {
+            detector = detector.with_fallback(fb);
+        }
+        Ok((detector, report))
     }
 
     /// Writes the detector to a file.
@@ -110,9 +286,263 @@ impl MisuseDetector {
     }
 }
 
+fn put_opt_u64(buf: &mut BytesMut, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            buf.put_u8(1);
+            buf.put_u64_le(v);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_u64(buf: &mut Bytes, what: &str) -> Result<Option<u64>, CoreError> {
+    need(buf, 1, what)?;
+    if buf.get_u8() == 1 {
+        need(buf, 8, what)?;
+        Ok(Some(buf.get_u64_le()))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_fault_action(buf: &mut BytesMut, action: FaultAction) {
+    buf.put_u8(match action {
+        FaultAction::Process => 0,
+        FaultAction::Drop => 1,
+    });
+}
+
+fn get_fault_action(buf: &mut Bytes, what: &str) -> Result<FaultAction, CoreError> {
+    need(buf, 1, what)?;
+    match buf.get_u8() {
+        0 => Ok(FaultAction::Process),
+        1 => Ok(FaultAction::Drop),
+        x => Err(persist_err(format!("unknown {what} tag {x}"))),
+    }
+}
+
+impl StreamMonitor<'_> {
+    /// Serializes the monitor's full live state to `IBCS` checkpoint bytes.
+    ///
+    /// Active sessions are ordered by user index, so checkpoints of equal
+    /// state are byte-identical regardless of hash-map iteration order.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let snap = self.snapshot();
+        let detector = self.detector();
+        let mut p = BytesMut::new();
+        // Detector fingerprint: restoring against a different detector
+        // would silently produce different alarms, so refuse instead.
+        p.put_u32_le(detector.n_clusters() as u32);
+        p.put_u32_le(detector.vocab_size() as u32);
+        p.put_u32_le(detector.lock_in() as u32);
+        // Stream configuration.
+        p.put_u64_le(snap.config.session_timeout_minutes);
+        p.put_u32_le(snap.config.end_actions.len() as u32);
+        for a in &snap.config.end_actions {
+            p.put_u64_le(a.index() as u64);
+        }
+        let pol = &snap.config.policy;
+        p.put_f32_le(pol.likelihood_threshold);
+        p.put_u32_le(pol.window as u32);
+        p.put_u32_le(pol.warmup as u32);
+        p.put_u32_le(pol.trend_window as u32);
+        p.put_f32_le(pol.trend_drop_ratio);
+        let f = &snap.config.faults;
+        p.put_u8(match f.non_monotonic {
+            ClockPolicy::Clamp => 0,
+            ClockPolicy::Drop => 1,
+        });
+        put_fault_action(&mut p, f.duplicates);
+        put_fault_action(&mut p, f.unknown_actions);
+        put_fault_action(&mut p, f.unknown_users);
+        put_opt_u64(&mut p, f.known_users.map(|v| v as u64));
+        put_opt_u64(&mut p, f.max_active_sessions.map(|v| v as u64));
+        // Live counters and clock.
+        p.put_u64_le(snap.clock);
+        let c = &snap.counters;
+        for v in [
+            c.non_monotonic,
+            c.duplicate,
+            c.unknown_action,
+            c.unknown_user,
+            c.dropped,
+            c.shed,
+        ] {
+            p.put_u64_le(v);
+        }
+        p.put_u64_le(snap.sessions_started as u64);
+        p.put_u64_le(snap.sessions_ended as u64);
+        // Active sessions: bookkeeping plus the full fed-action prefix.
+        p.put_u32_le(snap.sessions.len() as u32);
+        for s in &snap.sessions {
+            p.put_u64_le(s.user.index() as u64);
+            p.put_u64_le(s.last_minute);
+            put_opt_u64(&mut p, s.last_action.map(|a| a.index() as u64));
+            p.put_u64_le(s.prefix.len() as u64);
+            for a in &s.prefix {
+                p.put_u64_le(a.index() as u64);
+            }
+        }
+        envelope(CKPT_MAGIC, CKPT_VERSION, &p)
+    }
+
+    /// Writes an `IBCS` checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on filesystem failures.
+    pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+        std::fs::write(path, self.checkpoint())?;
+        Ok(())
+    }
+}
+
+impl MisuseDetector {
+    /// Rebuilds a live [`StreamMonitor`] from `IBCS` checkpoint bytes.
+    ///
+    /// Each session's fed-action prefix is replayed through a fresh
+    /// per-session monitor; replay is deterministic, so the restored
+    /// monitor's downstream alarms are byte-identical to those of a monitor
+    /// that was never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] on truncated or corrupted bytes (the
+    /// envelope checksum catches any single-byte corruption) and when the
+    /// checkpoint's detector fingerprint does not match this detector.
+    pub fn restore_stream_monitor(&self, data: &[u8]) -> Result<StreamMonitor<'_>, CoreError> {
+        let (_, mut p) = open_envelope(data, CKPT_MAGIC, "checkpoint", |v| v == CKPT_VERSION)?;
+        need(&p, 12, "checkpoint fingerprint")?;
+        let (n_clusters, vocab, lock_in) = (
+            p.get_u32_le() as usize,
+            p.get_u32_le() as usize,
+            p.get_u32_le() as usize,
+        );
+        if n_clusters != self.n_clusters()
+            || vocab != self.vocab_size()
+            || lock_in != self.lock_in()
+        {
+            return Err(persist_err(format!(
+                "checkpoint fingerprint ({n_clusters} clusters, vocab {vocab}, \
+                 lock-in {lock_in}) does not match this detector \
+                 ({} clusters, vocab {}, lock-in {})",
+                self.n_clusters(),
+                self.vocab_size(),
+                self.lock_in()
+            )));
+        }
+        need(&p, 8 + 4, "checkpoint config")?;
+        let session_timeout_minutes = p.get_u64_le();
+        let n_end = p.get_u32_le() as usize;
+        let end_bytes = n_end
+            .checked_mul(8)
+            .ok_or_else(|| persist_err("end-action count overflow"))?;
+        need(&p, end_bytes, "end actions")?;
+        let mut end_actions = Vec::with_capacity(n_end);
+        for _ in 0..n_end {
+            end_actions.push(ActionId(p.get_u64_le() as usize));
+        }
+        need(&p, 4 + 4 * 4, "alarm policy")?;
+        let policy = AlarmPolicy {
+            likelihood_threshold: p.get_f32_le(),
+            window: p.get_u32_le() as usize,
+            warmup: p.get_u32_le() as usize,
+            trend_window: p.get_u32_le() as usize,
+            trend_drop_ratio: p.get_f32_le(),
+        };
+        need(&p, 1, "clock policy")?;
+        let non_monotonic = match p.get_u8() {
+            0 => ClockPolicy::Clamp,
+            1 => ClockPolicy::Drop,
+            x => return Err(persist_err(format!("unknown clock policy tag {x}"))),
+        };
+        let faults = FaultPolicy {
+            non_monotonic,
+            duplicates: get_fault_action(&mut p, "duplicate policy")?,
+            unknown_actions: get_fault_action(&mut p, "unknown-action policy")?,
+            unknown_users: get_fault_action(&mut p, "unknown-user policy")?,
+            known_users: get_opt_u64(&mut p, "known-user bound")?.map(|v| v as usize),
+            max_active_sessions: get_opt_u64(&mut p, "session cap")?.map(|v| v as usize),
+        };
+        need(&p, 8 * 9, "checkpoint counters")?;
+        let clock = p.get_u64_le();
+        let counters = FaultCounters {
+            non_monotonic: p.get_u64_le(),
+            duplicate: p.get_u64_le(),
+            unknown_action: p.get_u64_le(),
+            unknown_user: p.get_u64_le(),
+            dropped: p.get_u64_le(),
+            shed: p.get_u64_le(),
+        };
+        let sessions_started = p.get_u64_le() as usize;
+        let sessions_ended = p.get_u64_le() as usize;
+        need(&p, 4, "session count")?;
+        let n_sessions = p.get_u32_le() as usize;
+        let mut sessions = Vec::new();
+        for _ in 0..n_sessions {
+            need(&p, 8 + 8 + 1, "session record")?;
+            let user = UserId(p.get_u64_le() as usize);
+            let last_minute = p.get_u64_le();
+            let last_action = get_opt_u64(&mut p, "session last action")?
+                .map(|v| ActionId(v as usize));
+            need(&p, 8, "session prefix length")?;
+            let n_prefix = p.get_u64_le() as usize;
+            let prefix_bytes = n_prefix
+                .checked_mul(8)
+                .ok_or_else(|| persist_err("session prefix overflow"))?;
+            need(&p, prefix_bytes, "session prefix")?;
+            let mut prefix = Vec::with_capacity(n_prefix);
+            for _ in 0..n_prefix {
+                prefix.push(ActionId(p.get_u64_le() as usize));
+            }
+            sessions.push(SessionSnapshot {
+                user,
+                last_minute,
+                last_action,
+                prefix,
+            });
+        }
+        if p.remaining() != 0 {
+            return Err(persist_err(format!(
+                "{} trailing bytes after checkpoint payload",
+                p.remaining()
+            )));
+        }
+        Ok(self.stream_from_snapshot(StreamSnapshot {
+            config: StreamConfig {
+                session_timeout_minutes,
+                end_actions,
+                policy,
+                faults,
+            },
+            clock,
+            counters,
+            sessions_started,
+            sessions_ended,
+            sessions,
+        }))
+    }
+
+    /// Loads an `IBCS` checkpoint written with
+    /// [`StreamMonitor::save_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] or [`CoreError::Persist`].
+    pub fn load_stream_monitor(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<StreamMonitor<'_>, CoreError> {
+        let data = std::fs::read(path)?;
+        self.restore_stream_monitor(&data)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stream::SessionEvent;
     use ibcm_lm::LmTrainConfig;
     use ibcm_logsim::ActionId;
     use ibcm_ocsvm::{OcSvm, OcSvmConfig, SessionFeaturizer};
@@ -146,6 +576,24 @@ mod tests {
         MisuseDetector::new(router, vec![lm], 15)
     }
 
+    fn fallback_lm() -> LstmLm {
+        let seqs: Vec<Vec<usize>> = (0..15).map(|_| vec![3, 2, 1, 0, 3, 2]).collect();
+        LstmLm::train(
+            &LmTrainConfig {
+                vocab: 4,
+                hidden: 6,
+                epochs: 4,
+                batch_size: 4,
+                patience: 0,
+                seed: 99,
+                ..LmTrainConfig::default()
+            },
+            &seqs,
+            &[],
+        )
+        .unwrap()
+    }
+
     #[test]
     fn round_trip_preserves_verdicts() {
         let d = detector();
@@ -154,6 +602,18 @@ mod tests {
         assert_eq!(d.score_session(&acts), back.score_session(&acts));
         assert_eq!(back.lock_in(), 15);
         assert_eq!(back.n_clusters(), 1);
+        assert!(back.fallback().is_none());
+    }
+
+    #[test]
+    fn round_trip_preserves_fallback() {
+        let d = detector().with_fallback(fallback_lm());
+        let back = MisuseDetector::from_bytes(&d.to_bytes()).unwrap();
+        let fb = back.fallback().expect("fallback should round-trip");
+        assert_eq!(
+            fb.score_session(&[0, 1, 2]),
+            d.fallback().unwrap().score_session(&[0, 1, 2])
+        );
     }
 
     #[test]
@@ -163,6 +623,22 @@ mod tests {
             assert!(
                 MisuseDetector::from_bytes(&bytes[..cut]).is_err(),
                 "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_byte_corruption_rejected() {
+        // The envelope checksum must catch a flip at *every* offset; probe a
+        // spread of positions including the header, lengths, and checksum.
+        let bytes = detector().to_bytes();
+        let step = (bytes.len() / 97).max(1);
+        for i in (0..bytes.len()).step_by(step) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(MisuseDetector::from_bytes(&bad), Err(CoreError::Persist(_))),
+                "flip at byte {i} must be rejected"
             );
         }
     }
@@ -188,5 +664,131 @@ mod tests {
         let acts: Vec<ActionId> = [0usize, 1, 2].iter().map(|&t| ActionId(t)).collect();
         assert_eq!(d.score_session(&acts), back.score_session(&acts));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Corrupts the cluster-0 model block *and recomputes the envelope
+    /// checksum*, simulating a file whose writer persisted bad model bytes
+    /// (e.g. an inner-format version skew) rather than transport corruption.
+    fn corrupt_model_block(d: &MisuseDetector) -> Vec<u8> {
+        let bytes = d.to_bytes();
+        let mut payload = bytes[16..bytes.len() - 8].to_vec();
+        // Payload layout: lock_in u32, router block (u64 len + body),
+        // model count u32, then the first model block.
+        let router_len =
+            u64::from_le_bytes(payload[4..12].try_into().unwrap()) as usize;
+        let model0 = 4 + 8 + router_len + 4 + 8;
+        payload[model0 + 6] = 0xEE; // inside the model's own header
+        envelope(MAGIC, VERSION, &payload)
+    }
+
+    #[test]
+    fn strict_load_rejects_corrupt_model_block() {
+        let d = detector().with_fallback(fallback_lm());
+        let bad = corrupt_model_block(&d);
+        assert!(matches!(
+            MisuseDetector::from_bytes(&bad),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn lenient_load_degrades_to_fallback() {
+        let d = detector().with_fallback(fallback_lm());
+        let bad = corrupt_model_block(&d);
+        let (degraded, report) = MisuseDetector::from_bytes_lenient(&bad).unwrap();
+        assert_eq!(report.degraded_clusters, vec![0]);
+        assert!(!report.is_clean());
+        // Cluster 0 now scores with the fallback model.
+        let acts: Vec<ActionId> = [0usize, 1, 2, 3].iter().map(|&t| ActionId(t)).collect();
+        let got = degraded.score_in_cluster(&acts, ibcm_logsim::ClusterId(0));
+        let want = d.fallback().unwrap().score_session(&d.encode(&acts));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lenient_load_without_fallback_fails() {
+        let d = detector(); // no fallback attached
+        let bad = corrupt_model_block(&d);
+        assert!(matches!(
+            MisuseDetector::from_bytes_lenient(&bad),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn lenient_load_of_clean_file_is_clean() {
+        let d = detector();
+        let (_, report) = MisuseDetector::from_bytes_lenient(&d.to_bytes()).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_state() {
+        let d = detector();
+        let mut sm = d.stream_monitor(StreamConfig::default());
+        for (u, a, m) in [(0, 0, 1), (1, 3, 2), (0, 1, 3), (2, 2, 4), (1, 0, 5)] {
+            sm.observe(SessionEvent {
+                user: UserId(u),
+                action: ActionId(a),
+                minute: m,
+            });
+        }
+        let bytes = sm.checkpoint();
+        let restored = d.restore_stream_monitor(&bytes).unwrap();
+        assert_eq!(restored.active_sessions(), sm.active_sessions());
+        assert_eq!(restored.sessions_started(), sm.sessions_started());
+        assert_eq!(restored.sessions_ended(), sm.sessions_ended());
+        assert_eq!(restored.clock_minute(), sm.clock_minute());
+        assert_eq!(restored.fault_counters(), sm.fault_counters());
+        assert_eq!(restored.config(), sm.config());
+        // The restored monitor's next checkpoint is byte-identical.
+        assert_eq!(restored.checkpoint(), bytes);
+    }
+
+    #[test]
+    fn checkpoint_corruption_and_truncation_rejected() {
+        let d = detector();
+        let mut sm = d.stream_monitor(StreamConfig::default());
+        sm.observe(SessionEvent {
+            user: UserId(0),
+            action: ActionId(0),
+            minute: 1,
+        });
+        let bytes = sm.checkpoint();
+        for cut in [0usize, 5, 17, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    d.restore_stream_monitor(&bytes[..cut]),
+                    Err(CoreError::Persist(_))
+                ),
+                "cut {cut}"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x08;
+            assert!(
+                matches!(
+                    d.restore_stream_monitor(&bad),
+                    Err(CoreError::Persist(_))
+                ),
+                "flip at byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_refuses_foreign_detector() {
+        let d = detector();
+        let sm = d.stream_monitor(StreamConfig::default());
+        let bytes = sm.checkpoint();
+        // A detector with a different lock-in horizon is not the one the
+        // checkpoint was taken against.
+        let (router, models, _) = detector().into_parts();
+        let other = MisuseDetector::new(router, models, 7);
+        assert!(matches!(
+            other.restore_stream_monitor(&bytes),
+            Err(CoreError::Persist(_))
+        ));
     }
 }

@@ -1,0 +1,164 @@
+//! Property tests for the `IBCD` detector format and the `IBCS` checkpoint
+//! format: any byte-prefix truncation and any single-byte corruption must
+//! come back as `CoreError::Persist` — never a panic, never a silently
+//! wrong detector or monitor.
+
+use std::sync::OnceLock;
+
+use ibcm_core::{CoreError, MisuseDetector, SessionEvent, StreamConfig};
+use ibcm_lm::{LmTrainConfig, LstmLm};
+use ibcm_logsim::{ActionId, UserId};
+use ibcm_ocsvm::{ClusterRouter, OcSvm, OcSvmConfig, SessionFeaturizer};
+use proptest::prelude::*;
+
+struct Fixture {
+    detector: MisuseDetector,
+    detector_bytes: Vec<u8>,
+    checkpoint_bytes: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let vocab = 5;
+        let featurizer = SessionFeaturizer::new(vocab, true);
+        let seqs: Vec<Vec<usize>> = (0..12).map(|_| vec![0, 1, 2, 3, 4, 0]).collect();
+        let feats: Vec<Vec<f64>> = seqs
+            .iter()
+            .map(|s| {
+                let acts: Vec<ActionId> = s.iter().map(|&t| ActionId(t)).collect();
+                featurizer.features(&acts)
+            })
+            .collect();
+        let router = ClusterRouter::new(
+            vec![OcSvm::train(&feats, &OcSvmConfig::default()).unwrap()],
+            featurizer,
+        );
+        let cfg = LmTrainConfig {
+            vocab,
+            hidden: 6,
+            epochs: 3,
+            batch_size: 4,
+            patience: 0,
+            ..LmTrainConfig::default()
+        };
+        let lm = LstmLm::train(&cfg, &seqs, &[]).unwrap();
+        let fallback = LstmLm::train(
+            &LmTrainConfig {
+                seed: 42,
+                ..cfg
+            },
+            &seqs,
+            &[],
+        )
+        .unwrap();
+        let detector = MisuseDetector::new(router, vec![lm], 15).with_fallback(fallback);
+        let detector_bytes = detector.to_bytes();
+        let mut sm = detector.stream_monitor(StreamConfig::default());
+        for i in 0..40u64 {
+            sm.observe(SessionEvent {
+                user: UserId((i % 4) as usize),
+                action: ActionId((i % 5) as usize),
+                minute: i,
+            });
+        }
+        let checkpoint_bytes = sm.checkpoint();
+        Fixture {
+            detector,
+            detector_bytes,
+            checkpoint_bytes,
+        }
+    })
+}
+
+#[test]
+fn both_formats_round_trip() {
+    let fix = fixture();
+    let back = MisuseDetector::from_bytes(&fix.detector_bytes).unwrap();
+    assert_eq!(back.n_clusters(), fix.detector.n_clusters());
+    assert!(back.fallback().is_some());
+    let restored = fix
+        .detector
+        .restore_stream_monitor(&fix.checkpoint_bytes)
+        .unwrap();
+    assert_eq!(restored.checkpoint(), fix.checkpoint_bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any prefix of a detector file is rejected as `Persist`.
+    #[test]
+    fn detector_truncation_rejected(frac in 0.0f64..1.0) {
+        let fix = fixture();
+        let cut = ((fix.detector_bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < fix.detector_bytes.len());
+        prop_assert!(matches!(
+            MisuseDetector::from_bytes(&fix.detector_bytes[..cut]),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    /// Any single-byte corruption of a detector file is rejected as
+    /// `Persist` (the v2 envelope checksum catches payload flips; header
+    /// flips fail the magic/version/length checks).
+    #[test]
+    fn detector_bit_flip_rejected(pos in 0.0f64..1.0, bit in 0u32..8) {
+        let fix = fixture();
+        let i = ((fix.detector_bytes.len() as f64) * pos) as usize;
+        let i = i.min(fix.detector_bytes.len() - 1);
+        let mut bad = fix.detector_bytes.clone();
+        bad[i] ^= 1u8 << bit;
+        prop_assert!(matches!(
+            MisuseDetector::from_bytes(&bad),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    /// The lenient loader has the same never-panic guarantee on corrupted
+    /// input: it may degrade only on files whose envelope is intact.
+    #[test]
+    fn lenient_load_never_panics_on_bit_flips(pos in 0.0f64..1.0, bit in 0u32..8) {
+        let fix = fixture();
+        let i = ((fix.detector_bytes.len() as f64) * pos) as usize;
+        let i = i.min(fix.detector_bytes.len() - 1);
+        let mut bad = fix.detector_bytes.clone();
+        bad[i] ^= 1u8 << bit;
+        // Transport corruption fails the checksum before leniency applies.
+        prop_assert!(MisuseDetector::from_bytes_lenient(&bad).is_err());
+    }
+
+    /// Any prefix of a checkpoint is rejected as `Persist`.
+    #[test]
+    fn checkpoint_truncation_rejected(frac in 0.0f64..1.0) {
+        let fix = fixture();
+        let cut = ((fix.checkpoint_bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < fix.checkpoint_bytes.len());
+        prop_assert!(matches!(
+            fix.detector.restore_stream_monitor(&fix.checkpoint_bytes[..cut]),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    /// Any single-byte corruption of a checkpoint is rejected as `Persist`.
+    #[test]
+    fn checkpoint_bit_flip_rejected(pos in 0.0f64..1.0, bit in 0u32..8) {
+        let fix = fixture();
+        let i = ((fix.checkpoint_bytes.len() as f64) * pos) as usize;
+        let i = i.min(fix.checkpoint_bytes.len() - 1);
+        let mut bad = fix.checkpoint_bytes.clone();
+        bad[i] ^= 1u8 << bit;
+        prop_assert!(matches!(
+            fix.detector.restore_stream_monitor(&bad),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    /// Arbitrary garbage never panics either decoder.
+    #[test]
+    fn random_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let fix = fixture();
+        prop_assert!(MisuseDetector::from_bytes(&data).is_err());
+        prop_assert!(fix.detector.restore_stream_monitor(&data).is_err());
+    }
+}

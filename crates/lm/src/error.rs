@@ -21,6 +21,16 @@ pub enum LmError {
     Persist(String),
     /// An underlying I/O failure while saving or loading.
     Io(String),
+    /// A streamed action was outside the model's vocabulary.
+    ActionOutOfVocab {
+        /// Offending action index.
+        action: usize,
+        /// Vocabulary size.
+        vocab: usize,
+    },
+    /// The model's internal state was inconsistent during scoring (a
+    /// corrupt or hand-assembled model; never produced by training).
+    Scoring(String),
 }
 
 impl fmt::Display for LmError {
@@ -36,6 +46,11 @@ impl fmt::Display for LmError {
             LmError::InvalidConfig(msg) => write!(f, "invalid language-model config: {msg}"),
             LmError::Persist(msg) => write!(f, "model persistence failed: {msg}"),
             LmError::Io(msg) => write!(f, "i/o error: {msg}"),
+            LmError::ActionOutOfVocab { action, vocab } => write!(
+                f,
+                "action {action} outside vocabulary of size {vocab}"
+            ),
+            LmError::Scoring(msg) => write!(f, "scoring failed: {msg}"),
         }
     }
 }

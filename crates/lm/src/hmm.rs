@@ -197,9 +197,35 @@ impl HmmLm {
         self.config.n_states
     }
 
+    /// Validates that the parameter tensors match the configured shape —
+    /// trivially true for trained models, but deserialized (possibly
+    /// corrupt) models must be checked before any indexing arithmetic.
+    fn check_model(&self) -> Result<(), LmError> {
+        let k = self.config.n_states;
+        let v = self.config.vocab;
+        if k == 0 || v == 0 {
+            return Err(LmError::Scoring(
+                "hmm has an empty state space or vocabulary".into(),
+            ));
+        }
+        if self.pi.len() != k || self.a.len() != k * k || self.b.len() != k * v {
+            return Err(LmError::Scoring(format!(
+                "hmm tensor shapes inconsistent: pi {}, a {}, b {} for {k} states x {v} actions",
+                self.pi.len(),
+                self.a.len(),
+                self.b.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// Predictive distribution over the next action given an observed
     /// prefix (uniform for an empty model, proper simplex otherwise).
+    /// Returns an empty vector for a shape-inconsistent (corrupt) model.
     pub fn next_probs(&self, prefix: &[usize]) -> Vec<f64> {
+        if self.check_model().is_err() {
+            return Vec::new();
+        }
         let k = self.config.n_states;
         let v = self.config.vocab;
         // Belief over the current state after the prefix.
@@ -235,36 +261,87 @@ impl HmmLm {
 
     /// Scores a session with the same semantics as
     /// [`crate::LstmLm::score_session`] (first action unscored).
+    /// Out-of-vocabulary tokens are clamped to the last action index; use
+    /// [`HmmLm::try_score_session`] to reject them instead.
     pub fn score_session(&self, seq: &[usize]) -> SessionScore {
+        let v = self.config.vocab;
+        let clamped: Vec<usize> = seq.iter().map(|&t| t.min(v.saturating_sub(1))).collect();
+        self.try_score_session(&clamped).unwrap_or(SessionScore {
+            avg_likelihood: 0.0,
+            avg_loss: 0.0,
+            n_predictions: 0,
+        })
+    }
+
+    /// [`HmmLm::score_session`] with typed errors: out-of-vocabulary tokens
+    /// and shape-inconsistent (corrupt) models are reported instead of
+    /// being clamped or panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::ActionOutOfVocab`] or [`LmError::Scoring`].
+    pub fn try_score_session(&self, seq: &[usize]) -> Result<SessionScore, LmError> {
+        self.check_model()?;
+        if let Some(&t) = seq.iter().find(|&&t| t >= self.config.vocab) {
+            return Err(LmError::ActionOutOfVocab {
+                action: t,
+                vocab: self.config.vocab,
+            });
+        }
         if seq.len() < 2 {
-            return SessionScore {
+            return Ok(SessionScore {
                 avg_likelihood: 0.0,
                 avg_loss: 0.0,
                 n_predictions: 0,
-            };
+            });
         }
         let mut sum_lik = 0.0f64;
         let mut sum_loss = 0.0f64;
         let n = seq.len() - 1;
         for i in 1..seq.len() {
-            let p = self.next_probs(&seq[..i])[seq[i].min(self.config.vocab - 1)].max(1e-12);
+            let p = self.next_probs(&seq[..i])[seq[i]].max(1e-12);
             sum_lik += p;
             sum_loss += -p.ln();
         }
-        SessionScore {
+        Ok(SessionScore {
             avg_likelihood: (sum_lik / n as f64) as f32,
             avg_loss: (sum_loss / n as f64) as f32,
             n_predictions: n,
-        }
+        })
     }
 
     /// Evaluates next-action prediction like [`crate::LstmLm::evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-vocabulary tokens; use [`HmmLm::try_evaluate`] on
+    /// untrusted input.
     pub fn evaluate(&self, seqs: &[Vec<usize>]) -> SequenceEval {
+        match self.try_evaluate(seqs) {
+            Ok(eval) => eval,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`HmmLm::evaluate`] returning typed errors instead of panicking on
+    /// out-of-vocabulary tokens or corrupt models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::ActionOutOfVocab`] or [`LmError::Scoring`].
+    pub fn try_evaluate(&self, seqs: &[Vec<usize>]) -> Result<SequenceEval, LmError> {
+        self.check_model()?;
         let mut hits = 0usize;
         let mut n = 0usize;
         let mut sum_loss = 0.0f64;
         let mut sum_lik = 0.0f64;
         for seq in seqs {
+            if let Some(&t) = seq.iter().find(|&&t| t >= self.config.vocab) {
+                return Err(LmError::ActionOutOfVocab {
+                    action: t,
+                    vocab: self.config.vocab,
+                });
+            }
             for i in 1..seq.len() {
                 let probs = self.next_probs(&seq[..i]);
                 let p = probs[seq[i]].max(1e-12);
@@ -280,12 +357,12 @@ impl HmmLm {
                 n += 1;
             }
         }
-        SequenceEval {
+        Ok(SequenceEval {
             accuracy: if n > 0 { hits as f32 / n as f32 } else { 0.0 },
             avg_loss: if n > 0 { (sum_loss / n as f64) as f32 } else { 0.0 },
             avg_likelihood: if n > 0 { (sum_lik / n as f64) as f32 } else { 0.0 },
             n_predictions: n,
-        }
+        })
     }
 
     /// Total log-likelihood of a sequence under the model (forward
@@ -295,6 +372,9 @@ impl HmmLm {
         let v = self.config.vocab;
         if seq.is_empty() {
             return 0.0;
+        }
+        if self.check_model().is_err() {
+            return f64::NEG_INFINITY;
         }
         let mut alpha: Vec<f64> = (0..k)
             .map(|i| self.pi[i] * self.b[i * v + seq[0].min(v - 1)])
@@ -424,6 +504,30 @@ mod tests {
         let hmm = HmmLm::train(&cfg(2, 3), &cycle_corpus()).unwrap();
         assert_eq!(hmm.score_session(&[0]).n_predictions, 0);
         assert_eq!(hmm.score_session(&[]).n_predictions, 0);
+    }
+
+    #[test]
+    fn checked_scoring_rejects_oov_and_corrupt_models() {
+        let hmm = HmmLm::train(&cfg(2, 3), &cycle_corpus()).unwrap();
+        assert!(matches!(
+            hmm.try_score_session(&[0, 1, 9]),
+            Err(LmError::ActionOutOfVocab { action: 9, vocab: 3 })
+        ));
+        assert!(matches!(
+            hmm.try_evaluate(&[vec![0, 7]]),
+            Err(LmError::ActionOutOfVocab { action: 7, .. })
+        ));
+        // A corrupt model (tensor shapes disagree with the config, as a
+        // hand-edited serde payload could produce) degrades, never panics.
+        let mut corrupt = hmm.clone();
+        corrupt.b.truncate(2);
+        assert!(matches!(
+            corrupt.try_score_session(&[0, 1, 2]),
+            Err(LmError::Scoring(_))
+        ));
+        assert!(corrupt.next_probs(&[0, 1]).is_empty());
+        assert_eq!(corrupt.log_likelihood(&[0, 1]), f64::NEG_INFINITY);
+        assert_eq!(corrupt.score_session(&[0, 1, 2]).n_predictions, 0);
     }
 
     #[test]

@@ -445,29 +445,67 @@ impl LstmLm {
     /// predicted positions (the paper's normality measures, §III).
     ///
     /// Sessions with fewer than 2 actions yield a score with `n = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-vocabulary tokens; use [`LstmLm::try_score_session`]
+    /// on untrusted input.
     pub fn score_session(&self, seq: &[usize]) -> SessionScore {
+        match self.try_score_session(seq) {
+            Ok(score) => score,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`LstmLm::score_session`] returning typed errors instead of
+    /// panicking, so a corrupt model or an unfiltered stream cannot abort
+    /// the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::ActionOutOfVocab`] for tokens the model has never
+    /// seen, or [`LmError::Scoring`] for an internally inconsistent model.
+    pub fn try_score_session(&self, seq: &[usize]) -> Result<SessionScore, LmError> {
         let mut scorer = self.scorer();
         let mut sum_lik = 0.0f64;
         let mut sum_loss = 0.0f64;
         let mut n = 0usize;
         for &a in seq {
-            if let Some(step) = scorer.feed(a) {
+            if let Some(step) = scorer.try_feed(a)? {
                 sum_lik += step.likelihood as f64;
                 sum_loss += step.loss as f64;
                 n += 1;
             }
         }
-        SessionScore {
+        Ok(SessionScore {
             avg_likelihood: if n > 0 { (sum_lik / n as f64) as f32 } else { 0.0 },
             avg_loss: if n > 0 { (sum_loss / n as f64) as f32 } else { 0.0 },
             n_predictions: n,
-        }
+        })
     }
 
     /// Evaluates next-action prediction over a set of sessions: accuracy
     /// (fraction of argmax hits), average loss, and average likelihood —
     /// the metrics of Figs. 4, 5, 8–12.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-vocabulary tokens; use [`LstmLm::try_evaluate`] on
+    /// untrusted input.
     pub fn evaluate(&self, seqs: &[Vec<usize>]) -> SequenceEval {
+        match self.try_evaluate(seqs) {
+            Ok(eval) => eval,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`LstmLm::evaluate`] returning typed errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::ActionOutOfVocab`] for tokens the model has never
+    /// seen, or [`LmError::Scoring`] for an internally inconsistent model.
+    pub fn try_evaluate(&self, seqs: &[Vec<usize>]) -> Result<SequenceEval, LmError> {
         let mut hits = 0usize;
         let mut n = 0usize;
         let mut sum_loss = 0.0f64;
@@ -475,7 +513,7 @@ impl LstmLm {
         for seq in seqs {
             let mut scorer = self.scorer();
             for &a in seq {
-                if let Some(step) = scorer.feed(a) {
+                if let Some(step) = scorer.try_feed(a)? {
                     n += 1;
                     hits += usize::from(step.correct);
                     sum_loss += step.loss as f64;
@@ -483,12 +521,12 @@ impl LstmLm {
                 }
             }
         }
-        SequenceEval {
+        Ok(SequenceEval {
             accuracy: if n > 0 { hits as f32 / n as f32 } else { 0.0 },
             avg_loss: if n > 0 { (sum_loss / n as f64) as f32 } else { 0.0 },
             avg_likelihood: if n > 0 { (sum_lik / n as f64) as f32 } else { 0.0 },
             n_predictions: n,
-        }
+        })
     }
 }
 
@@ -681,6 +719,23 @@ mod tests {
             ..quick_cfg(2)
         };
         assert!(LstmLm::train(&cfg, &[vec![0, 1]], &[]).is_err());
+    }
+
+    #[test]
+    fn checked_scoring_rejects_oov_without_panicking() {
+        let seqs = cyclic_corpus(8, &[0, 1]);
+        let lm = LstmLm::train(&quick_cfg(2), &seqs, &[]).unwrap();
+        assert!(matches!(
+            lm.try_score_session(&[0, 1, 7]),
+            Err(LmError::ActionOutOfVocab { action: 7, vocab: 2 })
+        ));
+        assert!(matches!(
+            lm.try_evaluate(&[vec![0, 1], vec![0, 9]]),
+            Err(LmError::ActionOutOfVocab { action: 9, .. })
+        ));
+        // Checked and panicking paths agree on clean input.
+        assert_eq!(lm.try_score_session(&seqs[0]).unwrap(), lm.score_session(&seqs[0]));
+        assert_eq!(lm.try_evaluate(&seqs).unwrap(), lm.evaluate(&seqs));
     }
 
     #[test]

@@ -92,6 +92,11 @@ impl LstmLm {
             },
             x => return Err(LmError::Persist(format!("unknown batch scheme tag {x}"))),
         };
+        if vocab == 0 || hidden == 0 {
+            return Err(LmError::Persist(
+                "vocab and hidden must be positive".into(),
+            ));
+        }
         let wx = nns::read_matrix(&mut buf)?;
         let wh = nns::read_matrix(&mut buf)?;
         let b = nns::read_vec(&mut buf)?;
@@ -100,7 +105,12 @@ impl LstmLm {
             let uwx = nns::read_matrix(&mut buf)?;
             let uwh = nns::read_matrix(&mut buf)?;
             let ub = nns::read_vec(&mut buf)?;
-            if uwx.rows() != hidden || uwx.cols() != 4 * hidden {
+            if uwx.rows() != hidden
+                || uwx.cols() != 4 * hidden
+                || uwh.rows() != hidden
+                || uwh.cols() != 4 * hidden
+                || ub.len() != 4 * hidden
+            {
                 return Err(LmError::Persist("upper layer shapes inconsistent".into()));
             }
             let mut layer = LstmLayer::new(hidden, hidden, seed ^ (li as u64) << 8);
@@ -112,8 +122,24 @@ impl LstmLm {
         }
         let dw = nns::read_matrix(&mut buf)?;
         let db = nns::read_vec(&mut buf)?;
-        if wx.rows() != vocab || wx.cols() != 4 * hidden || dw.rows() != hidden {
+        // Every tensor shape is pinned to the config so a bit-flipped
+        // dimension cannot survive into scoring-time indexing.
+        if wx.rows() != vocab
+            || wx.cols() != 4 * hidden
+            || wh.rows() != hidden
+            || wh.cols() != 4 * hidden
+            || b.len() != 4 * hidden
+            || dw.rows() != hidden
+            || dw.cols() != vocab
+            || db.len() != vocab
+        {
             return Err(LmError::Persist("tensor shapes inconsistent".into()));
+        }
+        if buf.remaining() != 0 {
+            return Err(LmError::Persist(format!(
+                "{} trailing bytes after model payload",
+                buf.remaining()
+            )));
         }
         let mut lstm = LstmLayer::new(vocab, hidden, seed);
         {

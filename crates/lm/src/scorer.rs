@@ -1,5 +1,6 @@
 use ibcm_nn::{softmax_in_place, LstmState, StepInput};
 
+use crate::error::LmError;
 use crate::model::LstmLm;
 
 /// Outcome of scoring one observed action against the model's prediction.
@@ -43,10 +44,33 @@ impl<'a> LmScorer<'a> {
     /// The model's current next-action probability distribution (softmax
     /// over the vocabulary). Meaningful once at least one action was fed.
     pub fn probs(&self) -> Vec<f32> {
-        let top = self.states.last().expect("at least one layer");
+        self.try_probs().unwrap_or_default()
+    }
+
+    /// [`LmScorer::probs`] with the internal-consistency failures surfaced
+    /// as typed errors instead of a panic or an empty distribution — the
+    /// variant the stream monitor uses so a corrupt model cannot take the
+    /// whole monitor down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::Scoring`] if the recurrent state and the dense
+    /// head disagree on dimensions (possible only with corrupt model bytes).
+    pub fn try_probs(&self) -> Result<Vec<f32>, LmError> {
+        let top = self
+            .states
+            .last()
+            .ok_or_else(|| LmError::Scoring("scorer has no layers".into()))?;
+        if top.hidden().len() != self.model.dense.in_dim() {
+            return Err(LmError::Scoring(format!(
+                "hidden state width {} does not match dense head input {}",
+                top.hidden().len(),
+                self.model.dense.in_dim()
+            )));
+        }
         let mut logits = self.model.dense.forward_vec(top.hidden());
         softmax_in_place(&mut logits);
-        logits
+        Ok(logits)
     }
 
     /// Advances every layer of the stack by one action.
@@ -66,16 +90,42 @@ impl<'a> LmScorer<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `action` is outside the model's vocabulary.
+    /// Panics if `action` is outside the model's vocabulary. Use
+    /// [`LmScorer::try_feed`] on untrusted streams.
     pub fn feed(&mut self, action: usize) -> Option<StepScore> {
-        assert!(
-            action < self.model.vocab_size(),
-            "action {action} outside vocabulary of size {}",
-            self.model.vocab_size()
-        );
+        match self.try_feed(action) {
+            Ok(score) => score,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`LmScorer::feed`] returning typed errors instead of panicking —
+    /// the scoring hot path of the stream monitor, where a malformed event
+    /// or a corrupt model must degrade, not abort the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::ActionOutOfVocab`] for an action the model has
+    /// never seen, or [`LmError::Scoring`] for an internally inconsistent
+    /// (corrupt) model. The recurrent state is unchanged on error.
+    pub fn try_feed(&mut self, action: usize) -> Result<Option<StepScore>, LmError> {
+        if action >= self.model.vocab_size() {
+            return Err(LmError::ActionOutOfVocab {
+                action,
+                vocab: self.model.vocab_size(),
+            });
+        }
         let score = if self.fed_any {
-            let probs = self.probs();
-            let likelihood = probs[action].max(1e-12);
+            let probs = self.try_probs()?;
+            let likelihood = probs
+                .get(action)
+                .copied()
+                .ok_or_else(|| LmError::Scoring(format!(
+                    "dense head emitted {} probabilities for vocabulary of {}",
+                    probs.len(),
+                    self.model.vocab_size()
+                )))?
+                .max(1e-12);
             let predicted = probs
                 .iter()
                 .enumerate()
@@ -92,7 +142,7 @@ impl<'a> LmScorer<'a> {
             None
         };
         self.step_stack(action);
-        score
+        Ok(score)
     }
 
     /// Advances the recurrent state without computing a score — cheaper
@@ -101,14 +151,29 @@ impl<'a> LmScorer<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `action` is outside the model's vocabulary.
+    /// Panics if `action` is outside the model's vocabulary. Use
+    /// [`LmScorer::try_advance`] on untrusted streams.
     pub fn advance(&mut self, action: usize) {
-        assert!(
-            action < self.model.vocab_size(),
-            "action {action} outside vocabulary of size {}",
-            self.model.vocab_size()
-        );
+        if let Err(e) = self.try_advance(action) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`LmScorer::advance`] returning a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::ActionOutOfVocab`] for an out-of-vocabulary
+    /// action; the recurrent state is unchanged on error.
+    pub fn try_advance(&mut self, action: usize) -> Result<(), LmError> {
+        if action >= self.model.vocab_size() {
+            return Err(LmError::ActionOutOfVocab {
+                action,
+                vocab: self.model.vocab_size(),
+            });
+        }
         self.step_stack(action);
+        Ok(())
     }
 
     /// Number of actions fed so far.
@@ -201,5 +266,25 @@ mod tests {
     fn out_of_vocab_feed_panics() {
         let m = tiny_model();
         m.scorer().feed(99);
+    }
+
+    #[test]
+    fn try_feed_returns_typed_error_and_preserves_state() {
+        use crate::error::LmError;
+        let m = tiny_model();
+        let mut s = m.scorer();
+        s.feed(0);
+        let before = s.probs();
+        assert!(matches!(
+            s.try_feed(99),
+            Err(LmError::ActionOutOfVocab { action: 99, vocab: 3 })
+        ));
+        assert!(matches!(
+            s.try_advance(99),
+            Err(LmError::ActionOutOfVocab { action: 99, vocab: 3 })
+        ));
+        assert_eq!(s.probs(), before, "state untouched after rejected action");
+        let ok = s.try_feed(1).unwrap();
+        assert!(ok.is_some());
     }
 }

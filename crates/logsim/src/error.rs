@@ -13,6 +13,13 @@ pub enum LogsimError {
         /// The offending validation fraction.
         validation: f64,
     },
+    /// An imported log line was malformed.
+    Import {
+        /// 1-based line number in the source file (the header is line 1).
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
 }
 
 impl fmt::Display for LogsimError {
@@ -23,6 +30,7 @@ impl fmt::Display for LogsimError {
                 f,
                 "invalid split fractions: train {train} + validation {validation} must be < 1"
             ),
+            LogsimError::Import { line, msg } => write!(f, "line {line}: {msg}"),
         }
     }
 }

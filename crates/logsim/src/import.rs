@@ -66,7 +66,10 @@ impl LogImporter {
     /// # Errors
     ///
     /// Returns [`LogsimError::InvalidConfig`] for malformed rows, unknown
-    /// actions (in [`CatalogMode::Standard`]), or an empty log.
+    /// actions (in [`CatalogMode::Standard`]), or an empty log, and
+    /// [`LogsimError::Import`] (with the offending 1-based line number) for
+    /// rows with blank fields or a minute earlier than a previous row of
+    /// the same session.
     pub fn read_csv<R: BufRead>(&self, reader: R) -> Result<Dataset, LogsimError> {
         let mut lines = reader.lines();
         let header = lines
@@ -91,6 +94,10 @@ impl LogImporter {
         struct Raw {
             user: String,
             minute: u64,
+            /// Minute of the session's most recent row; each row must be
+            /// at or after it (event order within a session is the action
+            /// sequence, so a backwards clock means a scrambled log).
+            last_minute: u64,
             actions: Vec<String>,
         }
         let mut order: Vec<String> = Vec::new();
@@ -111,6 +118,15 @@ impl LogImporter {
                     fields.len()
                 )));
             }
+            for (col, name) in [(si, "session"), (ui, "user"), (mi, "minute"), (ai, "action")]
+            {
+                if fields[col].is_empty() {
+                    return Err(LogsimError::Import {
+                        line: lineno + 2,
+                        msg: format!("blank '{name}' field"),
+                    });
+                }
+            }
             let minute: u64 = fields[mi].parse().map_err(|_| {
                 LogsimError::InvalidConfig(format!(
                     "line {}: minute '{}' is not an integer",
@@ -123,9 +139,21 @@ impl LogImporter {
                 Raw {
                     user: fields[ui].to_string(),
                     minute,
+                    last_minute: minute,
                     actions: Vec::new(),
                 }
             });
+            if minute < entry.last_minute {
+                return Err(LogsimError::Import {
+                    line: lineno + 2,
+                    msg: format!(
+                        "session {}: minute {minute} precedes the session's previous \
+                         event at minute {}",
+                        fields[si], entry.last_minute
+                    ),
+                });
+            }
+            entry.last_minute = minute;
             entry.actions.push(fields[ai].to_string());
         }
         if order.is_empty() {
@@ -286,6 +314,53 @@ mod tests {
                 "should reject: {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn blank_fields_rejected_with_line_number() {
+        for (log, field) in [
+            ("session,user,minute,action\ns1,u,0,A\n,u,1,A\n", "session"),
+            ("session,user,minute,action\ns1,u,0,A\ns1,,1,A\n", "user"),
+            ("session,user,minute,action\ns1,u,0,A\ns1,u,,A\n", "minute"),
+            ("session,user,minute,action\ns1,u,0,A\ns1,u,1,\n", "action"),
+        ] {
+            let err = LogImporter::new(CatalogMode::FromLog)
+                .read_csv(log.as_bytes())
+                .unwrap_err();
+            match err {
+                LogsimError::Import { line, ref msg } => {
+                    assert_eq!(line, 3, "blank {field}: {err}");
+                    assert!(msg.contains(field), "message should name '{field}': {msg}");
+                }
+                other => panic!("expected Import error for blank {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_monotonic_session_minutes_rejected_with_line_number() {
+        // s1's clock runs backwards on line 4; s2 interleaving is fine.
+        let log = "session,user,minute,action\n\
+            s1,u,10,CustomA\n\
+            s2,v,3,CustomB\n\
+            s1,u,7,CustomA\n";
+        let err = LogImporter::new(CatalogMode::FromLog)
+            .read_csv(log.as_bytes())
+            .unwrap_err();
+        match err {
+            LogsimError::Import { line, ref msg } => {
+                assert_eq!(line, 4);
+                assert!(msg.contains("minute 7"), "{msg}");
+                assert!(msg.contains("minute 10"), "{msg}");
+            }
+            other => panic!("expected Import error, got {other:?}"),
+        }
+        // Equal minutes (several actions in the same minute) stay legal.
+        let ok = "session,user,minute,action\n\
+            s1,u,10,CustomA\ns1,u,10,CustomB\ns1,u,12,CustomA\n";
+        assert!(LogImporter::new(CatalogMode::FromLog)
+            .read_csv(ok.as_bytes())
+            .is_ok());
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             trend_window: 4,
             trend_drop_ratio: 0.3,
         },
+        ..StreamConfig::default()
     });
 
     // Interleave three normal users with one misuse burst, as a SIEM would
@@ -72,6 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stream.sessions_started(),
         stream.sessions_ended(),
         stream.active_sessions()
+    );
+    let faults = stream.fault_counters();
+    println!(
+        "faults observed: {} non-monotonic, {} duplicate, {} unknown-action, {} dropped",
+        faults.non_monotonic, faults.duplicate, faults.unknown_action, faults.dropped
     );
     for a in &alarms {
         println!(
