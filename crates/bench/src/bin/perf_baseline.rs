@@ -1,0 +1,225 @@
+//! Before/after wall-clock baseline for the PR-3 kernel work, written to
+//! `BENCH_pr3.json`.
+//!
+//! Three hot paths, each measured under the retained naive implementation
+//! ("before") and the optimized one ("after"):
+//!
+//! - `lda_fit`: collapsed Gibbs LDA (K = 13, vocab = 300) with the dense
+//!   sweep vs the doc-sparse SparseLDA-style sweep,
+//! - `lstm_train_epoch`: one LM training epoch under
+//!   [`KernelMode::Reference`] vs [`KernelMode::Optimized`],
+//! - `batch_scoring`: per-session LM scoring (the detector's
+//!   `score_sessions` hot path) under both kernel modes.
+//!
+//! Both sides of every pair produce bit-identical models/scores (asserted
+//! here and enforced by the property suites), so the comparison measures
+//! nothing but kernel speed. `IBCM_SCALE=test` shrinks the workloads to a
+//! CI smoke run; `IBCM_BENCH_OUT` overrides the output path.
+
+use std::time::Instant;
+
+use ibcm_bench::{seed_from_env, Scale};
+use ibcm_lm::{LmTrainConfig, LstmLm};
+use ibcm_nn::{set_kernel_mode, KernelMode};
+use ibcm_topics::{Lda, LdaConfig, SamplerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct StageRow {
+    stage: &'static str,
+    before_s: f64,
+    after_s: f64,
+}
+
+/// Repetitions per measured side; wall-clock is the minimum across reps
+/// (robust to scheduler noise on a shared box). Quick mode runs once.
+fn reps(quick: bool) -> usize {
+    if quick {
+        1
+    } else {
+        3
+    }
+}
+
+/// Min-of-N wall clock of `f`, returning the last result for the equality
+/// assertions.
+fn time_best<T>(n: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        last = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, last.expect("at least one rep"))
+}
+
+/// A themed corpus: each document mixes two of `k` word blocks plus
+/// occasional off-theme words, so fitted documents concentrate on few topics
+/// (the regime the doc-sparse sweep exploits — and the shape real session
+/// corpora have).
+fn themed_corpus(n_docs: usize, doc_len: usize, vocab: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let block = vocab / k;
+    (0..n_docs)
+        .map(|_| {
+            let t1 = rng.gen_range(0..k);
+            let t2 = rng.gen_range(0..k);
+            (0..doc_len)
+                .map(|_| {
+                    if rng.gen_bool(0.1) {
+                        rng.gen_range(0..vocab)
+                    } else {
+                        let t = if rng.gen_bool(0.7) { t1 } else { t2 };
+                        t * block + rng.gen_range(0..block)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn lda_stage(quick: bool, seed: u64) -> StageRow {
+    let (n_docs, doc_len, iterations) = if quick { (60, 20, 10) } else { (1200, 40, 60) };
+    let docs = themed_corpus(n_docs, doc_len, 300, 13, seed);
+    let fit = |sampler: SamplerKind| {
+        let cfg = LdaConfig {
+            n_topics: 13,
+            vocab: 300,
+            iterations,
+            seed,
+            sampler,
+            ..LdaConfig::default()
+        };
+        time_best(reps(quick), || Lda::new(cfg).fit(&docs).expect("lda fits"))
+    };
+    let (before_s, dense) = fit(SamplerKind::Dense);
+    let (after_s, sparse) = fit(SamplerKind::Sparse);
+    assert_eq!(dense, sparse, "dense and sparse sweeps must agree exactly");
+    StageRow { stage: "lda_fit", before_s, after_s }
+}
+
+fn lm_corpus(quick: bool) -> (LmTrainConfig, Vec<Vec<usize>>) {
+    // The paper's §IV-A LSTM shape (`paper_exact`: hidden 256, one layer,
+    // batch 32, vocab-sized softmax); quick mode shrinks it to a CI smoke
+    // run.
+    let (n_seqs, len, vocab, epochs) = if quick { (16, 20, 7, 1) } else { (96, 30, 300, 2) };
+    let seqs: Vec<Vec<usize>> = (0..n_seqs)
+        .map(|i| (0..len).map(|j| (i + j * j) % vocab).collect())
+        .collect();
+    let mut cfg = LmTrainConfig::paper_exact(vocab, 42);
+    cfg.epochs = epochs;
+    cfg.patience = 0;
+    if quick {
+        cfg.hidden = 16;
+        cfg.batch_size = 4;
+    }
+    (cfg, seqs)
+}
+
+fn lstm_stage(quick: bool) -> (StageRow, LstmLm, Vec<Vec<usize>>) {
+    let (cfg, seqs) = lm_corpus(quick);
+    let val = seqs[..4.min(seqs.len())].to_vec();
+    let train = |mode: KernelMode| {
+        set_kernel_mode(mode);
+        // A paper-shape epoch runs tens of seconds — long enough to be
+        // self-averaging, so one rep suffices.
+        let (t, lm) = time_best(1, || LstmLm::train(&cfg, &seqs, &val).expect("lm trains"));
+        (t / cfg.epochs as f64, lm)
+    };
+    let (before_s, naive) = train(KernelMode::Reference);
+    let (after_s, fast) = train(KernelMode::Optimized);
+    assert_eq!(
+        naive.to_bytes(),
+        fast.to_bytes(),
+        "kernel modes must train byte-identical models"
+    );
+    (StageRow { stage: "lstm_train_epoch", before_s, after_s }, fast, seqs)
+}
+
+fn scoring_stage(quick: bool, lm: &LstmLm, seqs: &[Vec<usize>]) -> StageRow {
+    let repeats = if quick { 1 } else { 5 };
+    let run = |mode: KernelMode| {
+        set_kernel_mode(mode);
+        time_best(reps(quick), || {
+            let mut sink = 0.0f64;
+            for _ in 0..repeats {
+                for seq in seqs {
+                    sink += lm.score_session(seq).avg_loss as f64;
+                }
+            }
+            sink
+        })
+    };
+    let (before_s, a) = run(KernelMode::Reference);
+    let (after_s, b) = run(KernelMode::Optimized);
+    assert_eq!(a.to_bits(), b.to_bits(), "kernel modes must score identically");
+    StageRow { stage: "batch_scoring", before_s, after_s }
+}
+
+fn commit_hash() -> String {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let head = git(&["rev-parse", "HEAD"])
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    match head {
+        Some(h) => {
+            let dirty = git(&["status", "--porcelain"]).is_some_and(|s| !s.trim().is_empty());
+            if dirty {
+                format!("{h}-dirty")
+            } else {
+                h
+            }
+        }
+        None => "unknown".to_string(),
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let threads = ibcm_core::par::default_threads();
+    let quick = scale == Scale::Test;
+    eprintln!("[ibcm] perf_baseline scale={} seed={seed}", scale.label());
+
+    let mut rows = vec![lda_stage(quick, seed)];
+    let (lstm_row, lm, seqs) = lstm_stage(quick);
+    rows.push(lstm_row);
+    rows.push(scoring_stage(quick, &lm, &seqs));
+    set_kernel_mode(KernelMode::Optimized);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"ibcm-perf-baseline/1\",\n");
+    json.push_str(&format!("  \"commit\": \"{}\",\n", commit_hash()));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
+    json.push_str("  \"stages\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.before_s / r.after_s.max(1e-12);
+        println!(
+            "{:18} before {:8.3}s  after {:8.3}s  speedup {:.2}x",
+            r.stage, r.before_s, r.after_s, speedup
+        );
+        json.push_str(&format!(
+            "    {{ \"stage\": \"{}\", \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }}{}\n",
+            r.stage,
+            r.before_s,
+            r.after_s,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("IBCM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+    std::fs::write(&out, json)?;
+    eprintln!("[ibcm] wrote {out}");
+    Ok(())
+}

@@ -1,5 +1,6 @@
 use ibcm_nn::{
-    clip_global_norm, softmax_cross_entropy, Adam, AdamConfig, Dense, Dropout, LstmLayer, Matrix,
+    clip_global_norm, softmax_cross_entropy_into, Adam, AdamConfig, Dense, Dropout, LstmCache,
+    LstmGrads, LstmLayer, Matrix, Scratch,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,6 +122,37 @@ pub struct TrainReport {
     pub stopped_early: bool,
 }
 
+/// Reusable buffers for [`LstmLm::train_batch`]: forward caches, gradient
+/// accumulators, and the shared kernel [`Scratch`]. One workspace lives for
+/// a whole training run, so steady-state batches allocate nothing — every
+/// buffer is resized in place once shapes stabilize.
+#[derive(Debug, Default)]
+struct TrainWorkspace {
+    scratch: Scratch,
+    /// Forward cache of the (sparse-input) bottom layer.
+    cache: LstmCache,
+    /// Forward caches of the stacked dense layers, bottom first.
+    upper_caches: Vec<LstmCache>,
+    /// Per-step hidden-state gradients; doubles as the running `d_below`
+    /// while walking the stack top-to-bottom (ping-ponged with `d_below`).
+    d_hiddens: Vec<Matrix>,
+    d_below: Vec<Matrix>,
+    h_dropped: Matrix,
+    mask: Vec<f32>,
+    logits: Matrix,
+    probs: Matrix,
+    dlogits: Matrix,
+    /// Per-step dense-head gradient staging, accumulated into `dense_dw` /
+    /// `dense_db` (two-stage on purpose: it preserves the summation
+    /// grouping, keeping results bit-identical across refactors).
+    dw_step: Matrix,
+    db_step: Vec<f32>,
+    dense_dw: Matrix,
+    dense_db: Vec<f32>,
+    lstm_grads: LstmGrads,
+    upper_grads: Vec<LstmGrads>,
+}
+
 /// The paper's behavior model: one LSTM layer, dropout, and a dense softmax
 /// head predicting the next action's probability distribution.
 ///
@@ -182,13 +214,14 @@ impl LstmLm {
 
         let mut best: Option<(f32, LstmLayer, Vec<LstmLayer>, Dense, usize)> = None;
         let mut bad_epochs = 0usize;
+        let mut ws = TrainWorkspace::default();
         for epoch in 0..config.epochs {
             let mut rng = StdRng::seed_from_u64(config.seed ^ (epoch as u64).wrapping_mul(0x9e37));
             let batches = build_batches(train_seqs, config.scheme, config.batch_size, &mut rng);
             let mut epoch_loss = 0.0f64;
             let mut epoch_targets = 0usize;
             for batch in &batches {
-                let (loss, n) = model.train_batch(batch, &mut optimizer, &mut dropout);
+                let (loss, n) = model.train_batch(batch, &mut optimizer, &mut dropout, &mut ws);
                 epoch_loss += (loss as f64) * n as f64;
                 epoch_targets += n;
             }
@@ -231,90 +264,117 @@ impl LstmLm {
     }
 
     /// One optimizer step on one batch; returns `(mean loss, n targets)`.
+    /// All intermediates live in `ws` and are reused across batches.
     fn train_batch(
         &mut self,
         batch: &TrainBatch,
         optimizer: &mut Adam,
         dropout: &mut Dropout,
+        ws: &mut TrainWorkspace,
     ) -> (f32, usize) {
         let total_targets = batch.n_targets();
         if total_targets == 0 {
             return (0.0, 0);
         }
         // Forward through the stack: sparse input layer, dense upper layers.
-        let cache = self.lstm.forward(&batch.inputs);
-        let mut upper_caches: Vec<(ibcm_nn::LstmCache, Vec<Matrix>)> =
-            Vec::with_capacity(self.upper.len());
+        // Each dense layer reads the hidden states of the layer below
+        // directly out of that layer's cache — no copies.
+        self.lstm.forward_into(&batch.inputs, &mut ws.cache, &mut ws.scratch);
+        ws.upper_caches.resize_with(self.upper.len(), LstmCache::default);
+        ws.upper_caches.truncate(self.upper.len());
         for (li, layer) in self.upper.iter().enumerate() {
-            let below = if li == 0 {
-                cache.hiddens().to_vec()
+            let (done, rest) = ws.upper_caches.split_at_mut(li);
+            let below: &[Matrix] = if li == 0 {
+                ws.cache.hiddens()
             } else {
-                upper_caches[li - 1].0.hiddens().to_vec()
+                done[li - 1].hiddens()
             };
-            upper_caches.push(layer.forward_dense(&below));
+            layer.forward_dense_into(below, &mut rest[0], &mut ws.scratch);
         }
-        let top_hiddens: Vec<Matrix> = match upper_caches.last() {
-            Some((c, _)) => c.hiddens().to_vec(),
-            None => cache.hiddens().to_vec(),
-        };
 
-        let mut dense_dw = Matrix::zeros(self.config.hidden, self.config.vocab);
-        let mut dense_db = vec![0.0f32; self.config.vocab];
-        let mut d_hiddens: Vec<Matrix> = Vec::with_capacity(cache.steps());
+        let steps = ws.cache.steps();
+        ws.dense_dw.resize_zeroed(self.config.hidden, self.config.vocab);
+        ws.dense_db.clear();
+        ws.dense_db.resize(self.config.vocab, 0.0);
+        ws.d_hiddens.resize_with(steps, Matrix::default);
+        ws.d_hiddens.truncate(steps);
         let mut loss_sum = 0.0f64;
-        for (t, h_t) in top_hiddens.iter().enumerate() {
+        for t in 0..steps {
             let step_targets = &batch.targets[t];
             let active = step_targets.iter().filter(|x| x.is_some()).count();
-            if active == 0 {
-                d_hiddens.push(Matrix::zeros(h_t.rows(), h_t.cols()));
-                continue;
+            {
+                let top = ws.upper_caches.last().unwrap_or(&ws.cache);
+                let h_t = &top.hiddens()[t];
+                if active == 0 {
+                    let (r, c) = (h_t.rows(), h_t.cols());
+                    ws.d_hiddens[t].resize_zeroed(r, c);
+                    continue;
+                }
+                ws.h_dropped.copy_from(h_t);
             }
-            let mut h_dropped = h_t.clone();
-            let mask = dropout.apply(&mut h_dropped);
-            let (logits, dcache) = self.dense.forward_cached(&h_dropped);
-            let sm = softmax_cross_entropy(&logits, step_targets);
+            dropout.apply_with(&mut ws.h_dropped, &mut ws.mask);
+            self.dense.forward_into(&ws.h_dropped, &mut ws.logits);
+            let loss =
+                softmax_cross_entropy_into(&ws.logits, step_targets, &mut ws.probs, &mut ws.dlogits);
             // Re-weight so the total gradient is that of the mean loss over
             // *all* targets in the batch, not per step.
             let w = active as f32 / total_targets as f32;
-            loss_sum += (sm.loss as f64) * active as f64;
-            let mut dlogits = sm.dlogits;
-            dlogits.scale(w);
-            let grads = self.dense.backward(&dcache, &dlogits);
-            dense_dw.add_assign(&grads.dw);
-            for (acc, g) in dense_db.iter_mut().zip(grads.db.iter()) {
+            loss_sum += (loss as f64) * active as f64;
+            ws.dlogits.scale(w);
+            self.dense.backward_into(
+                &ws.h_dropped,
+                &ws.dlogits,
+                &mut ws.dw_step,
+                &mut ws.db_step,
+                &mut ws.d_hiddens[t],
+            );
+            ws.dense_dw.add_assign(&ws.dw_step);
+            for (acc, g) in ws.dense_db.iter_mut().zip(ws.db_step.iter()) {
                 *acc += g;
             }
-            let mut dx = grads.dx;
-            Dropout::backward(&mut dx, &mask);
-            d_hiddens.push(dx);
+            Dropout::backward(&mut ws.d_hiddens[t], &ws.mask);
         }
-        // Backward through the stack, top to bottom.
-        let mut upper_grads = Vec::with_capacity(self.upper.len());
-        let mut d_below = d_hiddens;
-        for (li, layer) in self.upper.iter().enumerate().rev() {
-            let (layer_cache, dense_inputs) = &upper_caches[li];
-            let (grads, d_inputs) = layer.backward_dense(layer_cache, dense_inputs, &d_below);
-            upper_grads.push(grads); // reverse (top-first) order
-            d_below = d_inputs;
+        // Backward through the stack, top to bottom. `d_hiddens` carries the
+        // running downward gradient, ping-ponged with `d_below`.
+        ws.upper_grads.resize_with(self.upper.len(), LstmGrads::default);
+        ws.upper_grads.truncate(self.upper.len());
+        for li in (0..self.upper.len()).rev() {
+            {
+                let (below_caches, here) = ws.upper_caches.split_at(li);
+                let dense_inputs: &[Matrix] = if li == 0 {
+                    ws.cache.hiddens()
+                } else {
+                    below_caches[li - 1].hiddens()
+                };
+                self.upper[li].backward_dense_into(
+                    &here[0],
+                    dense_inputs,
+                    &ws.d_hiddens,
+                    &mut ws.upper_grads[li],
+                    &mut ws.d_below,
+                    &mut ws.scratch,
+                );
+            }
+            std::mem::swap(&mut ws.d_hiddens, &mut ws.d_below);
         }
-        upper_grads.reverse();
-        let mut lstm_grads = self.lstm.backward(&cache, &d_below);
+        self.lstm
+            .backward_into(&ws.cache, &ws.d_hiddens, &mut ws.lstm_grads, &mut ws.scratch);
 
         let clip = self.config.clip_norm;
         {
             // Assemble the flat gradient/parameter group lists in a stable
             // order: input layer, upper layers, dense head.
             let mut grad_slices: Vec<&mut [f32]> = Vec::new();
-            grad_slices.push(lstm_grads.dwx.as_mut_slice());
-            grad_slices.push(lstm_grads.dwh.as_mut_slice());
-            grad_slices.push(&mut lstm_grads.db);
-            for g in &mut upper_grads {
+            grad_slices.push(ws.lstm_grads.dwx.as_mut_slice());
+            grad_slices.push(ws.lstm_grads.dwh.as_mut_slice());
+            grad_slices.push(&mut ws.lstm_grads.db);
+            for g in &mut ws.upper_grads {
                 grad_slices.push(g.dwx.as_mut_slice());
                 grad_slices.push(g.dwh.as_mut_slice());
                 grad_slices.push(&mut g.db);
             }
-            grad_slices.push(dense_dw.as_mut_slice());
-            grad_slices.push(&mut dense_db);
+            grad_slices.push(ws.dense_dw.as_mut_slice());
+            grad_slices.push(&mut ws.dense_db);
             clip_global_norm(&mut grad_slices, clip);
             let grad_refs: Vec<&[f32]> = grad_slices.iter().map(|g| &**g).collect();
 
@@ -374,6 +434,7 @@ impl LstmLm {
         let mut dropout = Dropout::new(self.config.dropout, self.config.seed ^ 0xf17e)
             .map_err(|e| LmError::InvalidConfig(e.to_string()))?;
         let base_epoch = self.report.train_losses.len();
+        let mut ws = TrainWorkspace::default();
         for epoch in 0..epochs {
             let mut rng = StdRng::seed_from_u64(
                 self.config.seed ^ ((base_epoch + epoch) as u64).wrapping_mul(0x9e37),
@@ -383,7 +444,7 @@ impl LstmLm {
             let mut loss_sum = 0.0f64;
             let mut targets = 0usize;
             for batch in &batches {
-                let (loss, n) = self.train_batch(batch, &mut optimizer, &mut dropout);
+                let (loss, n) = self.train_batch(batch, &mut optimizer, &mut dropout, &mut ws);
                 loss_sum += (loss as f64) * n as f64;
                 targets += n;
             }
@@ -510,8 +571,9 @@ impl LstmLm {
         let mut n = 0usize;
         let mut sum_loss = 0.0f64;
         let mut sum_lik = 0.0f64;
+        let mut scorer = self.scorer();
         for seq in seqs {
-            let mut scorer = self.scorer();
+            scorer.reset();
             for &a in seq {
                 if let Some(step) = scorer.try_feed(a)? {
                     n += 1;

@@ -1,4 +1,4 @@
-use ibcm_nn::{softmax_in_place, LstmState, StepInput};
+use ibcm_nn::{softmax_in_place, LstmState, Scratch, StepInput};
 
 use crate::error::LmError;
 use crate::model::LstmLm;
@@ -27,6 +27,10 @@ pub struct LmScorer<'a> {
     model: &'a LstmLm,
     /// One recurrent state per stacked layer (bottom first).
     states: Vec<LstmState>,
+    /// Reused gate slab for the per-action steps (allocation-free path).
+    scratch: Scratch,
+    /// Reused probability buffer for [`LmScorer::try_feed`].
+    probs_buf: Vec<f32>,
     fed_any: bool,
 }
 
@@ -37,8 +41,17 @@ impl<'a> LmScorer<'a> {
             states: (0..1 + model.upper.len())
                 .map(|_| LstmState::new(model.hidden()))
                 .collect(),
+            scratch: Scratch::new(),
+            probs_buf: Vec::new(),
             fed_any: false,
         }
+    }
+
+    /// Rewinds to the start-of-session state, keeping every internal buffer
+    /// allocated — scoring many sessions back to back reuses one scorer.
+    pub fn reset(&mut self) {
+        self.states.iter_mut().for_each(LstmState::reset);
+        self.fed_any = false;
     }
 
     /// The model's current next-action probability distribution (softmax
@@ -73,14 +86,35 @@ impl<'a> LmScorer<'a> {
         Ok(logits)
     }
 
+    /// Recomputes the next-action distribution into `self.probs_buf` without
+    /// allocating — the hot path behind [`LmScorer::try_feed`].
+    fn refresh_probs(&mut self) -> Result<(), LmError> {
+        let top = self
+            .states
+            .last()
+            .ok_or_else(|| LmError::Scoring("scorer has no layers".into()))?;
+        if top.hidden().len() != self.model.dense.in_dim() {
+            return Err(LmError::Scoring(format!(
+                "hidden state width {} does not match dense head input {}",
+                top.hidden().len(),
+                self.model.dense.in_dim()
+            )));
+        }
+        self.model
+            .dense
+            .forward_vec_into(top.hidden(), &mut self.probs_buf);
+        softmax_in_place(&mut self.probs_buf);
+        Ok(())
+    }
+
     /// Advances every layer of the stack by one action.
     fn step_stack(&mut self, action: usize) {
         self.model
             .lstm
-            .step(&mut self.states[0], StepInput::Action(action));
+            .step_scratch(&mut self.states[0], StepInput::Action(action), &mut self.scratch);
         for (li, layer) in self.model.upper.iter().enumerate() {
-            let below = self.states[li].hidden().to_vec();
-            layer.step_dense(&mut self.states[li + 1], &below);
+            let (below, above) = self.states.split_at_mut(li + 1);
+            layer.step_dense_scratch(&mut above[0], below[li].hidden(), &mut self.scratch);
         }
         self.fed_any = true;
     }
@@ -116,7 +150,8 @@ impl<'a> LmScorer<'a> {
             });
         }
         let score = if self.fed_any {
-            let probs = self.try_probs()?;
+            self.refresh_probs()?;
+            let probs = &self.probs_buf;
             let likelihood = probs
                 .get(action)
                 .copied()

@@ -1,0 +1,51 @@
+//! End-to-end byte-level check that the optimized compute kernels change
+//! nothing observable: training the same model under [`KernelMode::Reference`]
+//! (the retained naive loops) and [`KernelMode::Optimized`] must produce
+//! byte-identical serialized weights and identical scores.
+//!
+//! The kernel mode is process-wide; this test restores
+//! [`KernelMode::Optimized`] before exiting so sibling tests in the same
+//! binary are unaffected (results are bit-identical either way, so even
+//! concurrent toggling cannot change any other test's outcome).
+
+use ibcm_lm::{LmTrainConfig, LstmLm};
+use ibcm_nn::{set_kernel_mode, KernelMode};
+
+fn corpus() -> Vec<Vec<usize>> {
+    (0..24)
+        .map(|i| (0..30).map(|j| (i + j * j) % 7).collect())
+        .collect()
+}
+
+fn train() -> LstmLm {
+    let seqs = corpus();
+    let cfg = LmTrainConfig {
+        vocab: 7,
+        hidden: 16,
+        layers: 2,
+        dropout: 0.2,
+        epochs: 4,
+        batch_size: 4,
+        patience: 2,
+        seed: 42,
+        ..LmTrainConfig::default()
+    };
+    LstmLm::train(&cfg, &seqs, &seqs[..4]).unwrap()
+}
+
+#[test]
+fn training_is_byte_identical_across_kernel_modes() {
+    set_kernel_mode(KernelMode::Reference);
+    let naive = train();
+    let naive_bytes = naive.to_bytes();
+    let naive_score = naive.score_session(&corpus()[1]);
+
+    set_kernel_mode(KernelMode::Optimized);
+    let fast = train();
+    assert_eq!(
+        fast.to_bytes(),
+        naive_bytes,
+        "optimized kernels changed the trained weights"
+    );
+    assert_eq!(fast.score_session(&corpus()[1]), naive_score);
+}

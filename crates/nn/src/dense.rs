@@ -74,9 +74,21 @@ impl Dense {
     ///
     /// Panics if `x.cols() != in_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.w);
-        y.add_row_bias(&self.b);
+        let mut y = Matrix::default();
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// [`Dense::forward`] writing into a caller-owned output matrix
+    /// (overwritten, reusing its allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
+        y.resize_zeroed(x.rows(), self.out_dim());
+        x.matmul_acc_into(&self.w, y);
+        y.add_row_bias(&self.b);
     }
 
     /// Like [`Dense::forward`] but also returns a cache for the backward
@@ -99,23 +111,56 @@ impl Dense {
         DenseGrads { dw, db, dx }
     }
 
+    /// [`Dense::backward`] against an explicit input matrix, writing into
+    /// caller-owned buffers (each overwritten, not accumulated). This is the
+    /// allocation-free training path: the caller keeps the layer input alive
+    /// instead of cloning it into a [`DenseCache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the layer.
+    pub fn backward_into(
+        &self,
+        input: &Matrix,
+        dy: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        dx: &mut Matrix,
+    ) {
+        dw.resize_zeroed(self.w.rows(), self.w.cols());
+        input.t_matmul_acc_into(dy, dw);
+        db.clear();
+        db.resize(self.b.len(), 0.0);
+        for r in 0..dy.rows() {
+            for (acc, &d) in db.iter_mut().zip(dy.row(r).iter()) {
+                *acc += d;
+            }
+        }
+        dy.matmul_t_into(&self.w, dx);
+    }
+
     /// Single-example forward without allocating matrices (online regime).
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != in_dim`.
     pub fn forward_vec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.in_dim(), "input length mismatch");
-        let mut y = self.b.clone();
-        for (j, &xv) in x.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
-            }
-            for (o, &w) in y.iter_mut().zip(self.w.row(j).iter()) {
-                *o += xv * w;
-            }
-        }
+        let mut y = Vec::new();
+        self.forward_vec_into(x, &mut y);
         y
+    }
+
+    /// [`Dense::forward_vec`] writing into a caller-owned output vector
+    /// (overwritten, reusing its allocation) — the streaming-scorer path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward_vec_into(&self, x: &[f32], y: &mut Vec<f32>) {
+        assert_eq!(x.len(), self.in_dim(), "input length mismatch");
+        y.clear();
+        y.extend_from_slice(&self.b);
+        self.w.vecmat_acc_into(x, y);
     }
 }
 
@@ -150,9 +195,33 @@ pub struct SoftmaxLoss {
 /// assert!(out.loss < 0.5);
 /// ```
 pub fn softmax_cross_entropy(logits: &Matrix, targets: &[Option<usize>]) -> SoftmaxLoss {
+    let mut probs = Matrix::default();
+    let mut dlogits = Matrix::default();
+    let loss = softmax_cross_entropy_into(logits, targets, &mut probs, &mut dlogits);
+    SoftmaxLoss {
+        loss,
+        probs,
+        dlogits,
+    }
+}
+
+/// [`softmax_cross_entropy`] writing probabilities and gradients into
+/// caller-owned matrices (each overwritten, reusing allocations) and
+/// returning the mean loss — the allocation-free training path.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or a target index is out of
+/// range.
+pub fn softmax_cross_entropy_into(
+    logits: &Matrix,
+    targets: &[Option<usize>],
+    probs: &mut Matrix,
+    dlogits: &mut Matrix,
+) -> f32 {
     assert_eq!(targets.len(), logits.rows(), "one target per row");
-    let mut probs = logits.clone();
-    let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+    probs.copy_from(logits);
+    dlogits.resize_zeroed(logits.rows(), logits.cols());
     let mut loss = 0.0f64;
     let active = targets.iter().filter(|t| t.is_some()).count().max(1);
     let inv = 1.0 / active as f32;
@@ -170,11 +239,7 @@ pub fn softmax_cross_entropy(logits: &Matrix, targets: &[Option<usize>]) -> Soft
             drow[t] -= inv;
         }
     }
-    SoftmaxLoss {
-        loss: (loss / active as f64) as f32,
-        probs,
-        dlogits,
-    }
+    (loss / active as f64) as f32
 }
 
 #[cfg(test)]

@@ -50,21 +50,29 @@ impl Dropout {
     /// Applies a fresh mask to `x` in place and returns the mask (already
     /// containing the `1/(1-rate)` scaling) for use in the backward pass.
     pub fn apply(&mut self, x: &mut Matrix) -> Vec<f32> {
+        let mut mask = Vec::new();
+        self.apply_with(x, &mut mask);
+        mask
+    }
+
+    /// [`Dropout::apply`] writing the mask into a caller-owned vector
+    /// (overwritten, reusing its allocation). Draws exactly one random
+    /// number per element, so the RNG stream is identical to
+    /// [`Dropout::apply`].
+    pub fn apply_with(&mut self, x: &mut Matrix, mask: &mut Vec<f32>) {
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..x.len())
-            .map(|_| {
-                if self.rng.gen::<f32>() < keep {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        mask.clear();
+        mask.extend((0..x.len()).map(|_| {
+            if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        }));
         for (v, &m) in x.as_mut_slice().iter_mut().zip(mask.iter()) {
             *v *= m;
         }
-        mask
     }
 
     /// Applies a previously returned mask to a gradient (backward pass).

@@ -7,9 +7,13 @@
 //! implements exactly the pieces that model needs, from scratch:
 //!
 //! - [`Matrix`]: a row-major `f32` matrix with the handful of BLAS-like
-//!   kernels the layers use,
+//!   kernels the layers use — blocked, multi-accumulator loops with a
+//!   retained naive [`mod@reference`] implementation and a process-wide
+//!   [`KernelMode`] toggle for A/B timing (both modes are bit-identical),
 //! - [`LstmLayer`]: a fused LSTM cell unrolled over time with explicit,
-//!   finite-difference-verified backpropagation,
+//!   finite-difference-verified backpropagation; every entry point has an
+//!   `_into`/`_scratch` variant threading a reusable [`Scratch`] workspace
+//!   so steady-state training and streaming scoring are allocation-free,
 //! - [`Dense`] + [`softmax_cross_entropy`]: the classification head,
 //! - [`Dropout`]: inverted dropout,
 //! - [`Adam`]: the optimizer, with global-norm gradient clipping,
@@ -30,7 +34,9 @@
 //! assert_eq!((logits.rows(), logits.cols()), (2, 3));
 //! ```
 
-#![forbid(unsafe_code)]
+// Denied everywhere except the explicitly-allowed SIMD micro-kernels in
+// `matrix::kernels::x86`, which carry per-function safety contracts.
+#![deny(unsafe_code)]
 // Index-based loops are the clearest notation for the numeric kernels here.
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
@@ -43,12 +49,16 @@ mod error;
 pub mod gradcheck;
 mod lstm;
 mod matrix;
+mod scratch;
 pub mod serialize;
 
 pub use activations::{sigmoid, softmax_in_place, tanh_f};
 pub use adam::{clip_global_norm, Adam, AdamConfig};
-pub use dense::{softmax_cross_entropy, Dense, DenseCache, SoftmaxLoss};
+pub use dense::{
+    softmax_cross_entropy, softmax_cross_entropy_into, Dense, DenseCache, DenseGrads, SoftmaxLoss,
+};
 pub use dropout::Dropout;
 pub use error::NnError;
-pub use lstm::{LstmCache, LstmLayer, LstmState, StepInput};
-pub use matrix::Matrix;
+pub use lstm::{LstmCache, LstmGrads, LstmLayer, LstmState, StepInput};
+pub use matrix::{kernel_mode, reference, set_kernel_mode, KernelMode, Matrix};
+pub use scratch::Scratch;

@@ -2,6 +2,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::activations::{sigmoid, tanh_f};
 use crate::matrix::Matrix;
+use crate::scratch::Scratch;
 
 /// One timestep of input for one batch element.
 ///
@@ -19,7 +20,11 @@ pub enum StepInput {
 
 /// Forward-pass cache for [`LstmLayer::forward`], consumed by
 /// [`LstmLayer::backward`].
-#[derive(Debug, Clone)]
+///
+/// A cache can be reused across batches via [`LstmLayer::forward_into`];
+/// its per-step matrices are resized in place, so steady-state training
+/// performs no per-batch allocation once shapes stabilize.
+#[derive(Debug, Clone, Default)]
 pub struct LstmCache {
     /// Time-major inputs, `inputs[t][b]`.
     inputs: Vec<Vec<StepInput>>,
@@ -49,10 +54,26 @@ impl LstmCache {
     pub fn batch(&self) -> usize {
         self.batch
     }
+
+    /// Resizes the per-step storage to `steps` entries, keeping existing
+    /// matrices (and their allocations) for reuse.
+    fn reset(&mut self, steps: usize, batch: usize) {
+        self.batch = batch;
+        self.inputs.resize(steps, Vec::new());
+        self.gates.resize(steps, Matrix::default());
+        self.cells.resize(steps, Matrix::default());
+        self.tanh_cells.resize(steps, Matrix::default());
+        self.hiddens.resize(steps, Matrix::default());
+        self.inputs.truncate(steps);
+        self.gates.truncate(steps);
+        self.cells.truncate(steps);
+        self.tanh_cells.truncate(steps);
+        self.hiddens.truncate(steps);
+    }
 }
 
 /// Gradients of the LSTM parameters produced by [`LstmLayer::backward`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LstmGrads {
     /// Gradient of the input weights, same shape as `wx`.
     pub dwx: Matrix,
@@ -83,6 +104,12 @@ impl LstmState {
     pub fn hidden(&self) -> &[f32] {
         &self.h
     }
+
+    /// Zeroes the state in place (reuse across sessions without realloc).
+    pub fn reset(&mut self) {
+        self.h.iter_mut().for_each(|v| *v = 0.0);
+        self.c.iter_mut().for_each(|v| *v = 0.0);
+    }
 }
 
 /// A single LSTM layer unrolled over time, with explicit backpropagation.
@@ -90,6 +117,12 @@ impl LstmState {
 /// Gate blocks are ordered `[input, forget, cell, output]` inside the fused
 /// `4*hidden` axis. The forget-gate bias is initialized to 1.0 (standard
 /// practice to ease gradient flow early in training).
+///
+/// All four gate products are computed into a single fused `batch x
+/// 4*hidden` gate slab per timestep (one embedding gather + one recurrent
+/// matmul), and every entry point has an `_into`/`_scratch` variant that
+/// reuses caller-owned buffers so steady-state training and streaming
+/// scoring are allocation-free.
 ///
 /// # Example
 ///
@@ -149,6 +182,41 @@ impl LstmLayer {
         (&mut self.wx, &mut self.wh, &mut self.b)
     }
 
+    /// Fused pointwise cell update for step `t`: activates the gate slab in
+    /// place and computes `c_t`, `tanh(c_t)` and `h_t` in a single pass.
+    fn fused_cell(
+        h: usize,
+        batch: usize,
+        gates: &mut Matrix,
+        c_prev: &Matrix,
+        c_t: &mut Matrix,
+        tanh_c: &mut Matrix,
+        h_t: &mut Matrix,
+    ) {
+        for bi in 0..batch {
+            let grow = gates.row_mut(bi);
+            let cp = c_prev.row(bi);
+            let crow = c_t.row_mut(bi);
+            let trow = tanh_c.row_mut(bi);
+            let hrow = h_t.row_mut(bi);
+            for j in 0..h {
+                let i_g = sigmoid(grow[j]);
+                let f_g = sigmoid(grow[h + j]);
+                let g_g = tanh_f(grow[2 * h + j]);
+                let o_g = sigmoid(grow[3 * h + j]);
+                grow[j] = i_g;
+                grow[h + j] = f_g;
+                grow[2 * h + j] = g_g;
+                grow[3 * h + j] = o_g;
+                let c = f_g * cp[j] + i_g * g_g;
+                crow[j] = c;
+                let tc = tanh_f(c);
+                trow[j] = tc;
+                hrow[j] = o_g * tc;
+            }
+        }
+    }
+
     /// Runs the layer over a time-major batch: `inputs[t][b]` is the input of
     /// batch element `b` at step `t`. All inner vectors must share one length
     /// (the batch size).
@@ -158,67 +226,60 @@ impl LstmLayer {
     /// Panics if batch sizes are inconsistent or an action index is out of
     /// vocabulary range.
     pub fn forward(&self, inputs: &[Vec<StepInput>]) -> LstmCache {
+        let mut cache = LstmCache::default();
+        self.forward_into(inputs, &mut cache, &mut Scratch::new());
+        cache
+    }
+
+    /// [`LstmLayer::forward`] reusing a caller-owned cache and scratch
+    /// workspace — no per-batch allocation once buffer shapes stabilize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if batch sizes are inconsistent or an action index is out of
+    /// vocabulary range.
+    pub fn forward_into(
+        &self,
+        inputs: &[Vec<StepInput>],
+        cache: &mut LstmCache,
+        scratch: &mut Scratch,
+    ) {
         let batch = inputs.first().map_or(0, Vec::len);
         let h = self.hidden;
-        let steps = inputs.len();
-        let mut cache = LstmCache {
-            inputs: inputs.to_vec(),
-            gates: Vec::with_capacity(steps),
-            cells: Vec::with_capacity(steps),
-            tanh_cells: Vec::with_capacity(steps),
-            hiddens: Vec::with_capacity(steps),
-            batch,
-        };
-        let mut h_prev = Matrix::zeros(batch, h);
-        let mut c_prev = Matrix::zeros(batch, h);
-        for step_in in inputs {
+        cache.reset(inputs.len(), batch);
+        scratch.zero.resize_zeroed(batch, h);
+        for (t, step_in) in inputs.iter().enumerate() {
             assert_eq!(step_in.len(), batch, "inconsistent batch size");
-            let mut gates = Matrix::zeros(batch, 4 * h);
-            // x_t @ Wx via row gathers (one-hot input).
-            for (bi, inp) in step_in.iter().enumerate() {
-                if let StepInput::Action(a) = *inp {
-                    assert!(a < self.input_dim, "action index {a} out of range");
-                    let wrow = self.wx.row(a);
-                    for (g, &w) in gates.row_mut(bi).iter_mut().zip(wrow.iter()) {
-                        *g += w;
+            cache.inputs[t].clear();
+            cache.inputs[t].extend_from_slice(step_in);
+            // x_t @ Wx as an explicit one-hot product (row gathers).
+            scratch.hot.clear();
+            for inp in step_in {
+                scratch.hot.push(match *inp {
+                    StepInput::Action(a) => {
+                        assert!(a < self.input_dim, "action index {a} out of range");
+                        Some(a)
                     }
-                }
+                    StepInput::Pad => None,
+                });
             }
-            h_prev.matmul_acc_into(&self.wh, &mut gates);
+            let gates = &mut cache.gates[t];
+            gates.resize_zeroed(batch, 4 * h);
+            self.wx.onehot_matmul_acc_into(&scratch.hot, gates);
+            if t > 0 {
+                cache.hiddens[t - 1].matmul_acc_into(&self.wh, gates);
+            }
             gates.add_row_bias(&self.b);
-            // Activate gates in place: [i, f, g, o].
-            let mut c_t = Matrix::zeros(batch, h);
-            let mut tanh_c = Matrix::zeros(batch, h);
-            let mut h_t = Matrix::zeros(batch, h);
-            for bi in 0..batch {
-                let grow = gates.row_mut(bi);
-                for j in 0..h {
-                    grow[j] = sigmoid(grow[j]);
-                    grow[h + j] = sigmoid(grow[h + j]);
-                    grow[2 * h + j] = tanh_f(grow[2 * h + j]);
-                    grow[3 * h + j] = sigmoid(grow[3 * h + j]);
-                }
-                let cp = c_prev.row(bi);
-                let crow = c_t.row_mut(bi);
-                for j in 0..h {
-                    crow[j] = grow[h + j] * cp[j] + grow[j] * grow[2 * h + j];
-                }
-                let trow = tanh_c.row_mut(bi);
-                let hrow = h_t.row_mut(bi);
-                let crow = c_t.row(bi);
-                for j in 0..h {
-                    trow[j] = tanh_f(crow[j]);
-                    hrow[j] = grow[3 * h + j] * trow[j];
-                }
-            }
-            cache.gates.push(gates);
-            cache.cells.push(c_t.clone());
-            cache.tanh_cells.push(tanh_c);
-            cache.hiddens.push(h_t.clone());
-            h_prev = h_t;
-            c_prev = c_t;
+            let (c_done, c_rest) = cache.cells.split_at_mut(t);
+            let c_prev: &Matrix = if t == 0 { &scratch.zero } else { &c_done[t - 1] };
+            let c_t = &mut c_rest[0];
+            c_t.resize_zeroed(batch, h);
+            let tanh_c = &mut cache.tanh_cells[t];
+            tanh_c.resize_zeroed(batch, h);
+            let h_t = &mut cache.hiddens[t];
+            h_t.resize_zeroed(batch, h);
+            Self::fused_cell(h, batch, gates, c_prev, c_t, tanh_c, h_t);
         }
-        cache
     }
 
     /// Backpropagates through time. `d_hiddens[t]` is the gradient of the
@@ -229,31 +290,75 @@ impl LstmLayer {
     ///
     /// Panics if `d_hiddens.len() != cache.steps()` or shapes disagree.
     pub fn backward(&self, cache: &LstmCache, d_hiddens: &[Matrix]) -> LstmGrads {
+        let mut grads = LstmGrads::default();
+        self.backward_into(cache, d_hiddens, &mut grads, &mut Scratch::new());
+        grads
+    }
+
+    /// [`LstmLayer::backward`] writing into caller-owned gradients and
+    /// scratch buffers (`grads` is overwritten, not accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_hiddens.len() != cache.steps()` or shapes disagree.
+    pub fn backward_into(
+        &self,
+        cache: &LstmCache,
+        d_hiddens: &[Matrix],
+        grads: &mut LstmGrads,
+        scratch: &mut Scratch,
+    ) {
+        self.backward_core(cache, None, d_hiddens, grads, None, scratch);
+    }
+
+    /// Shared BPTT core for the sparse (one-hot) and dense input paths.
+    ///
+    /// With `dense_inputs: Some(..)`, input-weight gradients come from a
+    /// transposed matmul against the dense inputs and `d_inputs` (if given)
+    /// receives the per-step input gradients; otherwise `dwx` rows are
+    /// scattered via the cached one-hot indices.
+    fn backward_core(
+        &self,
+        cache: &LstmCache,
+        dense_inputs: Option<&[Matrix]>,
+        d_hiddens: &[Matrix],
+        grads: &mut LstmGrads,
+        mut d_inputs: Option<&mut Vec<Matrix>>,
+        scratch: &mut Scratch,
+    ) {
         assert_eq!(d_hiddens.len(), cache.steps(), "one dh per cached step");
+        if let Some(inputs) = dense_inputs {
+            assert_eq!(inputs.len(), cache.steps(), "one input per step");
+        }
         let h = self.hidden;
         let batch = cache.batch;
-        let mut dwx = Matrix::zeros(self.wx.rows(), self.wx.cols());
-        let mut dwh = Matrix::zeros(self.wh.rows(), self.wh.cols());
-        let mut db = vec![0.0f32; 4 * h];
-        let mut dh_next = Matrix::zeros(batch, h);
-        let mut dc_next = Matrix::zeros(batch, h);
-        let zero_h = Matrix::zeros(batch, h);
+        grads.dwx.resize_zeroed(self.wx.rows(), self.wx.cols());
+        grads.dwh.resize_zeroed(self.wh.rows(), self.wh.cols());
+        grads.db.clear();
+        grads.db.resize(4 * h, 0.0);
+        if let Some(d_in) = d_inputs.as_deref_mut() {
+            d_in.resize(cache.steps(), Matrix::default());
+            d_in.truncate(cache.steps());
+        }
+        scratch.zero.resize_zeroed(batch, h);
+        scratch.dh.resize_zeroed(batch, h); // dh_next
+        scratch.dc_a.resize_zeroed(batch, h); // dc_next
+        scratch.dc_b.resize_zeroed(batch, h); // dc_prev staging
         for t in (0..cache.steps()).rev() {
             let gates = &cache.gates[t];
             let tanh_c = &cache.tanh_cells[t];
-            let c_prev = if t == 0 { &zero_h } else { &cache.cells[t - 1] };
-            let h_prev = if t == 0 { &zero_h } else { &cache.hiddens[t - 1] };
-            let mut d_gates = Matrix::zeros(batch, 4 * h);
-            let mut dc_prev = Matrix::zeros(batch, h);
+            let c_prev = if t == 0 { &scratch.zero } else { &cache.cells[t - 1] };
+            let h_prev = if t == 0 { &scratch.zero } else { &cache.hiddens[t - 1] };
+            scratch.d_gates.resize_zeroed(batch, 4 * h);
             for bi in 0..batch {
                 let grow = gates.row(bi);
                 let trow = tanh_c.row(bi);
                 let cprow = c_prev.row(bi);
                 let dh_ext = d_hiddens[t].row(bi);
-                let dh_rec = dh_next.row(bi);
-                let dc_rec = dc_next.row(bi);
-                let dgrow = d_gates.row_mut(bi);
-                let dcprow = dc_prev.row_mut(bi);
+                let dh_rec = scratch.dh.row(bi);
+                let dc_rec = scratch.dc_a.row(bi);
+                let dgrow = scratch.d_gates.row_mut(bi);
+                let dcprow = scratch.dc_b.row_mut(bi);
                 for j in 0..h {
                     let i_g = grow[j];
                     let f_g = grow[h + j];
@@ -269,23 +374,31 @@ impl LstmLayer {
                 }
             }
             // Parameter gradients.
-            h_prev.t_matmul_acc_into(&d_gates, &mut dwh);
-            for bi in 0..batch {
-                if let StepInput::Action(a) = cache.inputs[t][bi] {
-                    let dgrow = d_gates.row(bi);
-                    for (w, &d) in dwx.row_mut(a).iter_mut().zip(dgrow.iter()) {
-                        *w += d;
+            h_prev.t_matmul_acc_into(&scratch.d_gates, &mut grads.dwh);
+            if let Some(inputs) = dense_inputs {
+                inputs[t].t_matmul_acc_into(&scratch.d_gates, &mut grads.dwx);
+            } else {
+                for bi in 0..batch {
+                    if let StepInput::Action(a) = cache.inputs[t][bi] {
+                        let dgrow = scratch.d_gates.row(bi);
+                        for (w, &d) in grads.dwx.row_mut(a).iter_mut().zip(dgrow.iter()) {
+                            *w += d;
+                        }
                     }
                 }
-                for (bacc, &d) in db.iter_mut().zip(d_gates.row(bi).iter()) {
+            }
+            for bi in 0..batch {
+                for (bacc, &d) in grads.db.iter_mut().zip(scratch.d_gates.row(bi).iter()) {
                     *bacc += d;
                 }
             }
+            if let Some(d_in) = d_inputs.as_deref_mut() {
+                scratch.d_gates.matmul_t_into(&self.wx, &mut d_in[t]);
+            }
             // Recurrent gradient to previous step.
-            dh_next = d_gates.matmul_t(&self.wh);
-            dc_next = dc_prev;
+            scratch.d_gates.matmul_t_into(&self.wh, &mut scratch.dh);
+            std::mem::swap(&mut scratch.dc_a, &mut scratch.dc_b);
         }
-        LstmGrads { dwx, dwh, db }
     }
 
     /// Runs the layer over a time-major batch of **dense** inputs (each
@@ -294,71 +407,60 @@ impl LstmLayer {
     /// than one-hot actions.
     ///
     /// Returns the cache plus a copy of the dense inputs needed by
-    /// [`LstmLayer::backward_dense`].
+    /// [`LstmLayer::backward_dense`]. (The allocation-free
+    /// [`LstmLayer::forward_dense_into`] skips the copy; the caller keeps
+    /// the inputs alive instead.)
     ///
     /// # Panics
     ///
     /// Panics if input shapes are inconsistent with the layer.
     pub fn forward_dense(&self, inputs: &[Matrix]) -> (LstmCache, Vec<Matrix>) {
-        let batch = inputs.first().map_or(0, Matrix::rows);
-        // Reuse the sparse-path cache by translating each dense step into
-        // pad markers (the dense inputs are carried separately).
-        let pad_inputs: Vec<Vec<StepInput>> = inputs
-            .iter()
-            .map(|m| {
-                assert_eq!(m.cols(), self.input_dim, "dense input width");
-                assert_eq!(m.rows(), batch, "inconsistent batch size");
-                vec![StepInput::Pad; batch]
-            })
-            .collect();
-        let h = self.hidden;
-        let steps = inputs.len();
-        let mut cache = LstmCache {
-            inputs: pad_inputs,
-            gates: Vec::with_capacity(steps),
-            cells: Vec::with_capacity(steps),
-            tanh_cells: Vec::with_capacity(steps),
-            hiddens: Vec::with_capacity(steps),
-            batch,
-        };
-        let mut h_prev = Matrix::zeros(batch, h);
-        let mut c_prev = Matrix::zeros(batch, h);
-        for x_t in inputs {
-            let mut gates = x_t.matmul(&self.wx);
-            h_prev.matmul_acc_into(&self.wh, &mut gates);
-            gates.add_row_bias(&self.b);
-            let mut c_t = Matrix::zeros(batch, h);
-            let mut tanh_c = Matrix::zeros(batch, h);
-            let mut h_t = Matrix::zeros(batch, h);
-            for bi in 0..batch {
-                let grow = gates.row_mut(bi);
-                for j in 0..h {
-                    grow[j] = sigmoid(grow[j]);
-                    grow[h + j] = sigmoid(grow[h + j]);
-                    grow[2 * h + j] = tanh_f(grow[2 * h + j]);
-                    grow[3 * h + j] = sigmoid(grow[3 * h + j]);
-                }
-                let cp = c_prev.row(bi);
-                let crow = c_t.row_mut(bi);
-                for j in 0..h {
-                    crow[j] = grow[h + j] * cp[j] + grow[j] * grow[2 * h + j];
-                }
-                let trow = tanh_c.row_mut(bi);
-                let hrow = h_t.row_mut(bi);
-                let crow = c_t.row(bi);
-                for j in 0..h {
-                    trow[j] = tanh_f(crow[j]);
-                    hrow[j] = grow[3 * h + j] * trow[j];
-                }
-            }
-            cache.gates.push(gates);
-            cache.cells.push(c_t.clone());
-            cache.tanh_cells.push(tanh_c);
-            cache.hiddens.push(h_t.clone());
-            h_prev = h_t;
-            c_prev = c_t;
-        }
+        let mut cache = LstmCache::default();
+        self.forward_dense_into(inputs, &mut cache, &mut Scratch::new());
         (cache, inputs.to_vec())
+    }
+
+    /// [`LstmLayer::forward_dense`] reusing a caller-owned cache and scratch
+    /// workspace, without copying the dense inputs (the caller must keep
+    /// them alive for [`LstmLayer::backward_dense_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if input shapes are inconsistent with the layer.
+    pub fn forward_dense_into(
+        &self,
+        inputs: &[Matrix],
+        cache: &mut LstmCache,
+        scratch: &mut Scratch,
+    ) {
+        let batch = inputs.first().map_or(0, Matrix::rows);
+        let h = self.hidden;
+        cache.reset(inputs.len(), batch);
+        scratch.zero.resize_zeroed(batch, h);
+        for (t, x_t) in inputs.iter().enumerate() {
+            assert_eq!(x_t.cols(), self.input_dim, "dense input width");
+            assert_eq!(x_t.rows(), batch, "inconsistent batch size");
+            // The cached inputs are pad markers: the dense inputs are
+            // carried by the caller, not the cache.
+            cache.inputs[t].clear();
+            cache.inputs[t].resize(batch, StepInput::Pad);
+            let gates = &mut cache.gates[t];
+            gates.resize_zeroed(batch, 4 * h);
+            x_t.matmul_acc_into(&self.wx, gates);
+            if t > 0 {
+                cache.hiddens[t - 1].matmul_acc_into(&self.wh, gates);
+            }
+            gates.add_row_bias(&self.b);
+            let (c_done, c_rest) = cache.cells.split_at_mut(t);
+            let c_prev: &Matrix = if t == 0 { &scratch.zero } else { &c_done[t - 1] };
+            let c_t = &mut c_rest[0];
+            c_t.resize_zeroed(batch, h);
+            let tanh_c = &mut cache.tanh_cells[t];
+            tanh_c.resize_zeroed(batch, h);
+            let h_t = &mut cache.hiddens[t];
+            h_t.resize_zeroed(batch, h);
+            Self::fused_cell(h, batch, gates, c_prev, c_t, tanh_c, h_t);
+        }
     }
 
     /// Backward pass matching [`LstmLayer::forward_dense`]: returns the
@@ -374,61 +476,55 @@ impl LstmLayer {
         dense_inputs: &[Matrix],
         d_hiddens: &[Matrix],
     ) -> (LstmGrads, Vec<Matrix>) {
-        assert_eq!(d_hiddens.len(), cache.steps(), "one dh per cached step");
-        assert_eq!(dense_inputs.len(), cache.steps(), "one input per step");
-        let h = self.hidden;
-        let batch = cache.batch;
-        let mut dwx = Matrix::zeros(self.wx.rows(), self.wx.cols());
-        let mut dwh = Matrix::zeros(self.wh.rows(), self.wh.cols());
-        let mut db = vec![0.0f32; 4 * h];
-        let mut d_inputs: Vec<Matrix> = (0..cache.steps())
-            .map(|_| Matrix::zeros(batch, self.input_dim))
-            .collect();
-        let mut dh_next = Matrix::zeros(batch, h);
-        let mut dc_next = Matrix::zeros(batch, h);
-        let zero_h = Matrix::zeros(batch, h);
-        for t in (0..cache.steps()).rev() {
-            let gates = &cache.gates[t];
-            let tanh_c = &cache.tanh_cells[t];
-            let c_prev = if t == 0 { &zero_h } else { &cache.cells[t - 1] };
-            let h_prev = if t == 0 { &zero_h } else { &cache.hiddens[t - 1] };
-            let mut d_gates = Matrix::zeros(batch, 4 * h);
-            let mut dc_prev = Matrix::zeros(batch, h);
-            for bi in 0..batch {
-                let grow = gates.row(bi);
-                let trow = tanh_c.row(bi);
-                let cprow = c_prev.row(bi);
-                let dh_ext = d_hiddens[t].row(bi);
-                let dh_rec = dh_next.row(bi);
-                let dc_rec = dc_next.row(bi);
-                let dgrow = d_gates.row_mut(bi);
-                let dcprow = dc_prev.row_mut(bi);
-                for j in 0..h {
-                    let i_g = grow[j];
-                    let f_g = grow[h + j];
-                    let g_g = grow[2 * h + j];
-                    let o_g = grow[3 * h + j];
-                    let dh = dh_ext[j] + dh_rec[j];
-                    let dc = dc_rec[j] + dh * o_g * (1.0 - trow[j] * trow[j]);
-                    dgrow[3 * h + j] = dh * trow[j] * o_g * (1.0 - o_g);
-                    dgrow[j] = dc * g_g * i_g * (1.0 - i_g);
-                    dgrow[2 * h + j] = dc * i_g * (1.0 - g_g * g_g);
-                    dgrow[h + j] = dc * cprow[j] * f_g * (1.0 - f_g);
-                    dcprow[j] = dc * f_g;
-                }
-            }
-            dense_inputs[t].t_matmul_acc_into(&d_gates, &mut dwx);
-            h_prev.t_matmul_acc_into(&d_gates, &mut dwh);
-            for bi in 0..batch {
-                for (bacc, &d) in db.iter_mut().zip(d_gates.row(bi).iter()) {
-                    *bacc += d;
-                }
-            }
-            d_inputs[t] = d_gates.matmul_t(&self.wx);
-            dh_next = d_gates.matmul_t(&self.wh);
-            dc_next = dc_prev;
+        let mut grads = LstmGrads::default();
+        let mut d_inputs = Vec::new();
+        self.backward_dense_into(
+            cache,
+            dense_inputs,
+            d_hiddens,
+            &mut grads,
+            &mut d_inputs,
+            &mut Scratch::new(),
+        );
+        (grads, d_inputs)
+    }
+
+    /// [`LstmLayer::backward_dense`] writing into caller-owned buffers
+    /// (`grads` and `d_inputs` are overwritten, not accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the cached forward pass.
+    pub fn backward_dense_into(
+        &self,
+        cache: &LstmCache,
+        dense_inputs: &[Matrix],
+        d_hiddens: &[Matrix],
+        grads: &mut LstmGrads,
+        d_inputs: &mut Vec<Matrix>,
+        scratch: &mut Scratch,
+    ) {
+        self.backward_core(
+            cache,
+            Some(dense_inputs),
+            d_hiddens,
+            grads,
+            Some(d_inputs),
+            scratch,
+        );
+    }
+
+    /// Shared fused pointwise update for the online steps: consumes the
+    /// preactivation gate slab and advances `state`.
+    fn step_pointwise(h: usize, gates: &[f32], state: &mut LstmState) {
+        for j in 0..h {
+            let i_g = sigmoid(gates[j]);
+            let f_g = sigmoid(gates[h + j]);
+            let g_g = tanh_f(gates[2 * h + j]);
+            let o_g = sigmoid(gates[3 * h + j]);
+            state.c[j] = f_g * state.c[j] + i_g * g_g;
+            state.h[j] = o_g * tanh_f(state.c[j]);
         }
-        (LstmGrads { dwx, dwh, db }, d_inputs)
     }
 
     /// Advances `state` by one **dense** input vector (single-example online
@@ -438,34 +534,25 @@ impl LstmLayer {
     ///
     /// Panics if sizes disagree with the layer.
     pub fn step_dense(&self, state: &mut LstmState, input: &[f32]) {
+        self.step_dense_scratch(state, input, &mut Scratch::new());
+    }
+
+    /// [`LstmLayer::step_dense`] reusing a caller-owned gate slab — the
+    /// allocation-free streaming-scorer path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes disagree with the layer.
+    pub fn step_dense_scratch(&self, state: &mut LstmState, input: &[f32], scratch: &mut Scratch) {
         let h = self.hidden;
         assert_eq!(state.h.len(), h, "state size mismatch");
         assert_eq!(input.len(), self.input_dim, "dense input width");
-        let mut gates = self.b.clone();
-        for (j, &xv) in input.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
-            }
-            for (g, &w) in gates.iter_mut().zip(self.wx.row(j).iter()) {
-                *g += xv * w;
-            }
-        }
-        for (j, &hv) in state.h.iter().enumerate() {
-            if hv == 0.0 {
-                continue;
-            }
-            for (g, &w) in gates.iter_mut().zip(self.wh.row(j).iter()) {
-                *g += hv * w;
-            }
-        }
-        for j in 0..h {
-            let i_g = sigmoid(gates[j]);
-            let f_g = sigmoid(gates[h + j]);
-            let g_g = tanh_f(gates[2 * h + j]);
-            let o_g = sigmoid(gates[3 * h + j]);
-            state.c[j] = f_g * state.c[j] + i_g * g_g;
-            state.h[j] = o_g * tanh_f(state.c[j]);
-        }
+        let gates = &mut scratch.gates;
+        gates.clear();
+        gates.extend_from_slice(&self.b);
+        self.wx.vecmat_acc_into(input, gates);
+        self.wh.vecmat_acc_into(&state.h, gates);
+        Self::step_pointwise(h, gates, state);
     }
 
     /// Advances `state` by one input (single-example online inference) and
@@ -476,31 +563,30 @@ impl LstmLayer {
     /// Panics if the state size does not match the layer, or the action index
     /// is out of range.
     pub fn step(&self, state: &mut LstmState, input: StepInput) {
+        self.step_scratch(state, input, &mut Scratch::new());
+    }
+
+    /// [`LstmLayer::step`] reusing a caller-owned gate slab — the
+    /// allocation-free streaming-scorer path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state size does not match the layer, or the action index
+    /// is out of range.
+    pub fn step_scratch(&self, state: &mut LstmState, input: StepInput, scratch: &mut Scratch) {
         let h = self.hidden;
         assert_eq!(state.h.len(), h, "state size mismatch");
-        let mut gates = self.b.clone();
+        let gates = &mut scratch.gates;
+        gates.clear();
+        gates.extend_from_slice(&self.b);
         if let StepInput::Action(a) = input {
             assert!(a < self.input_dim, "action index {a} out of range");
             for (g, &w) in gates.iter_mut().zip(self.wx.row(a).iter()) {
                 *g += w;
             }
         }
-        for (j, &hv) in state.h.iter().enumerate() {
-            if hv == 0.0 {
-                continue;
-            }
-            for (g, &w) in gates.iter_mut().zip(self.wh.row(j).iter()) {
-                *g += hv * w;
-            }
-        }
-        for j in 0..h {
-            let i_g = sigmoid(gates[j]);
-            let f_g = sigmoid(gates[h + j]);
-            let g_g = tanh_f(gates[2 * h + j]);
-            let o_g = sigmoid(gates[3 * h + j]);
-            state.c[j] = f_g * state.c[j] + i_g * g_g;
-            state.h[j] = o_g * tanh_f(state.c[j]);
-        }
+        self.wh.vecmat_acc_into(&state.h, gates);
+        Self::step_pointwise(h, gates, state);
     }
 }
 
@@ -561,6 +647,56 @@ mod tests {
                 assert!((a - b).abs() < 1e-5, "step {t}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn step_scratch_matches_step_exactly() {
+        let lstm = LstmLayer::new(5, 4, 9);
+        let seq = [StepInput::Action(1), StepInput::Action(4), StepInput::Pad, StepInput::Action(0)];
+        let mut fresh = LstmState::new(4);
+        let mut reused = LstmState::new(4);
+        let mut scratch = Scratch::new();
+        for &s in &seq {
+            lstm.step(&mut fresh, s);
+            lstm.step_scratch(&mut reused, s, &mut scratch);
+            assert_eq!(fresh, reused, "scratch reuse must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn forward_into_reused_cache_is_bit_identical() {
+        let lstm = LstmLayer::new(4, 6, 13);
+        let mut cache = LstmCache::default();
+        let mut scratch = Scratch::new();
+        // Longer sequence first so the reused buffers shrink on the second
+        // call (the harder resize direction).
+        let long: Vec<Vec<StepInput>> = (0..5).map(|t| vec![StepInput::Action(t % 4)]).collect();
+        lstm.forward_into(&long, &mut cache, &mut scratch);
+        let short = tiny_inputs();
+        lstm.forward_into(&short, &mut cache, &mut scratch);
+        let fresh = lstm.forward(&short);
+        assert_eq!(cache.steps(), fresh.steps());
+        for (a, b) in cache.hiddens().iter().zip(fresh.hiddens()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn backward_into_reused_buffers_bit_identical() {
+        let lstm = LstmLayer::new(4, 3, 17);
+        let inputs = tiny_inputs();
+        let cache = lstm.forward(&inputs);
+        let d_hiddens: Vec<Matrix> = (0..3).map(|t| Matrix::uniform(2, 3, 1.0, 60 + t)).collect();
+        let fresh = lstm.backward(&cache, &d_hiddens);
+        let mut grads = LstmGrads::default();
+        let mut scratch = Scratch::new();
+        // Run twice through the same buffers; the second pass must still
+        // match the fresh-allocation result exactly.
+        lstm.backward_into(&cache, &d_hiddens, &mut grads, &mut scratch);
+        lstm.backward_into(&cache, &d_hiddens, &mut grads, &mut scratch);
+        assert_eq!(grads.dwx, fresh.dwx);
+        assert_eq!(grads.dwh, fresh.dwh);
+        assert_eq!(grads.db, fresh.db);
     }
 
     #[test]
@@ -629,6 +765,19 @@ mod tests {
                 assert!((a - b).abs() < 1e-5, "step {t}");
             }
         }
+    }
+
+    #[test]
+    fn state_reset_matches_fresh_state() {
+        let lstm = LstmLayer::new(3, 4, 35);
+        let mut reused = LstmState::new(4);
+        lstm.step(&mut reused, StepInput::Action(1));
+        lstm.step(&mut reused, StepInput::Action(2));
+        reused.reset();
+        let mut fresh = LstmState::new(4);
+        lstm.step(&mut reused, StepInput::Action(0));
+        lstm.step(&mut fresh, StepInput::Action(0));
+        assert_eq!(reused, fresh);
     }
 
     /// Finite-difference check of the dense backward pass, including the

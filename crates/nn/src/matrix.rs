@@ -1,6 +1,46 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Which matmul implementations the [`Matrix`] kernel entry points dispatch
+/// to. Both modes produce bit-identical results on finite inputs (enforced by
+/// the property tests in `tests/properties.rs`); the toggle exists so the
+/// `perf_baseline` bench binary can measure the optimized kernels against the
+/// retained naive reference in the same build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Blocked, multi-accumulator kernels; on x86-64 with AVX2 the axpy
+    /// steps run eight lanes wide (separate mul/add, never FMA, so the
+    /// per-element rounding sequence matches the scalar loops exactly).
+    Optimized,
+    /// The naive scalar loops retained in [`mod@reference`].
+    Reference,
+}
+
+static USE_REFERENCE_KERNELS: AtomicBool = AtomicBool::new(false);
+
+/// Selects the kernel implementations used process-wide (default:
+/// [`KernelMode::Optimized`]). Intended for benchmarking; results are
+/// bit-identical either way.
+pub fn set_kernel_mode(mode: KernelMode) {
+    USE_REFERENCE_KERNELS.store(mode == KernelMode::Reference, Ordering::Relaxed);
+}
+
+/// The currently selected [`KernelMode`].
+pub fn kernel_mode() -> KernelMode {
+    if USE_REFERENCE_KERNELS.load(Ordering::Relaxed) {
+        KernelMode::Reference
+    } else {
+        KernelMode::Optimized
+    }
+}
+
+#[inline]
+fn use_reference() -> bool {
+    USE_REFERENCE_KERNELS.load(Ordering::Relaxed)
+}
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -182,8 +222,15 @@ impl Matrix {
         out
     }
 
-    /// `out += self * other`, reusing `out`'s storage (i-k-j loop order for
-    /// cache-friendly access to both operands).
+    /// `out += self * other`, reusing `out`'s storage.
+    ///
+    /// The kernel is an i-k-j loop (cache-friendly access to both operands)
+    /// with the k dimension unrolled four-wide. Per output element the
+    /// products are still added in ascending-k order, one rounded addition
+    /// each, so the result is bit-identical to [`reference::matmul_acc_into`]
+    /// for finite inputs. (The reference kernel skips zero elements of
+    /// `self`, so `0.0 * inf` edge cases differ — finite inputs are the
+    /// contract everywhere in this crate.)
     ///
     /// # Panics
     ///
@@ -192,19 +239,16 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul inner dimensions");
         assert_eq!(out.rows, self.rows, "matmul output rows");
         assert_eq!(out.cols, other.cols, "matmul output cols");
+        if use_reference() {
+            reference::matmul_acc_into(self, other, out);
+            return;
+        }
         let n = other.cols;
+        let kk = self.cols;
         for i in 0..self.rows {
-            let arow = self.row(i);
+            let arow = &self.data[i * kk..(i + 1) * kk];
             let orow = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
+            kernels::acc_rows(arow, &other.data, orow, n);
         }
     }
 
@@ -224,6 +268,10 @@ impl Matrix {
 
     /// `out += self^T * other`.
     ///
+    /// The reduction dimension (rows of `self`) is unrolled four-wide with
+    /// in-order additions per output element, so results are bit-identical
+    /// to [`reference::t_matmul_acc_into`] for finite inputs.
+    ///
     /// # Panics
     ///
     /// Panics if shapes disagree.
@@ -231,19 +279,40 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul row counts");
         assert_eq!(out.rows, self.cols, "t_matmul output rows");
         assert_eq!(out.cols, other.cols, "t_matmul output cols");
+        if use_reference() {
+            reference::t_matmul_acc_into(self, other, out);
+            return;
+        }
         let n = other.cols;
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let brow = other.row(i);
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
+        let ka = self.cols;
+        let m = self.rows;
+        let a = &self.data;
+        let b = &other.data;
+        let mut i = 0;
+        while i + 4 <= m {
+            let b0 = &b[i * n..(i + 1) * n];
+            let b1 = &b[(i + 1) * n..(i + 2) * n];
+            let b2 = &b[(i + 2) * n..(i + 3) * n];
+            let b3 = &b[(i + 3) * n..(i + 4) * n];
+            for k in 0..ka {
+                let av = [
+                    a[i * ka + k],
+                    a[(i + 1) * ka + k],
+                    a[(i + 2) * ka + k],
+                    a[(i + 3) * ka + k],
+                ];
                 let orow = &mut out.data[k * n..(k + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
+                kernels::axpy4(orow, av, b0, b1, b2, b3);
             }
+            i += 4;
+        }
+        while i < m {
+            let brow = &b[i * n..(i + 1) * n];
+            for k in 0..ka {
+                let orow = &mut out.data[k * n..(k + 1) * n];
+                kernels::axpy1(orow, a[i * ka + k], brow);
+            }
+            i += 1;
         }
     }
 
@@ -254,20 +323,125 @@ impl Matrix {
     ///
     /// Panics if the column counts disagree.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t column counts");
         let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_t`] writing into `out` (resized and overwritten, not
+    /// accumulated), reusing its storage.
+    ///
+    /// Each output element is an independent dot product accumulated in
+    /// ascending-k order; the optimized kernel computes four output columns
+    /// at once (independent accumulators, no reassociation), so results are
+    /// bit-identical to [`reference::matmul_t_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts disagree.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_t column counts");
+        out.resize_zeroed(self.rows, other.rows);
+        if use_reference() {
+            reference::matmul_t_into(self, other, out);
+            return;
+        }
+        let kk = self.cols;
+        let n_out = other.rows;
+        let b = &other.data;
         for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
+            let arow = &self.data[i * kk..(i + 1) * kk];
+            let orow = &mut out.data[i * n_out..(i + 1) * n_out];
+            let mut j = 0;
+            while j + 4 <= n_out {
+                let b0 = &b[j * kk..(j + 1) * kk];
+                let b1 = &b[(j + 1) * kk..(j + 2) * kk];
+                let b2 = &b[(j + 2) * kk..(j + 3) * kk];
+                let b3 = &b[(j + 3) * kk..(j + 4) * kk];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (idx, &av) in arow.iter().enumerate() {
+                    s0 += av * b0[idx];
+                    s1 += av * b1[idx];
+                    s2 += av * b2[idx];
+                    s3 += av * b3[idx];
                 }
-                out.data[i * other.rows + j] = acc;
+                orow[j] = s0;
+                orow[j + 1] = s1;
+                orow[j + 2] = s2;
+                orow[j + 3] = s3;
+                j += 4;
+            }
+            while j < n_out {
+                let brow = &b[j * kk..(j + 1) * kk];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                orow[j] = acc;
+                j += 1;
             }
         }
-        out
+    }
+
+    /// `out[r] += self.row(hot[r])` for every row with `Some` index — the
+    /// explicit one-hot × table product used by the LSTM embedding step
+    /// (`self` is the `vocab x 4*hidden` input weight table). A `None` entry
+    /// (padding) contributes nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot.len() != out.rows()`, `out.cols() != self.cols()`, or
+    /// an index is `>= self.rows()`.
+    pub fn onehot_matmul_acc_into(&self, hot: &[Option<usize>], out: &mut Matrix) {
+        assert_eq!(hot.len(), out.rows, "one row per one-hot index");
+        assert_eq!(out.cols, self.cols, "one-hot output cols");
+        for (r, idx) in hot.iter().enumerate() {
+            if let Some(a) = *idx {
+                assert!(a < self.rows, "one-hot index {a} out of range");
+                let wrow = &self.data[a * self.cols..(a + 1) * self.cols];
+                let orow = &mut out.data[r * self.cols..(r + 1) * self.cols];
+                kernels::row_add(orow, wrow);
+            }
+        }
+    }
+
+    /// `y += x^T * self` for a single row vector: `y[j] += Σ_r x[r] *
+    /// self[r][j]`. This is the matvec of the online scoring path (`self` a
+    /// `rows x cols` weight matrix, `x` the input/hidden vector).
+    ///
+    /// The optimized kernel unrolls the reduction four-wide with in-order
+    /// additions per output element — bit-identical to
+    /// [`reference::vecmat_acc_into`] for finite inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `y.len() != cols`.
+    pub fn vecmat_acc_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "vecmat input length");
+        assert_eq!(y.len(), self.cols, "vecmat output length");
+        if use_reference() {
+            reference::vecmat_acc_into(self, x, y);
+            return;
+        }
+        let n = self.cols;
+        let w = &self.data;
+        let mut r = 0;
+        while r + 4 <= x.len() {
+            let xv = [x[r], x[r + 1], x[r + 2], x[r + 3]];
+            kernels::axpy4(
+                y,
+                xv,
+                &w[r * n..(r + 1) * n],
+                &w[(r + 1) * n..(r + 2) * n],
+                &w[(r + 2) * n..(r + 3) * n],
+                &w[(r + 3) * n..(r + 4) * n],
+            );
+            r += 4;
+        }
+        while r < x.len() {
+            kernels::axpy1(y, x[r], &w[r * n..(r + 1) * n]);
+            r += 1;
+        }
     }
 
     /// Returns the transposed matrix.
@@ -319,6 +493,25 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Reshapes to `rows x cols` and zeroes every element, reusing the
+    /// existing allocation when capacity allows — the scratch-buffer reset
+    /// used by the allocation-free training and scoring paths.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Becomes a copy of `other` (shape and contents), reusing the existing
+    /// allocation when capacity allows.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Sum of squares of all elements.
     pub fn sq_norm(&self) -> f64 {
         self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
@@ -345,6 +538,303 @@ impl Matrix {
 impl Default for Matrix {
     fn default() -> Self {
         Matrix::zeros(0, 0)
+    }
+}
+
+// The only `unsafe` in the crate lives here: runtime-dispatched AVX2
+// micro-kernels plus their guarded call sites, each with an explicit
+// feature-detection check and in-bounds contract.
+#[allow(unsafe_code)]
+mod kernels {
+    /// `orow[j] += a0*b0[j]; += a1*b1[j]; += a2*b2[j]; += a3*b3[j]` — the
+    /// four-wide axpy step every blocked kernel is built from. The additions
+    /// per output element happen sequentially in that order, so the rounded
+    /// operation sequence is identical to the scalar reference loops.
+    ///
+    /// On x86-64 with AVX2 this runs eight lanes at a time using separate
+    /// `mul`/`add` (never FMA — fused rounding would break bit-identity);
+    /// vector lanes are independent output elements, so widening the loop
+    /// reassociates nothing.
+    #[inline]
+    pub(super) fn axpy4(orow: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if x86::avx2_available() {
+            // SAFETY: AVX2 support verified at runtime above.
+            unsafe { x86::axpy4_avx2(orow, a, b0, b1, b2, b3) };
+            return;
+        }
+        for j in 0..orow.len() {
+            let mut acc = orow[j];
+            acc += a[0] * b0[j];
+            acc += a[1] * b1[j];
+            acc += a[2] * b2[j];
+            acc += a[3] * b3[j];
+            orow[j] = acc;
+        }
+    }
+
+    /// `orow[j] += a0 * brow[j]` — the single-row tail of [`axpy4`].
+    #[inline]
+    pub(super) fn axpy1(orow: &mut [f32], a0: f32, brow: &[f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if x86::avx2_available() {
+            // SAFETY: AVX2 support verified at runtime above.
+            unsafe { x86::axpy1_avx2(orow, a0, brow) };
+            return;
+        }
+        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+            *o += a0 * bv;
+        }
+    }
+
+    /// `orow[j] += brow[j]` — the one-hot embedding row add.
+    #[inline]
+    pub(super) fn row_add(orow: &mut [f32], brow: &[f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if x86::avx2_available() {
+            // SAFETY: AVX2 support verified at runtime above.
+            unsafe { x86::row_add_avx2(orow, brow) };
+            return;
+        }
+        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+            *o += bv;
+        }
+    }
+
+    /// `orow[j] += Σ_k arow[k] * b[k*n + j]`, ascending-k order per output
+    /// element, with the k dimension unrolled four-wide through [`axpy4`].
+    #[inline]
+    pub(super) fn acc_rows(arow: &[f32], b: &[f32], orow: &mut [f32], n: usize) {
+        let kk = arow.len();
+        let mut k = 0;
+        while k + 4 <= kk {
+            let a = [arow[k], arow[k + 1], arow[k + 2], arow[k + 3]];
+            axpy4(
+                orow,
+                a,
+                &b[k * n..(k + 1) * n],
+                &b[(k + 1) * n..(k + 2) * n],
+                &b[(k + 2) * n..(k + 3) * n],
+                &b[(k + 3) * n..(k + 4) * n],
+            );
+            k += 4;
+        }
+        while k < kk {
+            axpy1(orow, arow[k], &b[k * n..(k + 1) * n]);
+            k += 1;
+        }
+    }
+
+    /// Runtime-dispatched AVX2 micro-kernels: every entry point is gated on
+    /// `avx2_available()` and touches memory strictly within the slice
+    /// bounds checked by its caller.
+    #[cfg(target_arch = "x86_64")]
+    mod x86 {
+        use std::arch::x86_64::*;
+        use std::sync::OnceLock;
+
+        #[inline]
+        pub(super) fn avx2_available() -> bool {
+            static AVX2: OnceLock<bool> = OnceLock::new();
+            *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+        }
+
+        /// Eight-lane [`super::axpy4`]: per element
+        /// `((((y + a0*b0) + a1*b1) + a2*b2) + a3*b3)` with one rounding per
+        /// add/mul, matching the scalar loop bit for bit.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure AVX2 is available. Slices must all have
+        /// `orow.len()` elements (enforced by the callers' block slicing).
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn axpy4_avx2(
+            orow: &mut [f32],
+            a: [f32; 4],
+            b0: &[f32],
+            b1: &[f32],
+            b2: &[f32],
+            b3: &[f32],
+        ) {
+            let n = orow.len();
+            debug_assert!(b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n);
+            let va0 = _mm256_set1_ps(a[0]);
+            let va1 = _mm256_set1_ps(a[1]);
+            let va2 = _mm256_set1_ps(a[2]);
+            let va3 = _mm256_set1_ps(a[3]);
+            let mut j = 0;
+            while j + 8 <= n {
+                let p = orow.as_mut_ptr().add(j);
+                let mut vy = _mm256_loadu_ps(p);
+                vy = _mm256_add_ps(vy, _mm256_mul_ps(va0, _mm256_loadu_ps(b0.as_ptr().add(j))));
+                vy = _mm256_add_ps(vy, _mm256_mul_ps(va1, _mm256_loadu_ps(b1.as_ptr().add(j))));
+                vy = _mm256_add_ps(vy, _mm256_mul_ps(va2, _mm256_loadu_ps(b2.as_ptr().add(j))));
+                vy = _mm256_add_ps(vy, _mm256_mul_ps(va3, _mm256_loadu_ps(b3.as_ptr().add(j))));
+                _mm256_storeu_ps(p, vy);
+                j += 8;
+            }
+            while j < n {
+                let mut acc = *orow.get_unchecked(j);
+                acc += a[0] * *b0.get_unchecked(j);
+                acc += a[1] * *b1.get_unchecked(j);
+                acc += a[2] * *b2.get_unchecked(j);
+                acc += a[3] * *b3.get_unchecked(j);
+                *orow.get_unchecked_mut(j) = acc;
+                j += 1;
+            }
+        }
+
+        /// Eight-lane `orow[j] += a0 * brow[j]`.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure AVX2 is available and `brow.len() == orow.len()`.
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn axpy1_avx2(orow: &mut [f32], a0: f32, brow: &[f32]) {
+            let n = orow.len();
+            debug_assert_eq!(brow.len(), n);
+            let va = _mm256_set1_ps(a0);
+            let mut j = 0;
+            while j + 8 <= n {
+                let p = orow.as_mut_ptr().add(j);
+                let vy = _mm256_add_ps(
+                    _mm256_loadu_ps(p),
+                    _mm256_mul_ps(va, _mm256_loadu_ps(brow.as_ptr().add(j))),
+                );
+                _mm256_storeu_ps(p, vy);
+                j += 8;
+            }
+            while j < n {
+                *orow.get_unchecked_mut(j) += a0 * *brow.get_unchecked(j);
+                j += 1;
+            }
+        }
+
+        /// Eight-lane `orow[j] += brow[j]`.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure AVX2 is available and `brow.len() == orow.len()`.
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn row_add_avx2(orow: &mut [f32], brow: &[f32]) {
+            let n = orow.len();
+            debug_assert_eq!(brow.len(), n);
+            let mut j = 0;
+            while j + 8 <= n {
+                let p = orow.as_mut_ptr().add(j);
+                let vy = _mm256_add_ps(_mm256_loadu_ps(p), _mm256_loadu_ps(brow.as_ptr().add(j)));
+                _mm256_storeu_ps(p, vy);
+                j += 8;
+            }
+            while j < n {
+                *orow.get_unchecked_mut(j) += *brow.get_unchecked(j);
+                j += 1;
+            }
+        }
+    }
+}
+
+/// The naive scalar kernels the optimized [`Matrix`] methods replaced,
+/// retained verbatim as the reference implementation. The property tests in
+/// `tests/properties.rs` assert the optimized kernels match these bit for
+/// bit on finite inputs, and [`set_kernel_mode`] can route the `Matrix`
+/// entry points back here so benchmarks can measure both in one build.
+///
+/// Semantic note: these loops skip elements of the left operand that are
+/// exactly `0.0`; the optimized kernels perform those multiply-adds. For
+/// finite operands adding `±0.0 * b` never changes a finite accumulator's
+/// bits, so the two families agree; with `inf`/`NaN` operands they may not.
+pub mod reference {
+    use super::Matrix;
+
+    /// Naive `out += a * b` (i-k-j loop with zero-skip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn matmul_acc_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.cols, b.rows, "matmul inner dimensions");
+        assert_eq!(out.rows, a.rows, "matmul output rows");
+        assert_eq!(out.cols, b.cols, "matmul output cols");
+        let n = b.cols;
+        for i in 0..a.rows {
+            let arow = a.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (k, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[k * n..(k + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Naive `out += a^T * b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn t_matmul_acc_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.rows, b.rows, "t_matmul row counts");
+        assert_eq!(out.rows, a.cols, "t_matmul output rows");
+        assert_eq!(out.cols, b.cols, "t_matmul output cols");
+        let n = b.cols;
+        for i in 0..a.rows {
+            let arow = a.row(i);
+            let brow = b.row(i);
+            for (k, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[k * n..(k + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Naive `out = a * b^T` (one scalar dot product per output element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn matmul_t_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.cols, b.cols, "matmul_t column counts");
+        assert_eq!(out.rows, a.rows, "matmul_t output rows");
+        assert_eq!(out.cols, b.rows, "matmul_t output cols");
+        for i in 0..a.rows {
+            let arow = a.row(i);
+            for j in 0..b.rows {
+                let brow = b.row(j);
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                out.data[i * b.rows + j] = acc;
+            }
+        }
+    }
+
+    /// Naive `y += x^T * w` matvec (zero-skip over `x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn vecmat_acc_into(w: &Matrix, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), w.rows, "vecmat input length");
+        assert_eq!(y.len(), w.cols, "vecmat output length");
+        for (r, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            for (o, &wv) in y.iter_mut().zip(w.row(r).iter()) {
+                *o += xv * wv;
+            }
+        }
     }
 }
 
@@ -455,5 +945,74 @@ mod tests {
         let m = Matrix::zeros(1, 1);
         assert!(!format!("{m}").is_empty());
         assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn onehot_matmul_matches_explicit_product() {
+        let table = Matrix::uniform(5, 7, 1.0, 11);
+        let hot = [Some(3), None, Some(0), Some(3)];
+        let mut out = Matrix::uniform(4, 7, 1.0, 12);
+        let mut expected = out.clone();
+        // Explicit one-hot matrix product.
+        let mut x = Matrix::zeros(4, 5);
+        for (r, h) in hot.iter().enumerate() {
+            if let Some(a) = *h {
+                x.set(r, a, 1.0);
+            }
+        }
+        x.matmul_acc_into(&table, &mut expected);
+        table.onehot_matmul_acc_into(&hot, &mut out);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-hot index 9 out of range")]
+    fn onehot_rejects_out_of_range() {
+        let table = Matrix::zeros(4, 2);
+        let mut out = Matrix::zeros(1, 2);
+        table.onehot_matmul_acc_into(&[Some(9)], &mut out);
+    }
+
+    #[test]
+    fn vecmat_matches_matmul() {
+        let w = Matrix::uniform(6, 5, 1.0, 21);
+        let x = Matrix::uniform(1, 6, 1.0, 22);
+        let expected = x.matmul(&w);
+        let mut y = vec![0.0f32; 5];
+        w.vecmat_acc_into(x.row(0), &mut y);
+        assert_eq!(&y[..], expected.row(0));
+    }
+
+    #[test]
+    fn matmul_t_into_overwrites_stale_contents() {
+        let a = Matrix::uniform(3, 4, 1.0, 31);
+        let b = Matrix::uniform(5, 4, 1.0, 32);
+        let mut out = Matrix::filled(3, 5, 99.0);
+        a.matmul_t_into(&b, &mut out);
+        assert_eq!(out, a.matmul_t(&b));
+    }
+
+    #[test]
+    fn resize_zeroed_and_copy_from_reuse() {
+        let mut m = Matrix::filled(2, 3, 5.0);
+        m.resize_zeroed(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        let src = Matrix::uniform(4, 4, 1.0, 44);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+    }
+
+    #[test]
+    fn kernel_mode_roundtrip_and_agreement() {
+        let a = Matrix::uniform(7, 9, 1.0, 51);
+        let b = Matrix::uniform(9, 6, 1.0, 52);
+        assert_eq!(kernel_mode(), KernelMode::Optimized);
+        let fast = a.matmul(&b);
+        set_kernel_mode(KernelMode::Reference);
+        assert_eq!(kernel_mode(), KernelMode::Reference);
+        let slow = a.matmul(&b);
+        set_kernel_mode(KernelMode::Optimized);
+        assert_eq!(fast, slow, "modes must be bit-identical");
     }
 }

@@ -1,0 +1,53 @@
+use crate::matrix::Matrix;
+
+/// Reusable workspace for the allocation-free compute paths.
+///
+/// One `Scratch` holds every intermediate buffer the LSTM layers need
+/// outside their parameter and cache storage: the fused gate slab for
+/// online steps, the one-hot gather indices for the batched embedding
+/// step, and the backward-pass temporaries (`d_gates`, the cell/hidden
+/// recurrence gradients, and the per-step weight-gradient staging
+/// matrix). Buffers grow on first use and are reused afterwards, so
+/// steady-state training and streaming scoring perform no heap
+/// allocation per step.
+///
+/// The same instance may be threaded through any mix of
+/// [`LstmLayer::forward_into`](crate::LstmLayer::forward_into),
+/// [`LstmLayer::backward_into`](crate::LstmLayer::backward_into), the
+/// online `step_scratch` family, and the fused softmax head; each call
+/// resets the portions it uses.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_nn::{LstmLayer, LstmState, Scratch, StepInput};
+/// let lstm = LstmLayer::new(10, 8, 1);
+/// let mut state = LstmState::new(8);
+/// let mut scratch = Scratch::new();
+/// lstm.step_scratch(&mut state, StepInput::Action(3), &mut scratch);
+/// lstm.step_scratch(&mut state, StepInput::Action(7), &mut scratch);
+/// assert_eq!(state.hidden().len(), 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Fused `4*hidden` gate slab for single-example online steps.
+    pub(crate) gates: Vec<f32>,
+    /// One-hot gather indices for the batched embedding step.
+    pub(crate) hot: Vec<Option<usize>>,
+    /// Gate gradients for one BPTT step (`batch x 4*hidden`).
+    pub(crate) d_gates: Matrix,
+    /// Cell-state recurrence gradient ping-pong buffers.
+    pub(crate) dc_a: Matrix,
+    pub(crate) dc_b: Matrix,
+    /// Hidden-state recurrence gradient.
+    pub(crate) dh: Matrix,
+    /// All-zero `batch x hidden` stand-in for the pre-sequence state.
+    pub(crate) zero: Matrix,
+}
+
+impl Scratch {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}

@@ -1,11 +1,30 @@
-//! Property-based tests for the neural substrate's algebra.
+//! Property-based tests for the neural substrate's algebra, plus the
+//! bit-identity contract between the optimized kernels and the retained
+//! naive [`ibcm_nn::reference`] implementations.
 
-use ibcm_nn::{clip_global_norm, softmax_in_place, Matrix};
+use ibcm_nn::{
+    clip_global_norm, reference, softmax_in_place, LstmLayer, LstmState, Matrix, Scratch,
+    StepInput,
+};
 use proptest::prelude::*;
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-3.0f32..3.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// `None` (pad) or `Some(index < n)`, encoded as a plain range draw.
+fn maybe_index(n: usize) -> impl Strategy<Value = Option<usize>> {
+    (0..=n).prop_map(move |i| (i < n).then_some(i))
+}
+
+/// Raw bit patterns, so `-0.0 != +0.0` and exact rounding is compared.
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+fn slice_bits(s: &[f32]) -> Vec<u32> {
+    s.iter().map(|x| x.to_bits()).collect()
 }
 
 proptest! {
@@ -83,5 +102,195 @@ proptest! {
         for (a, b) in g.iter().zip(orig.iter()) {
             prop_assert!(a.signum() == b.signum() || *a == 0.0 || *b == 0.0);
         }
+    }
+
+    /// Optimized `out += a * b` is bit-identical to the naive reference on
+    /// randomized shapes, including empty and vector-shaped operands.
+    #[test]
+    fn matmul_acc_matches_reference_bitwise(
+        (a, b, seed) in (0usize..6, 0usize..6, 0usize..6)
+            .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n), matrix(m, n)))
+    ) {
+        let mut fast = seed.clone();
+        let mut naive = seed;
+        a.matmul_acc_into(&b, &mut fast);
+        reference::matmul_acc_into(&a, &b, &mut naive);
+        prop_assert_eq!(bits(&fast), bits(&naive));
+    }
+
+    /// Optimized `out += a^T * b` is bit-identical to the naive reference.
+    #[test]
+    fn t_matmul_acc_matches_reference_bitwise(
+        (a, b, seed) in (0usize..6, 0usize..6, 0usize..6)
+            .prop_flat_map(|(r, m, n)| (matrix(r, m), matrix(r, n), matrix(m, n)))
+    ) {
+        let mut fast = seed.clone();
+        let mut naive = seed;
+        a.t_matmul_acc_into(&b, &mut fast);
+        reference::t_matmul_acc_into(&a, &b, &mut naive);
+        prop_assert_eq!(bits(&fast), bits(&naive));
+    }
+
+    /// Optimized `out = a * b^T` is bit-identical to the naive reference.
+    #[test]
+    fn matmul_t_matches_reference_bitwise(
+        (a, b) in (0usize..6, 0usize..6, 0usize..6)
+            .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(n, k)))
+    ) {
+        let mut fast = Matrix::default();
+        a.matmul_t_into(&b, &mut fast);
+        let mut naive = Matrix::zeros(a.rows(), b.rows());
+        reference::matmul_t_into(&a, &b, &mut naive);
+        prop_assert_eq!(bits(&fast), bits(&naive));
+    }
+
+    /// Optimized `y += x^T * w` is bit-identical to the naive reference,
+    /// including inputs containing exact zeros (the reference skips them).
+    #[test]
+    fn vecmat_acc_matches_reference_bitwise(
+        (w, x, seed) in (0usize..7, 0usize..7)
+            .prop_flat_map(|(r, c)| (
+                matrix(r, c),
+                prop::collection::vec(prop_oneof![Just(0.0f32), -3.0f32..3.0], r),
+                prop::collection::vec(-3.0f32..3.0, c),
+            ))
+    ) {
+        let mut fast = seed.clone();
+        let mut naive = seed;
+        w.vecmat_acc_into(&x, &mut fast);
+        reference::vecmat_acc_into(&w, &x, &mut naive);
+        prop_assert_eq!(slice_bits(&fast), slice_bits(&naive));
+    }
+
+    /// The one-hot embedding kernel agrees bit-for-bit with materializing
+    /// the one-hot matrix and running the reference matmul.
+    #[test]
+    fn onehot_matmul_matches_reference_bitwise(
+        (w, hot, seed) in (1usize..6, 0usize..6, 0usize..5)
+            .prop_flat_map(|(v, h, batch)| (
+                matrix(v, h),
+                prop::collection::vec(maybe_index(v), batch),
+                matrix(batch, h),
+            ))
+    ) {
+        let mut fast = seed.clone();
+        w.onehot_matmul_acc_into(&hot, &mut fast);
+        let mut x = Matrix::zeros(hot.len(), w.rows());
+        for (b, h) in hot.iter().enumerate() {
+            if let Some(a) = *h {
+                x.set(b, a, 1.0);
+            }
+        }
+        let mut naive = seed;
+        reference::matmul_acc_into(&x, &w, &mut naive);
+        prop_assert_eq!(bits(&fast), bits(&naive));
+    }
+
+    /// `step`/`step_scratch` replay `forward`'s unrolled hidden states after
+    /// the gate fusion — one-hot, padded, and mixed inputs. The online path
+    /// assembles gate preactivations bias-first (as it always has), so the
+    /// agreement is to rounding tolerance, not bitwise.
+    #[test]
+    fn step_matches_forward_unroll(
+        (vocab, hidden, seed, steps) in (1usize..5, 1usize..6, any::<u64>())
+            .prop_flat_map(|(v, h, s)| (
+                Just(v),
+                Just(h),
+                Just(s),
+                prop::collection::vec(maybe_index(v), 1..8),
+            ))
+    ) {
+        let layer = LstmLayer::new(vocab, hidden, seed);
+        let inputs: Vec<Vec<StepInput>> = steps
+            .iter()
+            .map(|s| vec![s.map_or(StepInput::Pad, StepInput::Action)])
+            .collect();
+        let cache = layer.forward(&inputs);
+        let mut state = LstmState::new(hidden);
+        let mut scratch = Scratch::new();
+        for (t, s) in steps.iter().enumerate() {
+            let input = s.map_or(StepInput::Pad, StepInput::Action);
+            layer.step_scratch(&mut state, input, &mut scratch);
+            for (a, b) in state.hidden().iter().zip(cache.hiddens()[t].row(0)) {
+                prop_assert!((a - b).abs() < 1e-5, "step {}: {} vs {}", t, a, b);
+            }
+        }
+    }
+
+    /// `step_dense`/`step_dense_scratch` replay `forward_dense`'s unrolled
+    /// hidden states to rounding tolerance (bias-first gate assembly, as
+    /// above).
+    #[test]
+    fn step_dense_matches_forward_dense_unroll(
+        (dim, hidden, seed, rows) in (1usize..5, 1usize..6, any::<u64>())
+            .prop_flat_map(|(d, h, s)| (
+                Just(d),
+                Just(h),
+                Just(s),
+                prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d), 1..8),
+            ))
+    ) {
+        let layer = LstmLayer::new(dim, hidden, seed);
+        let inputs: Vec<Matrix> = rows
+            .iter()
+            .map(|r| Matrix::from_vec(1, dim, r.clone()))
+            .collect();
+        let (cache, _) = layer.forward_dense(&inputs);
+        let mut state = LstmState::new(hidden);
+        let mut scratch = Scratch::new();
+        for (t, r) in rows.iter().enumerate() {
+            layer.step_dense_scratch(&mut state, r, &mut scratch);
+            for (a, b) in state.hidden().iter().zip(cache.hiddens()[t].row(0)) {
+                prop_assert!((a - b).abs() < 1e-5, "dense step {}: {} vs {}", t, a, b);
+            }
+        }
+    }
+}
+
+/// Explicit degenerate shapes the randomized sweeps above may visit rarely:
+/// empty, single-row, single-column, and strongly non-square operands.
+#[test]
+fn degenerate_shapes_match_reference_bitwise() {
+    let shapes: [(usize, usize, usize); 7] = [
+        (0, 3, 2),
+        (3, 0, 2),
+        (3, 2, 0),
+        (1, 5, 4),
+        (4, 5, 1),
+        (1, 1, 1),
+        (2, 7, 3),
+    ];
+    for (m, k, n) in shapes {
+        let a = Matrix::uniform(m, k, 1.0, 7);
+        let b = Matrix::uniform(k, n, 1.0, 8);
+        let seed = Matrix::uniform(m, n, 1.0, 9);
+
+        let mut fast = seed.clone();
+        let mut naive = seed.clone();
+        a.matmul_acc_into(&b, &mut fast);
+        reference::matmul_acc_into(&a, &b, &mut naive);
+        assert_eq!(bits(&fast), bits(&naive), "matmul_acc {m}x{k}x{n}");
+
+        let at = a.transposed();
+        let bt = b.transposed();
+        let mut fast = seed.clone();
+        let mut naive = seed.clone();
+        at.t_matmul_acc_into(&b, &mut fast);
+        reference::t_matmul_acc_into(&at, &b, &mut naive);
+        assert_eq!(bits(&fast), bits(&naive), "t_matmul_acc {m}x{k}x{n}");
+
+        let mut fast = Matrix::default();
+        let mut naive = Matrix::zeros(m, n);
+        a.matmul_t_into(&bt, &mut fast);
+        reference::matmul_t_into(&a, &bt, &mut naive);
+        assert_eq!(bits(&fast), bits(&naive), "matmul_t {m}x{k}x{n}");
+
+        let x: Vec<f32> = Matrix::uniform(1, m, 1.0, 10).as_slice().to_vec();
+        let y: Vec<f32> = Matrix::uniform(1, k, 1.0, 11).as_slice().to_vec();
+        let mut fast = y.clone();
+        let mut naive = y.clone();
+        a.vecmat_acc_into(&x, &mut fast);
+        reference::vecmat_acc_into(&a, &x, &mut naive);
+        assert_eq!(slice_bits(&fast), slice_bits(&naive), "vecmat {m}x{k}");
     }
 }

@@ -4,6 +4,32 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::TopicsError;
 
+/// Which Gibbs-sweep implementation [`Lda::fit`] runs.
+///
+/// Both samplers implement the same collapsed-Gibbs update through the same
+/// SparseLDA-style bucket decomposition (Yao, Mimno & McCallum 2009):
+///
+/// ```text
+/// p(z = t) ∝ [ n_dk·(n_kw+β) + α·n_kw + α·β ] / (n_k + β·V)
+///            └─ doc bucket ─┘ └ word bucket ┘ └ smoothing ┘
+/// ```
+///
+/// [`SamplerKind::Dense`] scans all `K` topics per token (the reference);
+/// [`SamplerKind::Sparse`] walks only the topics with nonzero doc mass
+/// (`n_dk > 0`) and nonzero word mass (`n_kw > 0`) plus a cached smoothing
+/// total, visiting them in the same ascending order with the same
+/// arithmetic — so the two samplers produce **bit-identical** chains per
+/// seed. On the sparse per-session corpora of the paper (each session
+/// touches a handful of topics) the sparse walk is far shorter than `K`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// Full `O(K)`-per-token scan — the retained reference implementation.
+    #[default]
+    Dense,
+    /// Doc-sparse walk over nonzero buckets — same chain, less work.
+    Sparse,
+}
+
 /// Configuration for one LDA run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LdaConfig {
@@ -19,6 +45,8 @@ pub struct LdaConfig {
     pub iterations: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Sweep implementation (dense reference or sparse; identical chains).
+    pub sampler: SamplerKind,
 }
 
 impl Default for LdaConfig {
@@ -30,6 +58,259 @@ impl Default for LdaConfig {
             beta: 0.01,
             iterations: 100,
             seed: 0,
+            sampler: SamplerKind::default(),
+        }
+    }
+}
+
+/// Cached per-topic `1/(n_k + β·V)` factors and the smoothing-bucket total
+/// `Σ_t α·β·inv[t]`, shared by both sweep implementations.
+///
+/// The total is maintained incrementally as topics gain/lose tokens and
+/// rebuilt from scratch at the start of every sweep; because dense and
+/// sparse sweeps run the exact same update sequence, their cached values
+/// (including any accumulated rounding) are bit-identical.
+struct SmoothCache {
+    inv: Vec<f64>,
+    s_total: f64,
+    ab: f64,
+    beta_sum: f64,
+}
+
+impl SmoothCache {
+    fn new(k: usize, alpha: f64, beta: f64, beta_sum: f64) -> Self {
+        SmoothCache {
+            inv: vec![0.0; k],
+            s_total: 0.0,
+            ab: alpha * beta,
+            beta_sum,
+        }
+    }
+
+    /// Rebuilds every factor and the smoothing total from the topic counts.
+    fn refresh(&mut self, n_k: &[i64]) {
+        self.s_total = 0.0;
+        for (t, &nk) in n_k.iter().enumerate() {
+            self.inv[t] = 1.0 / (nk as f64 + self.beta_sum);
+            self.s_total += self.ab * self.inv[t];
+        }
+    }
+
+    /// Re-derives topic `t`'s factor after its count changed to `n_k_t`.
+    fn update(&mut self, t: usize, n_k_t: i64) {
+        self.s_total -= self.ab * self.inv[t];
+        self.inv[t] = 1.0 / (n_k_t as f64 + self.beta_sum);
+        self.s_total += self.ab * self.inv[t];
+    }
+}
+
+/// Doc bucket term: `n_dk·(n_kw+β)·inv`.
+#[inline]
+fn q_term(n_dk: i64, n_kw: i64, beta: f64, inv: f64) -> f64 {
+    n_dk as f64 * (n_kw as f64 + beta) * inv
+}
+
+/// Word bucket term: `α·n_kw·inv`.
+#[inline]
+fn r_term(alpha: f64, n_kw: i64, inv: f64) -> f64 {
+    alpha * n_kw as f64 * inv
+}
+
+/// Inserts `t` into an ascending topic list (no-op if present).
+#[inline]
+fn list_insert(list: &mut Vec<usize>, t: usize) {
+    if let Err(pos) = list.binary_search(&t) {
+        list.insert(pos, t);
+    }
+}
+
+/// Removes `t` from an ascending topic list (no-op if absent).
+#[inline]
+fn list_remove(list: &mut Vec<usize>, t: usize) {
+    if let Ok(pos) = list.binary_search(&t) {
+        list.remove(pos);
+    }
+}
+
+/// The mutable count tables a Gibbs sweep operates on.
+struct SweepTables<'a> {
+    /// Token topic assignments, `z[di][ti]`.
+    z: &'a mut Vec<Vec<usize>>,
+    /// Topic-word counts, row-major `k x d`.
+    n_kw: &'a mut Vec<i64>,
+    /// Topic totals, length `k`.
+    n_k: &'a mut Vec<i64>,
+    /// Doc-topic counts, row-major `m x k`.
+    n_dk: &'a mut Vec<i64>,
+}
+
+/// Walks the three buckets in fixed order (doc ascending, word ascending,
+/// smoothing `0..k`) subtracting terms from `x` until it goes negative.
+/// Falls through to `k - 1` if floating-point dust leaves `x` non-negative.
+///
+/// Both sweep implementations fill `q`/`r` with the same topics in the same
+/// order with identical arithmetic, which is what makes their chains
+/// bit-identical.
+fn pick_topic(mut x: f64, q: &[(usize, f64)], r: &[(usize, f64)], cache: &SmoothCache, k: usize) -> usize {
+    for &(t, term) in q.iter().chain(r) {
+        x -= term;
+        if x < 0.0 {
+            return t;
+        }
+    }
+    for t in 0..k {
+        x -= cache.ab * cache.inv[t];
+        if x < 0.0 {
+            return t;
+        }
+    }
+    k - 1
+}
+
+/// Reference Gibbs sweep: full `O(K)` scan per token, expressed through the
+/// same bucket decomposition as [`sweep_sparse`].
+#[allow(clippy::too_many_arguments)]
+fn sweep_dense(
+    docs: &[Vec<usize>],
+    tables: &mut SweepTables<'_>,
+    k: usize,
+    d: usize,
+    alpha: f64,
+    beta: f64,
+    iterations: usize,
+    cache: &mut SmoothCache,
+    rng: &mut StdRng,
+) {
+    let mut qbuf: Vec<(usize, f64)> = Vec::with_capacity(k);
+    let mut rbuf: Vec<(usize, f64)> = Vec::with_capacity(k);
+    for _sweep in 0..iterations {
+        cache.refresh(tables.n_k);
+        for (di, doc) in docs.iter().enumerate() {
+            for (ti, &w) in doc.iter().enumerate() {
+                let old = tables.z[di][ti];
+                tables.n_kw[old * d + w] -= 1;
+                tables.n_k[old] -= 1;
+                tables.n_dk[di * k + old] -= 1;
+                cache.update(old, tables.n_k[old]);
+
+                qbuf.clear();
+                rbuf.clear();
+                let mut q_total = 0.0f64;
+                let mut r_total = 0.0f64;
+                // One fused scan: both buckets are filled in ascending-t
+                // order with their totals accumulated in the same order as
+                // two separate scans would, so the chain is unchanged while
+                // `n_kw` is gathered once per topic instead of twice.
+                for t in 0..k {
+                    let nd = tables.n_dk[di * k + t];
+                    let nw = tables.n_kw[t * d + w];
+                    if nd > 0 {
+                        let p = q_term(nd, nw, beta, cache.inv[t]);
+                        qbuf.push((t, p));
+                        q_total += p;
+                    }
+                    if nw > 0 {
+                        let p = r_term(alpha, nw, cache.inv[t]);
+                        rbuf.push((t, p));
+                        r_total += p;
+                    }
+                }
+                let total = q_total + r_total + cache.s_total;
+                // Degenerate-mass guard: with underflowed or non-finite
+                // bucket totals a cumulative draw would silently land on
+                // topic k-1 every time. Keep the current assignment instead,
+                // consuming no randomness.
+                let new = if !total.is_finite() || total <= 0.0 {
+                    old
+                } else {
+                    let x = rng.gen::<f64>() * total;
+                    pick_topic(x, &qbuf, &rbuf, cache, k)
+                };
+                tables.z[di][ti] = new;
+                tables.n_kw[new * d + w] += 1;
+                tables.n_k[new] += 1;
+                tables.n_dk[di * k + new] += 1;
+                cache.update(new, tables.n_k[new]);
+            }
+        }
+    }
+}
+
+/// Doc-sparse Gibbs sweep (SparseLDA-style): walks only topics with nonzero
+/// `n_dk` and `n_kw` mass via maintained ascending topic lists, plus the
+/// cached smoothing bucket. Produces the same chain as [`sweep_dense`],
+/// bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn sweep_sparse(
+    docs: &[Vec<usize>],
+    tables: &mut SweepTables<'_>,
+    k: usize,
+    d: usize,
+    alpha: f64,
+    beta: f64,
+    iterations: usize,
+    cache: &mut SmoothCache,
+    rng: &mut StdRng,
+) {
+    let m = docs.len();
+    let mut doc_topics: Vec<Vec<usize>> = (0..m)
+        .map(|di| (0..k).filter(|&t| tables.n_dk[di * k + t] > 0).collect())
+        .collect();
+    let mut word_topics: Vec<Vec<usize>> = (0..d)
+        .map(|w| (0..k).filter(|&t| tables.n_kw[t * d + w] > 0).collect())
+        .collect();
+    let mut qbuf: Vec<(usize, f64)> = Vec::with_capacity(k);
+    let mut rbuf: Vec<(usize, f64)> = Vec::with_capacity(k);
+    for _sweep in 0..iterations {
+        cache.refresh(tables.n_k);
+        for (di, doc) in docs.iter().enumerate() {
+            for (ti, &w) in doc.iter().enumerate() {
+                let old = tables.z[di][ti];
+                tables.n_kw[old * d + w] -= 1;
+                tables.n_k[old] -= 1;
+                tables.n_dk[di * k + old] -= 1;
+                if tables.n_kw[old * d + w] == 0 {
+                    list_remove(&mut word_topics[w], old);
+                }
+                if tables.n_dk[di * k + old] == 0 {
+                    list_remove(&mut doc_topics[di], old);
+                }
+                cache.update(old, tables.n_k[old]);
+
+                qbuf.clear();
+                rbuf.clear();
+                let mut q_total = 0.0f64;
+                let mut r_total = 0.0f64;
+                for &t in &doc_topics[di] {
+                    let p = q_term(tables.n_dk[di * k + t], tables.n_kw[t * d + w], beta, cache.inv[t]);
+                    qbuf.push((t, p));
+                    q_total += p;
+                }
+                for &t in &word_topics[w] {
+                    let p = r_term(alpha, tables.n_kw[t * d + w], cache.inv[t]);
+                    rbuf.push((t, p));
+                    r_total += p;
+                }
+                let total = q_total + r_total + cache.s_total;
+                // Same degenerate-mass guard as the dense sweep.
+                let new = if !total.is_finite() || total <= 0.0 {
+                    old
+                } else {
+                    let x = rng.gen::<f64>() * total;
+                    pick_topic(x, &qbuf, &rbuf, cache, k)
+                };
+                tables.z[di][ti] = new;
+                if tables.n_kw[new * d + w] == 0 {
+                    list_insert(&mut word_topics[w], new);
+                }
+                if tables.n_dk[di * k + new] == 0 {
+                    list_insert(&mut doc_topics[di], new);
+                }
+                tables.n_kw[new * d + w] += 1;
+                tables.n_k[new] += 1;
+                tables.n_dk[di * k + new] += 1;
+                cache.update(new, tables.n_k[new]);
+            }
         }
     }
 }
@@ -91,6 +372,7 @@ impl Lda {
             beta,
             iterations,
             seed,
+            sampler,
         } = self.config;
         if k == 0 || d == 0 {
             return Err(TopicsError::InvalidConfig(
@@ -135,37 +417,19 @@ impl Lda {
         }
 
         let beta_sum = beta * d as f64;
-        let mut probs = vec![0.0f64; k];
-        for _sweep in 0..iterations {
-            for (di, doc) in docs.iter().enumerate() {
-                for (ti, &w) in doc.iter().enumerate() {
-                    let old = z[di][ti];
-                    n_kw[old * d + w] -= 1;
-                    n_k[old] -= 1;
-                    n_dk[di * k + old] -= 1;
-
-                    let mut total = 0.0;
-                    for t in 0..k {
-                        let p = (n_dk[di * k + t] as f64 + alpha)
-                            * (n_kw[t * d + w] as f64 + beta)
-                            / (n_k[t] as f64 + beta_sum);
-                        probs[t] = p;
-                        total += p;
-                    }
-                    let mut x = rng.gen::<f64>() * total;
-                    let mut new = k - 1;
-                    for (t, &p) in probs.iter().enumerate() {
-                        x -= p;
-                        if x < 0.0 {
-                            new = t;
-                            break;
-                        }
-                    }
-                    z[di][ti] = new;
-                    n_kw[new * d + w] += 1;
-                    n_k[new] += 1;
-                    n_dk[di * k + new] += 1;
-                }
+        let mut cache = SmoothCache::new(k, alpha, beta, beta_sum);
+        let tables = &mut SweepTables {
+            z: &mut z,
+            n_kw: &mut n_kw,
+            n_k: &mut n_k,
+            n_dk: &mut n_dk,
+        };
+        match sampler {
+            SamplerKind::Dense => {
+                sweep_dense(docs, tables, k, d, alpha, beta, iterations, &mut cache, &mut rng)
+            }
+            SamplerKind::Sparse => {
+                sweep_sparse(docs, tables, k, d, alpha, beta, iterations, &mut cache, &mut rng)
             }
         }
 
@@ -436,5 +700,40 @@ mod tests {
         let a = fit_two_topics(9);
         let b = fit_two_topics(9);
         assert_eq!(a, b);
+    }
+
+    /// Regression: with degenerate priors `alpha*beta` underflows to exactly
+    /// 0.0, and on a corpus of singleton documents with distinct words every
+    /// bucket is empty after the decrement — the total sampling mass is 0.
+    /// The old cumulative draw fell through and silently assigned topic
+    /// `k-1` to every token; the guard now keeps the current assignment
+    /// (and consumes no randomness).
+    #[test]
+    fn degenerate_priors_keep_assignments_instead_of_collapsing() {
+        let docs: Vec<Vec<usize>> = (0..12).map(|w| vec![w]).collect();
+        for sampler in [SamplerKind::Dense, SamplerKind::Sparse] {
+            let m = Lda::new(LdaConfig {
+                n_topics: 4,
+                vocab: 12,
+                alpha: 1e-200,
+                beta: 1e-200,
+                iterations: 5,
+                seed: 11,
+                sampler,
+            })
+            .fit(&docs)
+            .unwrap();
+            let dominants: Vec<usize> = (0..m.n_docs()).map(|di| m.dominant_topic(di)).collect();
+            assert!(
+                dominants.iter().any(|&t| t != 3),
+                "{sampler:?}: all documents collapsed onto topic k-1: {dominants:?}"
+            );
+            let distinct: std::collections::BTreeSet<usize> = dominants.iter().copied().collect();
+            assert!(
+                distinct.len() >= 2,
+                "{sampler:?}: degenerate corpus should keep its random spread, got {dominants:?}"
+            );
+            assert!(m.perplexity().is_finite());
+        }
     }
 }
