@@ -4,6 +4,15 @@
 //! unknown users, session-cap pressure), and replays each through a
 //! `StreamMonitor` — plus a mid-stream kill/checkpoint/restore run whose
 //! alarm output must be byte-identical to the uninterrupted run.
+//!
+//! Observability: a JSONL trace sink captures every span fired during the
+//! replays (`results/chaos_trace.jsonl`), each scenario's wall clock lands
+//! on `ibcm_stage_seconds{stage=<scenario>}`, and the final state of the
+//! global metrics registry — including the stream fault and alarm counters
+//! accumulated across all scenarios — is written as a Prometheus text
+//! snapshot to `results/chaos_metrics.prom`.
+
+use std::sync::Arc;
 
 use ibcm_bench::Harness;
 use ibcm_core::chaos::{
@@ -27,6 +36,18 @@ fn config(faults: FaultPolicy) -> StreamConfig {
     }
 }
 
+/// Runs one scenario under a trace span, recording its wall clock on
+/// `ibcm_stage_seconds{stage=<scenario>}`.
+fn timed<T>(scenario: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = ibcm_obs::span(scenario);
+    let t0 = std::time::Instant::now();
+    let result = f();
+    ibcm_obs::names::STAGE_SECONDS
+        .histogram_labeled(ibcm_obs::DEFAULT_SECONDS_BUCKETS, &[("stage", scenario)])
+        .observe(t0.elapsed().as_secs_f64());
+    result
+}
+
 fn row(scenario: &str, injected: usize, r: &ReplayReport) -> Vec<String> {
     let c = &r.counters;
     vec![
@@ -47,6 +68,8 @@ fn row(scenario: &str, injected: usize, r: &ReplayReport) -> Vec<String> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let harness = Harness::from_env()?;
+    let trace_path = harness.results_dir().join("chaos_trace.jsonl");
+    ibcm_obs::set_trace_sink(Some(Arc::new(ibcm_obs::JsonlSink::create(&trace_path)?)));
     let dataset = harness.dataset();
     let trained = harness.train(&dataset)?;
     let detector = trained.detector();
@@ -61,7 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rows: Vec<Vec<String>> = Vec::new();
 
-    let baseline = replay(detector, config(FaultPolicy::default()), &events);
+    let baseline = timed("baseline", || {
+        replay(detector, config(FaultPolicy::default()), &events)
+    });
     rows.push(row("baseline", 0, &baseline));
 
     let mut ooo = events.clone();
@@ -69,7 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.push(row(
         "out_of_order",
         injected,
-        &replay(detector, config(FaultPolicy::default()), &ooo),
+        &timed("out_of_order", || {
+            replay(detector, config(FaultPolicy::default()), &ooo)
+        }),
     ));
 
     let mut dup = events.clone();
@@ -77,14 +104,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.push(row(
         "duplicates_dropped",
         injected,
-        &replay(
-            detector,
-            config(FaultPolicy {
-                duplicates: FaultAction::Drop,
-                ..FaultPolicy::default()
-            }),
-            &dup,
-        ),
+        &timed("duplicates_dropped", || {
+            replay(
+                detector,
+                config(FaultPolicy {
+                    duplicates: FaultAction::Drop,
+                    ..FaultPolicy::default()
+                }),
+                &dup,
+            )
+        }),
     ));
 
     let mut ua = events.clone();
@@ -92,14 +121,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.push(row(
         "unknown_actions_dropped",
         injected,
-        &replay(
-            detector,
-            config(FaultPolicy {
-                unknown_actions: FaultAction::Drop,
-                ..FaultPolicy::default()
-            }),
-            &ua,
-        ),
+        &timed("unknown_actions_dropped", || {
+            replay(
+                detector,
+                config(FaultPolicy {
+                    unknown_actions: FaultAction::Drop,
+                    ..FaultPolicy::default()
+                }),
+                &ua,
+            )
+        }),
     ));
 
     let mut uu = events.clone();
@@ -107,28 +138,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.push(row(
         "unknown_users_dropped",
         injected,
-        &replay(
-            detector,
-            config(FaultPolicy {
-                known_users: Some(known_users),
-                unknown_users: FaultAction::Drop,
-                ..FaultPolicy::default()
-            }),
-            &uu,
-        ),
+        &timed("unknown_users_dropped", || {
+            replay(
+                detector,
+                config(FaultPolicy {
+                    known_users: Some(known_users),
+                    unknown_users: FaultAction::Drop,
+                    ..FaultPolicy::default()
+                }),
+                &uu,
+            )
+        }),
     ));
 
     rows.push(row(
         "session_cap_8",
         0,
-        &replay(
-            detector,
-            config(FaultPolicy {
-                max_active_sessions: Some(8),
-                ..FaultPolicy::default()
-            }),
-            &events,
-        ),
+        &timed("session_cap_8", || {
+            replay(
+                detector,
+                config(FaultPolicy {
+                    max_active_sessions: Some(8),
+                    ..FaultPolicy::default()
+                }),
+                &events,
+            )
+        }),
     ));
 
     // Kill/restore: stack every fault class, kill halfway, resume from the
@@ -139,16 +174,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     inject_unknown_actions(&mut all, n_inject, vocab, harness.seed);
     inject_unknown_users(&mut all, n_inject, known_users, harness.seed);
     let kill_at = all.len() / 2;
-    let kill = replay_with_kill(
-        detector,
-        config(FaultPolicy {
-            known_users: Some(known_users),
-            max_active_sessions: Some(32),
-            ..FaultPolicy::default()
-        }),
-        &all,
-        kill_at,
-    )?;
+    let kill = timed("kill_restore", || {
+        replay_with_kill(
+            detector,
+            config(FaultPolicy {
+                known_users: Some(known_users),
+                max_active_sessions: Some(32),
+                ..FaultPolicy::default()
+            }),
+            &all,
+            kill_at,
+        )
+    })?;
     rows.push(row("kill_restore_resumed", kill_at, &kill.resumed));
     println!(
         "kill/restore at event {kill_at}: checkpoint {} bytes, alarms {} vs {}, byte-identical: {}",
@@ -190,5 +227,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
         rows,
     )?;
+
+    // Snapshot the global registry — the process-cumulative stream fault,
+    // alarm and stage metrics across every scenario above — in Prometheus
+    // text format, and flush the span trace.
+    let prom_path = harness.results_dir().join("chaos_metrics.prom");
+    std::fs::write(&prom_path, ibcm_obs::global().render_prometheus())?;
+    ibcm_obs::set_trace_sink(None);
+    eprintln!(
+        "[ibcm] wrote {} and {}",
+        prom_path.display(),
+        trace_path.display()
+    );
     Ok(())
 }

@@ -15,6 +15,14 @@
 //! here and enforced by the property suites), so the comparison measures
 //! nothing but kernel speed. `IBCM_SCALE=test` shrinks the workloads to a
 //! CI smoke run; `IBCM_BENCH_OUT` overrides the output path.
+//!
+//! Since the observability layer landed, every measured repetition is also
+//! recorded on the global metrics registry
+//! (`ibcm_stage_seconds{stage="<stage>_<side>"}`), and the JSON report
+//! (schema `ibcm-perf-baseline/2`) carries those per-stage histograms plus
+//! an `obs_overhead` block: per-epoch LSTM training time with tracing off
+//! vs routed to a no-op sink, quantifying what the telemetry costs on the
+//! hottest path.
 
 use std::time::Instant;
 
@@ -29,6 +37,15 @@ struct StageRow {
     stage: &'static str,
     before_s: f64,
     after_s: f64,
+    before_hist: ibcm_obs::Histogram,
+    after_hist: ibcm_obs::Histogram,
+}
+
+/// The registry histogram collecting every measured repetition of one
+/// benchmark side, e.g. `ibcm_stage_seconds{stage="lda_fit_before"}`.
+fn stage_hist(label: &str) -> ibcm_obs::Histogram {
+    ibcm_obs::names::STAGE_SECONDS
+        .histogram_labeled(ibcm_obs::DEFAULT_SECONDS_BUCKETS, &[("stage", label)])
 }
 
 /// Repetitions per measured side; wall-clock is the minimum across reps
@@ -42,14 +59,17 @@ fn reps(quick: bool) -> usize {
 }
 
 /// Min-of-N wall clock of `f`, returning the last result for the equality
-/// assertions.
-fn time_best<T>(n: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+/// assertions. Every repetition's duration is observed into `hist`, so the
+/// JSON report can carry the full distribution, not just the minimum.
+fn time_best<T>(n: usize, hist: &ibcm_obs::Histogram, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..n {
         let t0 = Instant::now();
         last = Some(f());
-        best = best.min(t0.elapsed().as_secs_f64());
+        let dt = t0.elapsed().as_secs_f64();
+        hist.observe(dt);
+        best = best.min(dt);
     }
     (best, last.expect("at least one rep"))
 }
@@ -82,7 +102,9 @@ fn themed_corpus(n_docs: usize, doc_len: usize, vocab: usize, k: usize, seed: u6
 fn lda_stage(quick: bool, seed: u64) -> StageRow {
     let (n_docs, doc_len, iterations) = if quick { (60, 20, 10) } else { (1200, 40, 60) };
     let docs = themed_corpus(n_docs, doc_len, 300, 13, seed);
-    let fit = |sampler: SamplerKind| {
+    let before_hist = stage_hist("lda_fit_before");
+    let after_hist = stage_hist("lda_fit_after");
+    let fit = |sampler: SamplerKind, hist: &ibcm_obs::Histogram| {
         let cfg = LdaConfig {
             n_topics: 13,
             vocab: 300,
@@ -91,12 +113,12 @@ fn lda_stage(quick: bool, seed: u64) -> StageRow {
             sampler,
             ..LdaConfig::default()
         };
-        time_best(reps(quick), || Lda::new(cfg).fit(&docs).expect("lda fits"))
+        time_best(reps(quick), hist, || Lda::new(cfg).fit(&docs).expect("lda fits"))
     };
-    let (before_s, dense) = fit(SamplerKind::Dense);
-    let (after_s, sparse) = fit(SamplerKind::Sparse);
+    let (before_s, dense) = fit(SamplerKind::Dense, &before_hist);
+    let (after_s, sparse) = fit(SamplerKind::Sparse, &after_hist);
     assert_eq!(dense, sparse, "dense and sparse sweeps must agree exactly");
-    StageRow { stage: "lda_fit", before_s, after_s }
+    StageRow { stage: "lda_fit", before_s, after_s, before_hist, after_hist }
 }
 
 fn lm_corpus(quick: bool) -> (LmTrainConfig, Vec<Vec<usize>>) {
@@ -120,28 +142,39 @@ fn lm_corpus(quick: bool) -> (LmTrainConfig, Vec<Vec<usize>>) {
 fn lstm_stage(quick: bool) -> (StageRow, LstmLm, Vec<Vec<usize>>) {
     let (cfg, seqs) = lm_corpus(quick);
     let val = seqs[..4.min(seqs.len())].to_vec();
-    let train = |mode: KernelMode| {
+    let before_hist = stage_hist("lstm_train_epoch_before");
+    let after_hist = stage_hist("lstm_train_epoch_after");
+    let train = |mode: KernelMode, hist: &ibcm_obs::Histogram| {
         set_kernel_mode(mode);
         // A paper-shape epoch runs tens of seconds — long enough to be
         // self-averaging, so one rep suffices.
-        let (t, lm) = time_best(1, || LstmLm::train(&cfg, &seqs, &val).expect("lm trains"));
-        (t / cfg.epochs as f64, lm)
+        let t0 = Instant::now();
+        let lm = LstmLm::train(&cfg, &seqs, &val).expect("lm trains");
+        let per_epoch = t0.elapsed().as_secs_f64() / cfg.epochs as f64;
+        hist.observe(per_epoch);
+        (per_epoch, lm)
     };
-    let (before_s, naive) = train(KernelMode::Reference);
-    let (after_s, fast) = train(KernelMode::Optimized);
+    let (before_s, naive) = train(KernelMode::Reference, &before_hist);
+    let (after_s, fast) = train(KernelMode::Optimized, &after_hist);
     assert_eq!(
         naive.to_bytes(),
         fast.to_bytes(),
         "kernel modes must train byte-identical models"
     );
-    (StageRow { stage: "lstm_train_epoch", before_s, after_s }, fast, seqs)
+    (
+        StageRow { stage: "lstm_train_epoch", before_s, after_s, before_hist, after_hist },
+        fast,
+        seqs,
+    )
 }
 
 fn scoring_stage(quick: bool, lm: &LstmLm, seqs: &[Vec<usize>]) -> StageRow {
     let repeats = if quick { 1 } else { 5 };
-    let run = |mode: KernelMode| {
+    let before_hist = stage_hist("batch_scoring_before");
+    let after_hist = stage_hist("batch_scoring_after");
+    let run = |mode: KernelMode, hist: &ibcm_obs::Histogram| {
         set_kernel_mode(mode);
-        time_best(reps(quick), || {
+        time_best(reps(quick), hist, || {
             let mut sink = 0.0f64;
             for _ in 0..repeats {
                 for seq in seqs {
@@ -151,10 +184,58 @@ fn scoring_stage(quick: bool, lm: &LstmLm, seqs: &[Vec<usize>]) -> StageRow {
             sink
         })
     };
-    let (before_s, a) = run(KernelMode::Reference);
-    let (after_s, b) = run(KernelMode::Optimized);
+    let (before_s, a) = run(KernelMode::Reference, &before_hist);
+    let (after_s, b) = run(KernelMode::Optimized, &after_hist);
     assert_eq!(a.to_bits(), b.to_bits(), "kernel modes must score identically");
-    StageRow { stage: "batch_scoring", before_s, after_s }
+    StageRow { stage: "batch_scoring", before_s, after_s, before_hist, after_hist }
+}
+
+/// Measures what routing the tracing layer to a sink costs on the hottest
+/// path: per-epoch LSTM training time with tracing disabled vs enabled with
+/// a [`ibcm_obs::NoopSink`]. Telemetry is required to be observe-only and
+/// near-free; the report carries the measured fraction so regressions are
+/// visible in CI artifacts (the quick profile is too noisy for a hard gate).
+fn obs_overhead(quick: bool) -> (f64, f64) {
+    let (mut cfg, seqs) = lm_corpus(true);
+    if !quick {
+        cfg.epochs = 4;
+    }
+    set_kernel_mode(KernelMode::Optimized);
+    let run = || {
+        let t0 = Instant::now();
+        let _ = LstmLm::train(&cfg, &seqs, &[]).expect("lm trains");
+        t0.elapsed().as_secs_f64() / cfg.epochs as f64
+    };
+    // Warm up caches/allocator once, then take the min of several
+    // alternating reps per side so scheduler noise cancels rather than
+    // landing on one side.
+    let _ = run();
+    let reps = if quick { 3 } else { 5 };
+    let mut untraced_s = f64::INFINITY;
+    let mut traced_s = f64::INFINITY;
+    let noop: std::sync::Arc<dyn ibcm_obs::TraceSink> = std::sync::Arc::new(ibcm_obs::NoopSink);
+    for _ in 0..reps {
+        ibcm_obs::set_trace_sink(None);
+        untraced_s = untraced_s.min(run());
+        ibcm_obs::set_trace_sink(Some(noop.clone()));
+        traced_s = traced_s.min(run());
+    }
+    ibcm_obs::set_trace_sink(None);
+    (untraced_s, traced_s)
+}
+
+/// One histogram as a JSON object: raw (non-cumulative) per-bucket counts
+/// aligned with `bounds` plus the +Inf slot, and the running sum/count.
+fn hist_json(h: &ibcm_obs::Histogram) -> String {
+    let bounds: Vec<String> = h.bounds().iter().map(|b| format!("{b}")).collect();
+    let counts: Vec<String> = h.bucket_counts().iter().map(|c| c.to_string()).collect();
+    format!(
+        "{{ \"bounds\": [{}], \"counts\": [{}], \"sum\": {:.6}, \"count\": {} }}",
+        bounds.join(", "),
+        counts.join(", "),
+        h.sum(),
+        h.count()
+    )
 }
 
 fn commit_hash() -> String {
@@ -194,9 +275,18 @@ fn main() -> std::io::Result<()> {
     rows.push(lstm_row);
     rows.push(scoring_stage(quick, &lm, &seqs));
     set_kernel_mode(KernelMode::Optimized);
+    let (untraced_s, traced_s) = obs_overhead(quick);
+    let overhead_frac = traced_s / untraced_s.max(1e-12) - 1.0;
+    println!(
+        "obs overhead on lstm_train_epoch: untraced {untraced_s:.4}s  noop-sink {traced_s:.4}s  ({:+.2}%)",
+        overhead_frac * 100.0
+    );
+    if overhead_frac > 0.02 {
+        eprintln!("[ibcm] WARNING: observability overhead above the 2% budget");
+    }
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"ibcm-perf-baseline/1\",\n");
+    json.push_str("  \"schema\": \"ibcm-perf-baseline/2\",\n");
     json.push_str(&format!("  \"commit\": \"{}\",\n", commit_hash()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
@@ -208,15 +298,21 @@ fn main() -> std::io::Result<()> {
             r.stage, r.before_s, r.after_s, speedup
         );
         json.push_str(&format!(
-            "    {{ \"stage\": \"{}\", \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3} }}{}\n",
-            r.stage,
-            r.before_s,
-            r.after_s,
-            speedup,
+            "    {{ \"stage\": \"{}\", \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3},\n",
+            r.stage, r.before_s, r.after_s, speedup,
+        ));
+        json.push_str(&format!(
+            "      \"hist\": {{ \"before\": {}, \"after\": {} }} }}{}\n",
+            hist_json(&r.before_hist),
+            hist_json(&r.after_hist),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"obs_overhead\": {{ \"stage\": \"lstm_train_epoch\", \"untraced_s\": {untraced_s:.6}, \"traced_s\": {traced_s:.6}, \"overhead_frac\": {overhead_frac:.6} }}\n",
+    ));
+    json.push_str("}\n");
 
     let out = std::env::var("IBCM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
     std::fs::write(&out, json)?;

@@ -2,6 +2,23 @@ use ibcm_lm::{LstmLm, SessionScore};
 use ibcm_logsim::{ActionId, ClusterId};
 use ibcm_ocsvm::{ClusterRouter, RouteDecision};
 
+/// Cached handles for the batch-scoring metrics: one counter increment and
+/// one histogram observation per scored session. Cached so parallel batch
+/// scoring pays only atomics, never a registry lookup.
+struct ScoringMetrics {
+    sessions: ibcm_obs::Counter,
+    seconds: ibcm_obs::Histogram,
+}
+
+fn scoring_metrics() -> &'static ScoringMetrics {
+    static CELL: std::sync::OnceLock<ScoringMetrics> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| ScoringMetrics {
+        sessions: ibcm_obs::names::SESSIONS_SCORED.counter(),
+        seconds: ibcm_obs::names::SCORE_SESSION_SECONDS
+            .histogram(ibcm_obs::DEFAULT_SECONDS_BUCKETS),
+    })
+}
+
 /// The verdict on one session: the cluster it was routed to and its
 /// normality under that cluster's behavior model.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,8 +147,12 @@ impl MisuseDetector {
     /// Scores a full session: route, then average likelihood/loss under the
     /// routed cluster's model.
     pub fn score_session(&self, actions: &[ActionId]) -> SessionVerdict {
+        let start = std::time::Instant::now();
         let decision = self.route(actions);
         let score = self.score_in_cluster(actions, decision.cluster);
+        let metrics = scoring_metrics();
+        metrics.sessions.inc();
+        metrics.seconds.observe(start.elapsed().as_secs_f64());
         SessionVerdict {
             cluster: decision.cluster,
             score,

@@ -8,6 +8,15 @@ use crate::config::PipelineConfig;
 use crate::detector::MisuseDetector;
 use crate::error::CoreError;
 
+/// Records one training-stage duration on `ibcm_stage_seconds{stage}` —
+/// the registry-side mirror of [`TrainedPipeline::stage_timings`], and the
+/// same series `perf_baseline` exports per benchmark stage.
+pub(crate) fn observe_stage(stage: &str, seconds: f64) {
+    ibcm_obs::names::STAGE_SECONDS
+        .histogram_labeled(ibcm_obs::DEFAULT_SECONDS_BUCKETS, &[("stage", stage)])
+        .observe(seconds);
+}
+
 /// One behavior cluster's sessions, split 70/15/15 as in §IV-B.
 #[derive(Debug, Clone)]
 pub struct ClusterData {
@@ -84,6 +93,7 @@ impl Pipeline {
     /// # Ok::<(), ibcm_core::CoreError>(())
     /// ```
     pub fn train(&self, dataset: &Dataset) -> Result<TrainedPipeline, CoreError> {
+        let _span = ibcm_obs::span!("pipeline_train");
         self.config.validate()?;
         let catalog = dataset.catalog();
         let vocab = catalog.len();
@@ -117,6 +127,9 @@ impl Pipeline {
         let t2 = std::time::Instant::now();
         let (detector, clusters) = self.train_clustered(dataset, cluster_sessions)?;
         let t_models = t2.elapsed().as_secs_f64();
+        observe_stage("lda_ensemble", t_lda);
+        observe_stage("expert_clustering", t_expert);
+        observe_stage("cluster_models", t_models);
         Ok(TrainedPipeline {
             detector,
             clusters,
@@ -155,6 +168,7 @@ impl Pipeline {
         dataset: &Dataset,
         cluster_sessions: Vec<Vec<Session>>,
     ) -> Result<(MisuseDetector, Vec<ClusterData>), CoreError> {
+        let _span = ibcm_obs::span!("train_clustered");
         let vocab = dataset.catalog().len();
         let featurizer = SessionFeaturizer::new(vocab, true);
         let svm_config = self.config.ocsvm_config();
@@ -216,6 +230,7 @@ impl Pipeline {
         let mut clusters = Vec::new();
         let mut svms = Vec::new();
         let mut models = Vec::new();
+        let mut skipped = 0u64;
         for output in outputs {
             if let Some((svm, model, split)) = output? {
                 let cluster = ClusterId(clusters.len());
@@ -227,13 +242,22 @@ impl Pipeline {
                 });
                 svms.push(svm);
                 models.push(model);
+            } else {
+                skipped += 1;
             }
         }
+        ibcm_obs::names::CLUSTER_MODELS_TRAINED
+            .counter()
+            .add(clusters.len() as u64);
+        ibcm_obs::names::CLUSTER_GROUPS_SKIPPED.counter().add(skipped);
         if clusters.is_empty() {
             return Err(CoreError::InsufficientData(
                 "no cluster had enough sessions to train on".into(),
             ));
         }
+        ibcm_obs::names::DETECTOR_CLUSTERS
+            .gauge()
+            .set(clusters.len() as i64);
         let router = ClusterRouter::new(svms, featurizer);
         let detector = MisuseDetector::new(router, models, self.config.lock_in);
         Ok((detector, clusters))

@@ -26,11 +26,60 @@
 
 use std::collections::HashMap;
 
-use ibcm_logsim::{ActionId, UserId};
+use ibcm_logsim::{ActionId, ClusterId, UserId};
 use serde::{Deserialize, Serialize};
 
 use crate::detector::MisuseDetector;
 use crate::monitor::{AlarmPolicy, OnlineMonitor};
+
+/// Cached handles for the per-event stream metrics (the registry-side
+/// mirror of [`FaultCounters`], which stays a plain struct because it is
+/// persisted inside `IBCS` checkpoints). Registry counters are cumulative
+/// over the *process*, not the monitor: restoring a checkpoint restores
+/// [`FaultCounters`] but leaves the registry counting from where the
+/// process started.
+struct StreamMetrics {
+    events: ibcm_obs::Counter,
+    fault_non_monotonic: ibcm_obs::Counter,
+    fault_duplicate: ibcm_obs::Counter,
+    fault_unknown_action: ibcm_obs::Counter,
+    fault_unknown_user: ibcm_obs::Counter,
+    dropped: ibcm_obs::Counter,
+    shed: ibcm_obs::Counter,
+    sessions_started: ibcm_obs::Counter,
+    sessions_ended: ibcm_obs::Counter,
+    active_sessions: ibcm_obs::Gauge,
+    clock_minute: ibcm_obs::Gauge,
+}
+
+fn stream_metrics() -> &'static StreamMetrics {
+    static CELL: std::sync::OnceLock<StreamMetrics> = std::sync::OnceLock::new();
+    use ibcm_obs::names as n;
+    CELL.get_or_init(|| StreamMetrics {
+        events: n::STREAM_EVENTS.counter(),
+        fault_non_monotonic: n::STREAM_FAULTS.counter_labeled(&[("kind", "non_monotonic")]),
+        fault_duplicate: n::STREAM_FAULTS.counter_labeled(&[("kind", "duplicate")]),
+        fault_unknown_action: n::STREAM_FAULTS.counter_labeled(&[("kind", "unknown_action")]),
+        fault_unknown_user: n::STREAM_FAULTS.counter_labeled(&[("kind", "unknown_user")]),
+        dropped: n::STREAM_DROPPED.counter(),
+        shed: n::STREAM_SHED.counter(),
+        sessions_started: n::STREAM_SESSIONS_STARTED.counter(),
+        sessions_ended: n::STREAM_SESSIONS_ENDED.counter(),
+        active_sessions: n::STREAM_ACTIVE_SESSIONS.gauge(),
+        clock_minute: n::STREAM_CLOCK_MINUTE.gauge(),
+    })
+}
+
+/// Counts one alarm on `ibcm_stream_alarms_total{kind,cluster}`. Alarms are
+/// rare relative to events, so the registry lookup per alarm is acceptable;
+/// `cluster` is the routed cluster index, or `none` for a session shed
+/// before any action was fed.
+fn count_alarm(kind: &str, cluster: Option<ClusterId>) {
+    let cluster = cluster.map_or_else(|| "none".to_string(), |c| c.index().to_string());
+    ibcm_obs::names::STREAM_ALARMS
+        .counter_labeled(&[("kind", kind), ("cluster", &cluster)])
+        .inc();
+}
 
 /// One event of the live stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -320,6 +369,8 @@ impl StreamMonitor<'_> {
     /// alarm, sessions shed for capacity, fault classifications, and
     /// whether the event was dropped.
     pub fn ingest(&mut self, event: SessionEvent) -> ObserveOutcome {
+        let metrics = stream_metrics();
+        metrics.events.inc();
         let mut out = ObserveOutcome::default();
 
         // Clock fault: classify before anything can act on the bad minute.
@@ -327,12 +378,14 @@ impl StreamMonitor<'_> {
         if minute < self.clock {
             out.faults.push(FaultKind::NonMonotonic);
             self.counters.non_monotonic += 1;
+            metrics.fault_non_monotonic.inc();
             match self.config.faults.non_monotonic {
                 ClockPolicy::Clamp => minute = self.clock,
                 ClockPolicy::Drop => return self.drop_event(out),
             }
         } else {
             self.clock = minute;
+            metrics.clock_minute.set(minute as i64);
         }
 
         // Unknown user.
@@ -340,6 +393,7 @@ impl StreamMonitor<'_> {
             if event.user.index() >= known {
                 out.faults.push(FaultKind::UnknownUser);
                 self.counters.unknown_user += 1;
+                metrics.fault_unknown_user.inc();
                 if self.config.faults.unknown_users == FaultAction::Drop {
                     return self.drop_event(out);
                 }
@@ -350,6 +404,7 @@ impl StreamMonitor<'_> {
         if event.action.index() >= self.detector.vocab_size() {
             out.faults.push(FaultKind::UnknownAction);
             self.counters.unknown_action += 1;
+            metrics.fault_unknown_action.inc();
             if self.config.faults.unknown_actions == FaultAction::Drop {
                 return self.drop_event(out);
             }
@@ -365,13 +420,14 @@ impl StreamMonitor<'_> {
             {
                 out.faults.push(FaultKind::Duplicate);
                 self.counters.duplicate += 1;
+                metrics.fault_duplicate.inc();
                 if self.config.faults.duplicates == FaultAction::Drop {
                     return self.drop_event(out);
                 }
             }
             if timed_out {
                 self.active.remove(&event.user);
-                self.sessions_ended += 1;
+                self.end_sessions_metric(1);
             }
         }
 
@@ -387,10 +443,13 @@ impl StreamMonitor<'_> {
             }
         }
 
+        let detector = self.detector;
+        let policy = self.config.policy;
         let sess = self.active.entry(event.user).or_insert_with(|| {
             self.sessions_started += 1;
+            metrics.sessions_started.inc();
             ActiveSession {
-                monitor: self.detector.monitor(self.config.policy),
+                monitor: detector.monitor(policy),
                 last_minute: minute,
                 last_action: None,
             }
@@ -398,6 +457,9 @@ impl StreamMonitor<'_> {
         sess.last_minute = minute;
         sess.last_action = Some(event.action);
         let outcome = sess.monitor.feed(event.action);
+        if outcome.alarm {
+            count_alarm("score", Some(outcome.cluster));
+        }
         out.alarm = outcome.alarm.then_some(StreamAlarm {
             user: event.user,
             position: outcome.position,
@@ -409,15 +471,24 @@ impl StreamMonitor<'_> {
         // Explicit session end.
         if self.config.end_actions.contains(&event.action) {
             self.active.remove(&event.user);
-            self.sessions_ended += 1;
+            self.end_sessions_metric(1);
         }
+        metrics.active_sessions.set(self.active.len() as i64);
         out
     }
 
     fn drop_event(&mut self, mut out: ObserveOutcome) -> ObserveOutcome {
         self.counters.dropped += 1;
+        stream_metrics().dropped.inc();
         out.dropped = true;
         out
+    }
+
+    /// Closes `n` sessions' worth of bookkeeping: the struct counter plus
+    /// the registry counter stay in lockstep.
+    fn end_sessions_metric(&mut self, n: usize) {
+        self.sessions_ended += n;
+        stream_metrics().sessions_ended.add(n as u64);
     }
 
     /// Removes the session with the oldest last-event minute (ties broken
@@ -430,8 +501,10 @@ impl StreamMonitor<'_> {
             .min_by_key(|(user, sess)| (sess.last_minute, user.index()))
             .map(|(user, _)| *user)?;
         let sess = self.active.remove(&victim)?;
-        self.sessions_ended += 1;
+        self.end_sessions_metric(1);
         self.counters.shed += 1;
+        stream_metrics().shed.inc();
+        count_alarm("shed", sess.monitor.current_cluster());
         Some(StreamAlarm {
             user: victim,
             position: sess.monitor.position(),
@@ -447,7 +520,8 @@ impl StreamMonitor<'_> {
     pub fn end_session(&mut self, user: UserId) -> bool {
         let ended = self.active.remove(&user).is_some();
         if ended {
-            self.sessions_ended += 1;
+            self.end_sessions_metric(1);
+            stream_metrics().active_sessions.set(self.active.len() as i64);
         }
         ended
     }
@@ -460,7 +534,8 @@ impl StreamMonitor<'_> {
         self.active
             .retain(|_, sess| now_minute.saturating_sub(sess.last_minute) <= timeout);
         let closed = before - self.active.len();
-        self.sessions_ended += closed;
+        self.end_sessions_metric(closed);
+        stream_metrics().active_sessions.set(self.active.len() as i64);
         closed
     }
 }

@@ -44,7 +44,7 @@
 #![forbid(unsafe_code)]
 // Index-based loops are the clearest notation for the numeric kernels here.
 #![allow(clippy::needless_range_loop)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod batcher;
 mod error;

@@ -12,6 +12,29 @@ use crate::metrics::{SequenceEval, SessionScore};
 use crate::scorer::LmScorer;
 use crate::vocab::Vocab;
 
+/// Cached handles for the per-epoch training metrics; looked up from the
+/// global registry once per process, then one atomic add + one histogram
+/// observe per epoch.
+struct EpochMetrics {
+    epochs: ibcm_obs::Counter,
+    seconds: ibcm_obs::Histogram,
+}
+
+impl EpochMetrics {
+    fn record(&self, elapsed_secs: f64) {
+        self.epochs.inc();
+        self.seconds.observe(elapsed_secs);
+    }
+}
+
+fn lm_epoch_metrics() -> &'static EpochMetrics {
+    static CELL: std::sync::OnceLock<EpochMetrics> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| EpochMetrics {
+        epochs: ibcm_obs::names::LM_TRAIN_EPOCHS.counter(),
+        seconds: ibcm_obs::names::LM_EPOCH_SECONDS.histogram(ibcm_obs::DEFAULT_SECONDS_BUCKETS),
+    })
+}
+
 /// Hyperparameters for training an [`LstmLm`].
 ///
 /// [`LmTrainConfig::paper_exact`] reproduces the paper's §IV-A
@@ -216,6 +239,8 @@ impl LstmLm {
         let mut bad_epochs = 0usize;
         let mut ws = TrainWorkspace::default();
         for epoch in 0..config.epochs {
+            let _epoch_span = ibcm_obs::span!("lstm_train_epoch");
+            let epoch_start = std::time::Instant::now();
             let mut rng = StdRng::seed_from_u64(config.seed ^ (epoch as u64).wrapping_mul(0x9e37));
             let batches = build_batches(train_seqs, config.scheme, config.batch_size, &mut rng);
             let mut epoch_loss = 0.0f64;
@@ -225,6 +250,7 @@ impl LstmLm {
                 epoch_loss += (loss as f64) * n as f64;
                 epoch_targets += n;
             }
+            lm_epoch_metrics().record(epoch_start.elapsed().as_secs_f64());
             let train_loss = (epoch_loss / epoch_targets.max(1) as f64) as f32;
             model.report.train_losses.push(train_loss);
 

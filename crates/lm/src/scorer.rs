@@ -3,6 +3,13 @@ use ibcm_nn::{softmax_in_place, LstmState, Scratch, StepInput};
 use crate::error::LmError;
 use crate::model::LstmLm;
 
+/// Per-action scoring counter (`ibcm_lm_actions_scored_total`). The handle
+/// is cached so the hot scoring loop pays one relaxed atomic add per action.
+fn actions_scored_counter() -> &'static ibcm_obs::Counter {
+    static CELL: std::sync::OnceLock<ibcm_obs::Counter> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| ibcm_obs::names::LM_ACTIONS_SCORED.counter())
+}
+
 /// Outcome of scoring one observed action against the model's prediction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepScore {
@@ -150,6 +157,7 @@ impl<'a> LmScorer<'a> {
             });
         }
         let score = if self.fed_any {
+            actions_scored_counter().inc();
             self.refresh_probs()?;
             let probs = &self.probs_buf;
             let likelihood = probs

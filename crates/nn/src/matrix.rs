@@ -42,6 +42,24 @@ fn use_reference() -> bool {
     USE_REFERENCE_KERNELS.load(Ordering::Relaxed)
 }
 
+/// Counts one matmul-family dispatch on the global metrics registry
+/// (`ibcm_nn_kernel_calls_total{mode}`), so deployments can verify which
+/// kernel path is live. One relaxed atomic add per kernel call; handles are
+/// cached so the registry is consulted once per mode per process.
+#[inline]
+fn count_kernel_call(reference: bool) {
+    use std::sync::OnceLock;
+    static OPTIMIZED: OnceLock<ibcm_obs::Counter> = OnceLock::new();
+    static REFERENCE: OnceLock<ibcm_obs::Counter> = OnceLock::new();
+    let (cell, mode) = if reference {
+        (&REFERENCE, "reference")
+    } else {
+        (&OPTIMIZED, "optimized")
+    };
+    cell.get_or_init(|| ibcm_obs::names::NN_KERNEL_CALLS.counter_labeled(&[("mode", mode)]))
+        .inc();
+}
+
 /// A dense, row-major `f32` matrix.
 ///
 /// This is the single tensor type used by every layer in the crate. It keeps
@@ -239,7 +257,9 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul inner dimensions");
         assert_eq!(out.rows, self.rows, "matmul output rows");
         assert_eq!(out.cols, other.cols, "matmul output cols");
-        if use_reference() {
+        let reference = use_reference();
+        count_kernel_call(reference);
+        if reference {
             reference::matmul_acc_into(self, other, out);
             return;
         }
@@ -279,7 +299,9 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul row counts");
         assert_eq!(out.rows, self.cols, "t_matmul output rows");
         assert_eq!(out.cols, other.cols, "t_matmul output cols");
-        if use_reference() {
+        let reference = use_reference();
+        count_kernel_call(reference);
+        if reference {
             reference::t_matmul_acc_into(self, other, out);
             return;
         }
@@ -342,7 +364,9 @@ impl Matrix {
     pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t column counts");
         out.resize_zeroed(self.rows, other.rows);
-        if use_reference() {
+        let reference = use_reference();
+        count_kernel_call(reference);
+        if reference {
             reference::matmul_t_into(self, other, out);
             return;
         }
@@ -419,7 +443,9 @@ impl Matrix {
     pub fn vecmat_acc_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.rows, "vecmat input length");
         assert_eq!(y.len(), self.cols, "vecmat output length");
-        if use_reference() {
+        let reference = use_reference();
+        count_kernel_call(reference);
+        if reference {
             reference::vecmat_acc_into(self, x, y);
             return;
         }

@@ -1,0 +1,55 @@
+//! `ibcm-obs` — structured tracing, a process-wide metrics registry, and
+//! stage profiling for the ibcm pipeline.
+//!
+//! Production deployments of session-model detectors live or die on
+//! telemetry: per-stage latency and alarm-rate accounting are what make a
+//! detector operable, not just accurate. This crate is the single
+//! observability substrate every other ibcm crate records into. It has
+//! **zero dependencies** (std only) so it can sit below the compute kernels
+//! without widening the dependency graph, and it is **observe-only** by
+//! construction: handles wrap atomics, sinks receive copies, and nothing
+//! here can feed back into model bytes or alarm decisions — the
+//! `obs_identity` integration suite proves training and alarm streams are
+//! byte-identical with telemetry on or off.
+//!
+//! Three layers:
+//!
+//! - **Tracing** ([`span!`], [`SpanGuard`], [`TraceSink`]): named spans
+//!   with microsecond timestamps and stable per-thread ordinals, routed to
+//!   a pluggable sink — [`RingSink`] for tests, [`JsonlSink`] for offline
+//!   analysis, [`NoopSink`] (or no sink at all) for production hot paths.
+//!   Disabled tracing costs one relaxed atomic load per span.
+//! - **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]):
+//!   a process-wide registry with fixed-bucket histograms and a
+//!   deterministic Prometheus text exposition
+//!   ([`Registry::render_prometheus`]).
+//! - **Catalog** ([`names`]): every metric the pipeline exports, as data —
+//!   `OPERATIONS.md` documents exactly this list and CI enforces the match.
+//!
+//! # Example
+//!
+//! ```
+//! use ibcm_obs::names;
+//!
+//! // Hot paths cache handles; the registry call is for setup code.
+//! let fits = names::LDA_FITS.counter();
+//! fits.inc();
+//! let text = ibcm_obs::global().render_prometheus();
+//! assert!(text.contains("ibcm_lda_fits_total"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod metrics;
+pub mod names;
+mod trace;
+
+pub use metrics::{
+    escape_help, escape_label_value, global, Counter, Gauge, Histogram, MetricKind, Registry,
+    DEFAULT_SECONDS_BUCKETS,
+};
+pub use trace::{
+    flush_trace_sink, point_event, set_trace_sink, span, trace_enabled, JsonlSink, NoopSink,
+    RingSink, SpanGuard, TraceEvent, TraceSink,
+};

@@ -1,0 +1,476 @@
+//! The process-wide metrics registry: counters, gauges, and fixed-bucket
+//! histograms with a Prometheus text exposition.
+//!
+//! Metrics are *observe-only*: handles wrap atomics, recording never feeds
+//! back into pipeline behavior, and the exposition is deterministic (names
+//! and label sets render in sorted order). Handles are cheap to clone and
+//! safe to cache in `OnceLock` statics on hot paths.
+//!
+//! # Example
+//!
+//! ```
+//! use ibcm_obs::{Registry, DEFAULT_SECONDS_BUCKETS};
+//!
+//! let registry = Registry::new();
+//! let events = registry.counter("demo_events_total", "Events seen.");
+//! events.inc();
+//! events.add(2);
+//! assert_eq!(events.get(), 3);
+//!
+//! let latency = registry.histogram(
+//!     "demo_seconds",
+//!     "Observed latency.",
+//!     DEFAULT_SECONDS_BUCKETS,
+//! );
+//! latency.observe(0.002);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("demo_events_total 3"));
+//! assert!(text.contains("demo_seconds_count 1"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The three metric families the registry supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing `u64`.
+    Counter,
+    /// Arbitrary signed integer level.
+    Gauge,
+    /// Fixed-bucket distribution of `f64` observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Default histogram buckets for wall-clock seconds: microsecond spans up
+/// to multi-minute training stages (upper bounds, `+Inf` implicit).
+pub const DEFAULT_SECONDS_BUCKETS: &[f64] = &[
+    0.000_1, 0.000_5, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0,
+    300.0, 600.0,
+];
+
+/// A monotonically increasing counter. Clones share the same cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    fn new() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed integer level (e.g. currently active sessions). Clones share
+/// the same cell.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Finite ascending upper bounds; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One slot per bound plus the `+Inf` overflow slot.
+    counts: Vec<AtomicU64>,
+    /// Sum of observations, stored as `f64` bits (CAS-updated).
+    sum_bits: AtomicU64,
+    /// NaN observations rejected (never folded into any bucket).
+    rejected: AtomicU64,
+}
+
+/// A fixed-bucket histogram. `observe` places each value in the first
+/// bucket whose upper bound is `>=` the value (Prometheus `le` semantics);
+/// NaN observations are rejected and counted separately so a poisoned
+/// measurement can never corrupt the sum. Clones share the same cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new(buckets: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = buckets
+            .iter()
+            .copied()
+            .filter(|b| b.is_finite())
+            .collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds are ordered"));
+        bounds.dedup();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            rejected: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation. NaN is rejected (see
+    /// [`Histogram::rejected`]); `-inf`/`+inf` land in the first/overflow
+    /// bucket respectively and poison the sum exactly as they would any
+    /// floating-point accumulator.
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            self.0.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = self
+            .0
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.0.bounds.len());
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut current = self.0.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.0.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Total observations accepted (all buckets, including overflow).
+    pub fn count(&self) -> u64 {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of accepted observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// NaN observations rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.0.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The finite upper bounds (the `+Inf` bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+type MetricKey = (String, Vec<(String, String)>);
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// `(name, sorted labels) -> metric`; BTreeMap keeps the exposition
+    /// deterministically sorted.
+    metrics: BTreeMap<MetricKey, Metric>,
+    /// `name -> (kind, help)`, shared by every label set of the name.
+    meta: BTreeMap<String, (MetricKind, String)>,
+}
+
+/// A metrics registry. Most code uses the process-wide [`global`] registry;
+/// tests construct private ones for isolation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        (name.to_string(), labels)
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.meta.get(name) {
+            Some((existing, _)) => assert!(
+                *existing == kind,
+                "metric `{name}` already registered as {existing:?}, requested {kind:?}"
+            ),
+            None => {
+                inner
+                    .meta
+                    .insert(name.to_string(), (kind, help.to_string()));
+            }
+        }
+        inner
+            .metrics
+            .entry(Self::key(name, labels))
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Registers (or fetches) an unlabeled counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or fetches) a counter with labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, MetricKind::Counter, || {
+            Metric::Counter(Counter::new())
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked at registration"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabeled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or fetches) a gauge with labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, MetricKind::Gauge, || {
+            Metric::Gauge(Gauge::new())
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked at registration"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabeled histogram. `buckets` are finite
+    /// upper bounds (sorted and deduplicated internally; `+Inf` implicit).
+    /// The first registration of a `(name, labels)` pair fixes the buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str, help: &str, buckets: &[f64]) -> Histogram {
+        self.histogram_with(name, help, buckets, &[])
+    }
+
+    /// Registers (or fetches) a histogram with labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        buckets: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.register(name, help, labels, MetricKind::Histogram, || {
+            Metric::Histogram(Histogram::new(buckets))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked at registration"),
+        }
+    }
+
+    /// Every registered metric name, sorted.
+    pub fn metric_names(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.meta.keys().cloned().collect()
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4). Output is deterministic: names, label sets, and
+    /// buckets appear in sorted order.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        let mut last_name = "";
+        for ((name, labels), metric) in &inner.metrics {
+            if name != last_name {
+                if let Some((kind, help)) = inner.meta.get(name) {
+                    out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+                    out.push_str(&format!("# TYPE {name} {}\n", kind.prometheus_type()));
+                }
+                last_name = name;
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{name}{} {}\n",
+                        render_labels(labels, None),
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{name}{} {}\n",
+                        render_labels(labels, None),
+                        g.get()
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    let counts = h.bucket_counts();
+                    for (i, bound) in h.bounds().iter().enumerate() {
+                        cumulative += counts[i];
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cumulative}\n",
+                            render_labels(labels, Some(&format_le(*bound))),
+                        ));
+                    }
+                    cumulative += counts.last().copied().unwrap_or(0);
+                    out.push_str(&format!(
+                        "{name}_bucket{} {cumulative}\n",
+                        render_labels(labels, Some("+Inf")),
+                    ));
+                    out.push_str(&format!(
+                        "{name}_sum{} {}\n",
+                        render_labels(labels, None),
+                        format_f64(h.sum())
+                    ));
+                    out.push_str(&format!(
+                        "{name}_count{} {cumulative}\n",
+                        render_labels(labels, None),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats a bucket bound the way Prometheus clients do (shortest exact
+/// decimal, no trailing zeros).
+fn format_le(bound: f64) -> String {
+    format!("{bound}")
+}
+
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // "3.0" rather than "3", matching common clients
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Escapes help text per the exposition format: backslash and newline.
+pub fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every instrumented ibcm crate records into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}

@@ -1,0 +1,252 @@
+//! The metric catalog: every metric name the ibcm pipeline exports, with
+//! its kind, label keys, and help text.
+//!
+//! Instrumented crates register through these definitions rather than ad
+//! hoc strings, so the exported surface is enumerable: `OPERATIONS.md`
+//! documents exactly this list, and the `catalog` test plus the CI `docs`
+//! job fail when the two drift apart.
+
+use crate::metrics::{global, Counter, Gauge, Histogram, MetricKind};
+
+/// One catalog entry: a metric the pipeline exports.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// The Prometheus metric name.
+    pub name: &'static str,
+    /// The metric family.
+    pub kind: MetricKind,
+    /// Label keys this metric is registered with (empty = unlabeled).
+    pub labels: &'static [&'static str],
+    /// Help text (also the Prometheus `# HELP` line).
+    pub help: &'static str,
+}
+
+impl MetricDef {
+    /// Registers (or fetches) this counter on the global registry.
+    pub fn counter(&self) -> Counter {
+        global().counter(self.name, self.help)
+    }
+
+    /// Registers (or fetches) this counter with concrete label values.
+    pub fn counter_labeled(&self, labels: &[(&str, &str)]) -> Counter {
+        global().counter_with(self.name, self.help, labels)
+    }
+
+    /// Registers (or fetches) this gauge on the global registry.
+    pub fn gauge(&self) -> Gauge {
+        global().gauge(self.name, self.help)
+    }
+
+    /// Registers (or fetches) this histogram on the global registry.
+    pub fn histogram(&self, buckets: &[f64]) -> Histogram {
+        global().histogram(self.name, self.help, buckets)
+    }
+
+    /// Registers (or fetches) this histogram with concrete label values.
+    pub fn histogram_labeled(&self, buckets: &[f64], labels: &[(&str, &str)]) -> Histogram {
+        global().histogram_with(self.name, self.help, buckets, labels)
+    }
+}
+
+/// Stream ingestion: events fed to `StreamMonitor::ingest`.
+pub const STREAM_EVENTS: MetricDef = MetricDef {
+    name: "ibcm_stream_events_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Events ingested by the stream monitor (before fault handling).",
+};
+
+/// Stream ingestion: fault classifications, by kind.
+pub const STREAM_FAULTS: MetricDef = MetricDef {
+    name: "ibcm_stream_faults_total",
+    kind: MetricKind::Counter,
+    labels: &["kind"],
+    help: "Fault classifications by kind: non_monotonic, duplicate, unknown_action, unknown_user.",
+};
+
+/// Stream ingestion: events dropped by the fault policy.
+pub const STREAM_DROPPED: MetricDef = MetricDef {
+    name: "ibcm_stream_dropped_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Events dropped by the fault policy before reaching any session.",
+};
+
+/// Stream ingestion: sessions shed to enforce the active-session bound.
+pub const STREAM_SHED: MetricDef = MetricDef {
+    name: "ibcm_stream_shed_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Sessions shed to enforce max_active_sessions.",
+};
+
+/// Stream ingestion: alarms raised, by kind.
+pub const STREAM_ALARMS: MetricDef = MetricDef {
+    name: "ibcm_stream_alarms_total",
+    kind: MetricKind::Counter,
+    labels: &["kind", "cluster"],
+    help: "Stream alarms by kind (score, shed) and, for score alarms, the session's routed cluster.",
+};
+
+/// Stream ingestion: sessions opened.
+pub const STREAM_SESSIONS_STARTED: MetricDef = MetricDef {
+    name: "ibcm_stream_sessions_started_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Sessions opened by the stream monitor.",
+};
+
+/// Stream ingestion: sessions closed.
+pub const STREAM_SESSIONS_ENDED: MetricDef = MetricDef {
+    name: "ibcm_stream_sessions_ended_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Sessions closed (logout, timeout, sweep, or shedding).",
+};
+
+/// Stream ingestion: currently active sessions.
+pub const STREAM_ACTIVE_SESSIONS: MetricDef = MetricDef {
+    name: "ibcm_stream_active_sessions",
+    kind: MetricKind::Gauge,
+    labels: &[],
+    help: "Sessions currently being monitored.",
+};
+
+/// Stream ingestion: the stream clock.
+pub const STREAM_CLOCK_MINUTE: MetricDef = MetricDef {
+    name: "ibcm_stream_clock_minute",
+    kind: MetricKind::Gauge,
+    labels: &[],
+    help: "The stream clock: maximum event minute processed so far.",
+};
+
+/// Routing: full-session route decisions, by winning cluster.
+pub const ROUTE_DECISIONS: MetricDef = MetricDef {
+    name: "ibcm_route_decisions_total",
+    kind: MetricKind::Counter,
+    labels: &["cluster"],
+    help: "OC-SVM route decisions by winning cluster (route and lock-in vote entry points).",
+};
+
+/// Offline scoring: sessions scored by the detector.
+pub const SESSIONS_SCORED: MetricDef = MetricDef {
+    name: "ibcm_sessions_scored_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Sessions scored by MisuseDetector (score_session and score_sessions).",
+};
+
+/// Offline scoring: per-session scoring latency.
+pub const SCORE_SESSION_SECONDS: MetricDef = MetricDef {
+    name: "ibcm_score_session_seconds",
+    kind: MetricKind::Histogram,
+    labels: &[],
+    help: "Wall-clock seconds to route and score one session.",
+};
+
+/// LM scoring: actions scored by streaming scorers.
+pub const LM_ACTIONS_SCORED: MetricDef = MetricDef {
+    name: "ibcm_lm_actions_scored_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Actions scored by LmScorer (batch and online paths).",
+};
+
+/// LM training: optimizer epochs completed.
+pub const LM_TRAIN_EPOCHS: MetricDef = MetricDef {
+    name: "ibcm_lm_train_epochs_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "LSTM training epochs completed across all models.",
+};
+
+/// LM training: per-epoch wall clock.
+pub const LM_EPOCH_SECONDS: MetricDef = MetricDef {
+    name: "ibcm_lm_epoch_seconds",
+    kind: MetricKind::Histogram,
+    labels: &[],
+    help: "Wall-clock seconds per LSTM training epoch.",
+};
+
+/// Topic modeling: LDA fits completed.
+pub const LDA_FITS: MetricDef = MetricDef {
+    name: "ibcm_lda_fits_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Collapsed-Gibbs LDA fits completed (every ensemble member counts).",
+};
+
+/// Topic modeling: per-fit wall clock.
+pub const LDA_FIT_SECONDS: MetricDef = MetricDef {
+    name: "ibcm_lda_fit_seconds",
+    kind: MetricKind::Histogram,
+    labels: &[],
+    help: "Wall-clock seconds per LDA fit.",
+};
+
+/// Pipeline: per-cluster models trained.
+pub const CLUSTER_MODELS_TRAINED: MetricDef = MetricDef {
+    name: "ibcm_cluster_models_trained_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Per-cluster OC-SVM + LSTM model pairs trained.",
+};
+
+/// Pipeline: session groups skipped as too small to train.
+pub const CLUSTER_GROUPS_SKIPPED: MetricDef = MetricDef {
+    name: "ibcm_cluster_groups_skipped_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Session groups skipped by train_clustered (fewer than 4 sessions, or empty split).",
+};
+
+/// Pipeline: clusters in the most recently trained detector.
+pub const DETECTOR_CLUSTERS: MetricDef = MetricDef {
+    name: "ibcm_detector_clusters",
+    kind: MetricKind::Gauge,
+    labels: &[],
+    help: "Behavior clusters in the most recently trained detector.",
+};
+
+/// Pipeline and bench: per-stage wall clock.
+pub const STAGE_SECONDS: MetricDef = MetricDef {
+    name: "ibcm_stage_seconds",
+    kind: MetricKind::Histogram,
+    labels: &["stage"],
+    help: "Wall-clock seconds per pipeline/bench stage (lda_ensemble, expert_clustering, cluster_models, lda_fit, lstm_train_epoch, batch_scoring, chaos_scenario).",
+};
+
+/// Kernels: matmul-family dispatches, by kernel mode.
+pub const NN_KERNEL_CALLS: MetricDef = MetricDef {
+    name: "ibcm_nn_kernel_calls_total",
+    kind: MetricKind::Counter,
+    labels: &["mode"],
+    help: "Matmul-family kernel dispatches by mode (optimized, reference).",
+};
+
+/// Every metric the pipeline exports. `OPERATIONS.md`'s catalog is checked
+/// against this list.
+pub const ALL: &[MetricDef] = &[
+    STREAM_EVENTS,
+    STREAM_FAULTS,
+    STREAM_DROPPED,
+    STREAM_SHED,
+    STREAM_ALARMS,
+    STREAM_SESSIONS_STARTED,
+    STREAM_SESSIONS_ENDED,
+    STREAM_ACTIVE_SESSIONS,
+    STREAM_CLOCK_MINUTE,
+    ROUTE_DECISIONS,
+    SESSIONS_SCORED,
+    SCORE_SESSION_SECONDS,
+    LM_ACTIONS_SCORED,
+    LM_TRAIN_EPOCHS,
+    LM_EPOCH_SECONDS,
+    LDA_FITS,
+    LDA_FIT_SECONDS,
+    CLUSTER_MODELS_TRAINED,
+    CLUSTER_GROUPS_SKIPPED,
+    DETECTOR_CLUSTERS,
+    STAGE_SECONDS,
+    NN_KERNEL_CALLS,
+];

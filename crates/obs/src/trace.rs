@@ -1,0 +1,312 @@
+//! Structured tracing: named spans with wall-clock durations, routed to a
+//! pluggable sink.
+//!
+//! Tracing is disabled by default and costs one relaxed atomic load per
+//! span when off — no clock reads, no allocation, nothing retained. When a
+//! sink is installed ([`set_trace_sink`]) each dropped [`SpanGuard`]
+//! records a [`TraceEvent`] carrying the span name, a stable per-thread
+//! ordinal (worker threads from `ibcm-par` get distinct ordinals), and
+//! microsecond start/duration stamps relative to the process trace epoch.
+//!
+//! Telemetry is observe-only by construction: sinks receive copies of
+//! timing data and have no channel back into pipeline state.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ibcm_obs::{set_trace_sink, span, RingSink};
+//!
+//! let ring = Arc::new(RingSink::new(16));
+//! set_trace_sink(Some(ring.clone()));
+//! {
+//!     let _span = span!("demo_stage");
+//! } // recorded on drop
+//! set_trace_sink(None);
+//! let events = ring.events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].name, "demo_stage");
+//! ```
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// One completed span (or point event, `dur_us == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span's static name (e.g. `"lda_fit"`).
+    pub name: &'static str,
+    /// Stable ordinal of the recording thread (0 = first thread to trace).
+    pub thread: u64,
+    /// Microseconds from the process trace epoch to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Where completed spans go. Implementations must be cheap and must never
+/// panic on record — a sink failure is not allowed to take the pipeline
+/// down.
+pub trait TraceSink: Send + Sync {
+    /// Receives one completed span.
+    fn record(&self, event: TraceEvent);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards everything. Installing it is equivalent to `set_trace_sink(None)`
+/// except the `enabled` fast path stays on (useful for overhead A/B runs
+/// that want the full record path minus the retention).
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in memory — the test and
+/// debugging sink.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSink {
+    /// Creates a ring holding up to `capacity` events (clamped to >= 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: TraceEvent) {
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+}
+
+/// Appends one JSON object per span to a file — the offline-analysis sink.
+///
+/// Each line is `{"span":"...","thread":N,"start_us":N,"dur_us":N}`. Write
+/// errors are swallowed after the first (the sink goes quiet rather than
+/// panicking a pipeline stage).
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<Option<BufWriter<File>>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(Some(BufWriter::new(file))),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: TraceEvent) {
+        let mut guard = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(writer) = guard.as_mut() {
+            let line = format!(
+                "{{\"span\":\"{}\",\"thread\":{},\"start_us\":{},\"dur_us\":{}}}\n",
+                event.name, event.thread, event.start_us, event.dur_us
+            );
+            if writer.write_all(line.as_bytes()).is_err() {
+                *guard = None; // stop trying; tracing must never panic
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let mut guard = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(writer) = guard.as_mut() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static RwLock<Option<Arc<dyn TraceSink>>> {
+    static SINK: OnceLock<RwLock<Option<Arc<dyn TraceSink>>>> = OnceLock::new();
+    SINK.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs (or with `None`, removes) the process-wide trace sink. Spans
+/// opened while no sink is installed cost one atomic load and record
+/// nothing.
+pub fn set_trace_sink(sink: Option<Arc<dyn TraceSink>>) {
+    let mut slot = sink_slot().write().unwrap_or_else(|e| e.into_inner());
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+    ENABLED.store(sink.is_some(), Ordering::Relaxed);
+    *slot = sink;
+}
+
+/// Whether a trace sink is currently installed.
+#[inline]
+pub fn trace_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Flushes the installed sink, if any.
+pub fn flush_trace_sink() {
+    if let Some(sink) = sink_slot()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+    {
+        sink.flush();
+    }
+}
+
+fn trace_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
+/// An open span; records its duration to the installed sink on drop. Hold
+/// it in a named binding (`let _span = span!("stage");`) — binding to `_`
+/// drops it immediately.
+#[derive(Debug)]
+#[must_use = "binding to _ drops the span immediately; use `let _span = ...`"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Opens a span. Prefer the [`span!`](crate::span!) macro, which reads as a
+/// statement.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    let start = trace_enabled().then(|| {
+        let _ = trace_epoch(); // pin the epoch before the span starts
+        Instant::now()
+    });
+    SpanGuard { name, start }
+}
+
+/// Records an instantaneous event (a zero-duration span) — e.g. an alarm.
+#[inline]
+pub fn point_event(name: &'static str) {
+    if !trace_enabled() {
+        return;
+    }
+    let start_us = trace_epoch().elapsed().as_micros() as u64;
+    record(TraceEvent {
+        name,
+        thread: thread_ordinal(),
+        start_us,
+        dur_us: 0,
+    });
+}
+
+fn record(event: TraceEvent) {
+    if let Some(sink) = sink_slot()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+    {
+        sink.record(event);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_us = start.elapsed().as_micros() as u64;
+        let start_us = start.duration_since(trace_epoch()).as_micros() as u64;
+        record(TraceEvent {
+            name: self.name,
+            thread: thread_ordinal(),
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+/// Opens a [`SpanGuard`] for the enclosing scope.
+///
+/// # Example
+///
+/// ```
+/// fn stage() {
+///     let _span = ibcm_obs::span!("my_stage");
+///     // ... work measured while `_span` is alive ...
+/// }
+/// stage();
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

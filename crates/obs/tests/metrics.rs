@@ -1,0 +1,195 @@
+//! Unit suite for the metrics registry: histogram bucketing edge cases
+//! (zero, max, NaN rejection), exposition-format escaping, and exposition
+//! determinism.
+
+use ibcm_obs::{escape_help, escape_label_value, MetricKind, Registry, DEFAULT_SECONDS_BUCKETS};
+
+#[test]
+fn counter_and_gauge_basics() {
+    let r = Registry::new();
+    let c = r.counter("t_counter_total", "help");
+    c.inc();
+    c.add(41);
+    assert_eq!(c.get(), 42);
+    // Re-registration returns the same cell.
+    assert_eq!(r.counter("t_counter_total", "help").get(), 42);
+
+    let g = r.gauge("t_gauge", "help");
+    g.set(7);
+    g.add(-10);
+    assert_eq!(g.get(), -3);
+}
+
+#[test]
+fn histogram_le_semantics_and_edges() {
+    let r = Registry::new();
+    let h = r.histogram("t_seconds", "help", &[0.0, 1.0, 10.0]);
+
+    // Zero lands in the le="0" bucket (le is an inclusive upper bound).
+    h.observe(0.0);
+    assert_eq!(h.bucket_counts(), vec![1, 0, 0, 0]);
+
+    // A value exactly on a bound lands in that bound's bucket.
+    h.observe(1.0);
+    assert_eq!(h.bucket_counts(), vec![1, 1, 0, 0]);
+
+    // Negative values land in the lowest bucket.
+    h.observe(-5.0);
+    assert_eq!(h.bucket_counts(), vec![2, 1, 0, 0]);
+
+    // f64::MAX overflows every finite bound into the +Inf slot.
+    h.observe(f64::MAX);
+    assert_eq!(h.bucket_counts(), vec![2, 1, 0, 1]);
+
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.rejected(), 0);
+    assert!((h.sum() - (0.0 + 1.0 - 5.0 + f64::MAX)).abs() < 1e-3);
+}
+
+#[test]
+fn histogram_rejects_nan_without_corrupting_sum() {
+    let r = Registry::new();
+    let h = r.histogram("t_nan_seconds", "help", &[1.0]);
+    h.observe(0.5);
+    h.observe(f64::NAN);
+    h.observe(f64::NAN);
+    assert_eq!(h.count(), 1, "NaN observations must not be bucketed");
+    assert_eq!(h.rejected(), 2);
+    assert_eq!(h.sum(), 0.5, "NaN must not poison the sum");
+}
+
+#[test]
+fn histogram_bounds_are_sorted_and_deduplicated() {
+    let r = Registry::new();
+    let h = r.histogram(
+        "t_messy_seconds",
+        "help",
+        &[10.0, 1.0, 10.0, f64::INFINITY, 5.0],
+    );
+    assert_eq!(h.bounds(), &[1.0, 5.0, 10.0], "non-finite bounds dropped");
+}
+
+#[test]
+fn empty_bucket_histogram_still_counts() {
+    let r = Registry::new();
+    let h = r.histogram("t_unbucketed_seconds", "help", &[]);
+    h.observe(3.5);
+    assert_eq!(h.bucket_counts(), vec![1], "only the +Inf slot exists");
+    assert_eq!(h.count(), 1);
+}
+
+#[test]
+fn exposition_renders_cumulative_buckets() {
+    let r = Registry::new();
+    let h = r.histogram("t_render_seconds", "h", &[1.0, 2.0]);
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(99.0);
+    let text = r.render_prometheus();
+    assert!(text.contains("# HELP t_render_seconds h\n"));
+    assert!(text.contains("# TYPE t_render_seconds histogram\n"));
+    assert!(text.contains("t_render_seconds_bucket{le=\"1\"} 1\n"));
+    assert!(text.contains("t_render_seconds_bucket{le=\"2\"} 2\n"));
+    assert!(text.contains("t_render_seconds_bucket{le=\"+Inf\"} 3\n"));
+    assert!(text.contains("t_render_seconds_sum 101.0\n"));
+    assert!(text.contains("t_render_seconds_count 3\n"));
+}
+
+#[test]
+fn exposition_escapes_label_values_and_help() {
+    assert_eq!(escape_label_value(r#"a\b"c"#), r#"a\\b\"c"#);
+    assert_eq!(escape_label_value("line1\nline2"), "line1\\nline2");
+    assert_eq!(escape_help("back\\slash\nnewline"), "back\\\\slash\\nnewline");
+
+    let r = Registry::new();
+    let c = r.counter_with(
+        "t_escaped_total",
+        "help with\nnewline",
+        &[("path", "C:\\logs\n\"prod\"")],
+    );
+    c.inc();
+    let text = r.render_prometheus();
+    assert!(
+        text.contains("# HELP t_escaped_total help with\\nnewline\n"),
+        "help newline must be escaped: {text}"
+    );
+    assert!(
+        text.contains(r#"t_escaped_total{path="C:\\logs\n\"prod\""} 1"#),
+        "label value must be escaped: {text}"
+    );
+}
+
+#[test]
+fn exposition_is_deterministic_and_sorted() {
+    let r = Registry::new();
+    // Registered out of order; labels given unsorted.
+    r.counter_with("t_z_total", "z", &[("b", "2"), ("a", "1")]).inc();
+    r.counter("t_a_total", "a").inc();
+    r.counter_with("t_z_total", "z", &[("a", "0"), ("b", "9")]).inc();
+    let one = r.render_prometheus();
+    let two = r.render_prometheus();
+    assert_eq!(one, two, "rendering must be stable");
+    let a = one.find("t_a_total 1").expect("unlabeled counter rendered");
+    let z0 = one.find(r#"t_z_total{a="0",b="9"}"#).expect("first label set");
+    let z1 = one.find(r#"t_z_total{a="1",b="2"}"#).expect("second label set");
+    assert!(a < z0 && z0 < z1, "names and label sets render sorted");
+    // HELP/TYPE emitted once per name, not per label set.
+    assert_eq!(one.matches("# TYPE t_z_total counter").count(), 1);
+}
+
+#[test]
+fn label_order_does_not_split_series() {
+    let r = Registry::new();
+    let ab = r.counter_with("t_series_total", "h", &[("x", "1"), ("y", "2")]);
+    let ba = r.counter_with("t_series_total", "h", &[("y", "2"), ("x", "1")]);
+    ab.inc();
+    ba.inc();
+    assert_eq!(ab.get(), 2, "label order must normalize to one series");
+}
+
+#[test]
+#[should_panic(expected = "already registered")]
+fn kind_mismatch_panics() {
+    let r = Registry::new();
+    let _ = r.counter("t_kind_total", "h");
+    let _ = r.gauge("t_kind_total", "h");
+}
+
+#[test]
+fn catalog_definitions_register_cleanly() {
+    // Every catalog entry must register on the global registry under its
+    // declared kind without panicking, and render.
+    for def in ibcm_obs::names::ALL {
+        match def.kind {
+            MetricKind::Counter => {
+                if def.labels.is_empty() {
+                    let _ = def.counter();
+                } else {
+                    let values: Vec<(&str, &str)> =
+                        def.labels.iter().map(|&k| (k, "test")).collect();
+                    let _ = def.counter_labeled(&values);
+                }
+            }
+            MetricKind::Gauge => {
+                let _ = def.gauge();
+            }
+            MetricKind::Histogram => {
+                if def.labels.is_empty() {
+                    let _ = def.histogram(DEFAULT_SECONDS_BUCKETS);
+                } else {
+                    let values: Vec<(&str, &str)> =
+                        def.labels.iter().map(|&k| (k, "test")).collect();
+                    let _ = def.histogram_labeled(DEFAULT_SECONDS_BUCKETS, &values);
+                }
+            }
+        }
+    }
+    let text = ibcm_obs::global().render_prometheus();
+    for def in ibcm_obs::names::ALL {
+        assert!(
+            text.contains(def.name),
+            "{} missing from exposition",
+            def.name
+        );
+    }
+}

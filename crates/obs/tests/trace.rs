@@ -1,0 +1,103 @@
+//! Unit suite for the tracing layer: sink plumbing, ring capacity, JSONL
+//! output, and the disabled fast path.
+//!
+//! The global sink is process-wide state, so every test here funnels
+//! through one `#[test]` entry point to avoid cross-test races.
+
+use std::sync::Arc;
+
+use ibcm_obs::{
+    flush_trace_sink, point_event, set_trace_sink, span, trace_enabled, JsonlSink, NoopSink,
+    RingSink,
+};
+
+#[test]
+fn trace_sink_lifecycle() {
+    // Disabled by default: spans record nothing and cost no sink access.
+    assert!(!trace_enabled());
+    {
+        let _span = ibcm_obs::span!("ignored");
+    }
+
+    // Ring sink captures spans, oldest first, and respects capacity.
+    let ring = Arc::new(RingSink::new(3));
+    set_trace_sink(Some(ring.clone()));
+    assert!(trace_enabled());
+    for name in ["a", "b", "c", "d"] {
+        let _span = match name {
+            "a" => span("a"),
+            "b" => span("b"),
+            "c" => span("c"),
+            _ => span("d"),
+        };
+    }
+    let events = ring.events();
+    assert_eq!(events.len(), 3, "capacity evicts the oldest");
+    let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+    assert_eq!(names, vec!["b", "c", "d"]);
+    for e in &events {
+        assert!(e.dur_us < 1_000_000, "sub-second span: {e:?}");
+    }
+
+    // Point events are zero-duration spans.
+    ring.clear();
+    assert!(ring.is_empty());
+    point_event("alarm");
+    let events = ring.events();
+    assert_eq!(events.len(), 1);
+    assert_eq!((events[0].name, events[0].dur_us), ("alarm", 0));
+
+    // Nested spans both record; inner drops (and records) first.
+    ring.clear();
+    {
+        let _outer = span("outer");
+        let _inner = span("inner");
+    }
+    let names: Vec<&str> = ring.events().iter().map(|e| e.name).collect();
+    assert_eq!(names, vec!["inner", "outer"]);
+
+    // Spans opened across worker threads carry distinct thread ordinals.
+    ring.clear();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                let _span = span("worker");
+            });
+        }
+    });
+    let events = ring.events();
+    assert_eq!(events.len(), 2);
+    assert_ne!(
+        events[0].thread, events[1].thread,
+        "worker threads get distinct ordinals"
+    );
+
+    // Noop sink keeps the record path live but retains nothing.
+    set_trace_sink(Some(Arc::new(NoopSink)));
+    assert!(trace_enabled());
+    {
+        let _span = span("into_the_void");
+    }
+
+    // JSONL sink writes one parseable object per span.
+    let path = std::env::temp_dir().join(format!("ibcm_obs_trace_{}.jsonl", std::process::id()));
+    let jsonl = Arc::new(JsonlSink::create(&path).expect("temp file creates"));
+    set_trace_sink(Some(jsonl));
+    {
+        let _span = span("jsonl_stage");
+    }
+    point_event("jsonl_event");
+    flush_trace_sink();
+    let contents = std::fs::read_to_string(&path).expect("jsonl readable");
+    let lines: Vec<&str> = contents.lines().collect();
+    assert_eq!(lines.len(), 2, "one line per event: {contents:?}");
+    assert!(lines[0].starts_with("{\"span\":\"jsonl_stage\",\"thread\":"));
+    assert!(lines[0].ends_with('}'));
+    assert!(lines[1].contains("\"span\":\"jsonl_event\""));
+    assert!(lines[1].contains("\"dur_us\":0"));
+    let _ = std::fs::remove_file(&path);
+
+    // Uninstalling disables tracing again.
+    set_trace_sink(None);
+    assert!(!trace_enabled());
+}

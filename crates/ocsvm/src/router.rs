@@ -84,6 +84,7 @@ impl ClusterRouter {
     pub fn route(&self, actions: &[ActionId]) -> RouteDecision {
         let scores = self.scores(actions);
         let cluster = argmax(&scores);
+        count_route(cluster);
         RouteDecision {
             cluster: ClusterId(cluster),
             scores,
@@ -103,6 +104,7 @@ impl ClusterRouter {
             last_scores = scores;
         }
         let cluster = argmax_usize(&votes);
+        count_route(cluster);
         RouteDecision {
             cluster: ClusterId(cluster),
             scores: last_scores,
@@ -129,6 +131,14 @@ impl ClusterRouter {
             })
             .collect()
     }
+}
+
+/// Records one routing decision on `ibcm_route_decisions_total{cluster}`.
+/// Once per session (not per action), so the registry lookup is acceptable.
+fn count_route(cluster: usize) {
+    ibcm_obs::names::ROUTE_DECISIONS
+        .counter_labeled(&[("cluster", &cluster.to_string())])
+        .inc();
 }
 
 fn argmax(scores: &[f64]) -> usize {

@@ -115,6 +115,7 @@ impl Ensemble {
     /// Propagates the first member error ([`TopicsError`]) in
     /// configuration order.
     pub fn fit(config: &EnsembleConfig, docs: &[Vec<usize>]) -> Result<Self, TopicsError> {
+        let _span = ibcm_obs::span!("lda_ensemble_fit");
         let mut member_cfgs = Vec::new();
         for &k in &config.topic_counts {
             for r in 0..config.runs_per_count {

@@ -365,6 +365,8 @@ impl Lda {
     /// Returns an error for an empty corpus, an invalid configuration, or a
     /// word index `>= vocab`.
     pub fn fit(&self, docs: &[Vec<usize>]) -> Result<TopicModel, TopicsError> {
+        let _span = ibcm_obs::span!("lda_fit");
+        let fit_start = std::time::Instant::now();
         let LdaConfig {
             n_topics: k,
             vocab: d,
@@ -462,6 +464,11 @@ impl Lda {
             }
         }
         let perplexity = (-loglik / total_tokens as f64).exp();
+
+        ibcm_obs::names::LDA_FITS.counter().inc();
+        ibcm_obs::names::LDA_FIT_SECONDS
+            .histogram(ibcm_obs::DEFAULT_SECONDS_BUCKETS)
+            .observe(fit_start.elapsed().as_secs_f64());
 
         Ok(TopicModel {
             n_topics: k,

@@ -1,15 +1,27 @@
 //! Online regime (paper §IV-C): monitor sessions action-by-action, lock the
 //! routed cluster in after the first 15 actions, and raise alarms when the
 //! likelihood trend collapses — the scenario where a security operator is
-//! paged mid-session.
+//! paged mid-session. Training and scoring run with a live trace sink
+//! installed and finish with a metrics-registry snapshot, demonstrating
+//! that the observability layer (see OPERATIONS.md) watches without
+//! changing anything.
 //!
 //! ```sh
 //! cargo run --release --example online_monitoring
 //! ```
 
+use std::sync::Arc;
+
+use ibcm::obs::{set_trace_sink, RingSink};
 use ibcm::{AlarmPolicy, Generator, GeneratorConfig, Pipeline, PipelineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Route every span to an in-memory ring so we can show what fired.
+    // Telemetry is observe-only: alarms and model bytes are identical
+    // with or without this (tests/obs_identity.rs proves it).
+    let ring = Arc::new(RingSink::new(1024));
+    set_trace_sink(Some(ring.clone()));
+
     let dataset = Generator::new(GeneratorConfig::tiny(13)).generate();
     let trained = Pipeline::new(PipelineConfig::test_profile(13)).train(&dataset)?;
     let detector = trained.detector();
@@ -70,6 +82,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             misuse.len()
         ),
         None => println!("no alarm — try a lower likelihood threshold"),
+    }
+
+    // What the observability layer saw while all of that ran.
+    set_trace_sink(None);
+    let spans = ring.events();
+    println!("\n-- telemetry --");
+    println!(
+        "{} spans captured (e.g. pipeline_train, lda_fit, lstm_train_epoch)",
+        spans.len()
+    );
+    for line in ibcm::obs::global().render_prometheus().lines() {
+        if line.starts_with("ibcm_lm_actions_scored_total")
+            || line.starts_with("ibcm_route_decisions_total")
+            || line.starts_with("ibcm_detector_clusters")
+        {
+            println!("{line}");
+        }
     }
     Ok(())
 }

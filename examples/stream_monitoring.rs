@@ -1,15 +1,19 @@
 //! Deployment-shaped monitoring: a single interleaved event stream from
 //! many users is sessionized (logout actions and inactivity timeouts end
 //! sessions) and every active session runs the paper's online regime, with
-//! alarms attributed to users.
+//! alarms attributed to users. The stream runs under an explicit
+//! `FaultPolicy` (session cap, known-user check), every ingest reports a
+//! full `ObserveOutcome` (scoring alarm, shed sessions, fault classes,
+//! drops), and the run ends with a snapshot of the process-wide metrics
+//! registry — the workflow OPERATIONS.md documents.
 //!
 //! ```sh
 //! cargo run --release --example stream_monitoring
 //! ```
 
 use ibcm::{
-    AlarmPolicy, Generator, GeneratorConfig, Pipeline, PipelineConfig, SessionEvent, StreamConfig,
-    UserId,
+    ActionId, AlarmPolicy, FaultPolicy, Generator, GeneratorConfig, Pipeline, PipelineConfig,
+    SessionEvent, StreamAlarmKind, StreamConfig, UserId,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,7 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             trend_window: 4,
             trend_drop_ratio: 0.3,
         },
-        ..StreamConfig::default()
+        // The robustness envelope a deployment needs: bound memory and
+        // flag events from users the directory has never seen.
+        faults: FaultPolicy {
+            max_active_sessions: Some(3),
+            known_users: Some(100),
+            ..FaultPolicy::default()
+        },
     });
 
     // Interleave three normal users with one misuse burst, as a SIEM would
@@ -59,14 +69,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             minute: i as u64,
         });
     }
-    // Interleave by time.
+    // Interleave by time, then lace in the faults a real feed produces: a
+    // backwards clock, an action id outside the trained vocabulary, and a
+    // user the directory does not know.
     events.sort_by_key(|e| e.minute);
+    let last = events.last().map(|e| e.minute).unwrap_or(0);
+    events.push(SessionEvent { user: UserId(0), action: logout, minute: 0 }); // non-monotonic
+    events.push(SessionEvent {
+        user: UserId(1),
+        action: ActionId(detector.vocab_size() + 7), // unknown action
+        minute: last,
+    });
+    events.push(SessionEvent { user: UserId(512), action: logout, minute: last }); // unknown user
 
     let mut alarms = Vec::new();
     for e in events {
-        if let Some(alarm) = stream.observe(e) {
-            alarms.push(alarm);
-        }
+        let outcome = stream.ingest(e);
+        // Shed sessions surface as explicit alarms: that user went
+        // unmonitored, which an operator must know about.
+        alarms.extend(outcome.shed);
+        alarms.extend(outcome.alarm);
     }
     println!(
         "stream processed: {} sessions started, {} ended, {} still active",
@@ -76,18 +98,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let faults = stream.fault_counters();
     println!(
-        "faults observed: {} non-monotonic, {} duplicate, {} unknown-action, {} dropped",
-        faults.non_monotonic, faults.duplicate, faults.unknown_action, faults.dropped
+        "faults observed: {} non-monotonic, {} duplicate, {} unknown-action, {} unknown-user, {} dropped, {} shed",
+        faults.non_monotonic,
+        faults.duplicate,
+        faults.unknown_action,
+        faults.unknown_user,
+        faults.dropped,
+        faults.shed
     );
     for a in &alarms {
-        println!(
-            "ALARM user {} at action {} (minute {}): windowed likelihood {:.4}{}",
-            a.user,
-            a.position,
-            a.minute,
-            a.windowed_likelihood.unwrap_or(0.0),
-            if a.trend { " [trend]" } else { "" }
-        );
+        match a.kind {
+            StreamAlarmKind::Shed => {
+                println!("SHED  user {}: session evicted unmonitored (capacity)", a.user)
+            }
+            _ => println!(
+                "ALARM user {} at action {} (minute {}): windowed likelihood {:.4}{}",
+                a.user,
+                a.position,
+                a.minute,
+                a.windowed_likelihood.unwrap_or(0.0),
+                if a.trend { " [trend]" } else { "" }
+            ),
+        }
     }
     let rogue_alarms = alarms.iter().filter(|a| a.user == UserId(99)).count();
     println!(
@@ -95,5 +127,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         alarms.len(),
         rogue_alarms
     );
+
+    // The same accounting is live on the process-wide metrics registry
+    // (Prometheus text exposition; full catalog in OPERATIONS.md).
+    println!("\n-- registry excerpt (ibcm_stream_*) --");
+    for line in ibcm::obs::global().render_prometheus().lines() {
+        if line.starts_with("ibcm_stream_") {
+            println!("{line}");
+        }
+    }
     Ok(())
 }

@@ -21,6 +21,7 @@
 //! | [`ibcm_patterns`] | frequent itemsets and PrefixSpan sequential patterns |
 //! | [`ibcm_nn`] | the from-scratch neural substrate (matrix, LSTM, Adam) |
 //! | [`ibcm_core`] | the end-to-end pipeline, detector, online monitor |
+//! | [`ibcm_obs`] | tracing spans + metrics registry (zero-dependency) |
 //!
 //! # Quickstart
 //!
@@ -44,11 +45,16 @@
 #![warn(missing_docs)]
 
 pub use ibcm_core::{
-    experiments, par, AlarmPolicy, ClusterData, CoreError, DriftConfig, DriftDetector,
-    DriftStatus, MisuseDetector, MonitorEvent, OnlineMonitor,
-    Pipeline, PipelineConfig, SessionEvent, SessionVerdict, SharedMonitor, StreamAlarm,
-    StreamConfig, StreamMonitor, TrainedPipeline, WeightedVerdict,
+    experiments, par, AlarmPolicy, ClockPolicy, ClusterData, CoreError, DriftConfig,
+    DriftDetector, DriftStatus, FaultAction, FaultCounters, FaultKind, FaultPolicy, LoadReport,
+    MisuseDetector, MonitorEvent, ObserveOutcome, OnlineMonitor, Pipeline, PipelineConfig,
+    SessionEvent, SessionVerdict, SharedMonitor, StreamAlarm, StreamAlarmKind, StreamConfig,
+    StreamMonitor, TrainedPipeline, WeightedVerdict,
 };
+/// The observability layer: structured tracing spans, pluggable trace sinks
+/// and the process-wide metrics registry (re-export of `ibcm-obs`; see
+/// OPERATIONS.md for the metric catalog).
+pub use ibcm_obs as obs;
 pub use ibcm_lm::{
     BatchScheme, HmmConfig, HmmLm, LmError, LmScorer, LmTrainConfig, LstmLm, NgramConfig, NgramLm, SequenceEval,
     SessionScore, StepScore, Vocab,

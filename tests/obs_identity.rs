@@ -1,0 +1,91 @@
+//! Integration: the observability layer is observe-only. Training with
+//! tracing routed to a live sink must produce byte-identical model bytes,
+//! and stream monitoring must produce the identical alarm sequence, as the
+//! same run with telemetry disabled. Metrics counters are always on (they
+//! are relaxed atomics off to the side), so these runs also exercise them;
+//! what must never happen is any of it feeding back into the computation.
+//!
+//! All cases share one `#[test]` because the trace sink is process-global.
+
+use std::sync::Arc;
+
+use ibcm::obs::{set_trace_sink, RingSink};
+use ibcm::{
+    ActionId, FaultPolicy, Generator, GeneratorConfig, Pipeline, PipelineConfig, SessionEvent,
+    StreamAlarm, StreamConfig, UserId,
+};
+
+fn detector_bytes() -> Vec<u8> {
+    let dataset = Generator::new(GeneratorConfig::tiny(47)).generate();
+    let trained = Pipeline::new(PipelineConfig::test_profile(47))
+        .train(&dataset)
+        .unwrap();
+    trained.detector().to_bytes()
+}
+
+/// Replays a fixed fault-laced event stream and returns every alarm
+/// (scoring and shed) in order.
+fn alarm_sequence(detector_bytes: &[u8]) -> Vec<StreamAlarm> {
+    let detector = ibcm::MisuseDetector::from_bytes(detector_bytes).unwrap();
+    let vocab = detector.vocab_size();
+    let mut sm = detector.stream_monitor(StreamConfig {
+        faults: FaultPolicy {
+            max_active_sessions: Some(4),
+            known_users: Some(64),
+            ..FaultPolicy::default()
+        },
+        ..StreamConfig::default()
+    });
+    let mut alarms = Vec::new();
+    for i in 0..600usize {
+        let out = sm.ingest(SessionEvent {
+            user: UserId(i % 9),
+            // A mix of in-vocabulary actions (scrambled enough to alarm),
+            // out-of-vocabulary ids, and a backwards clock every 97 events.
+            action: ActionId((i * 7 + i / 13) % (vocab + 2)),
+            minute: if i % 97 == 0 { 0 } else { (i / 3) as u64 },
+        });
+        alarms.extend(out.shed);
+        alarms.extend(out.alarm);
+    }
+    alarms
+}
+
+#[test]
+fn telemetry_is_observe_only() {
+    // Baseline: telemetry disabled (the default).
+    set_trace_sink(None);
+    let bytes_off = detector_bytes();
+    let alarms_off = alarm_sequence(&bytes_off);
+    assert!(
+        !alarms_off.is_empty(),
+        "the fault-laced stream should raise alarms"
+    );
+
+    // Same work with every span routed to a live ring sink.
+    let ring = Arc::new(RingSink::new(4096));
+    set_trace_sink(Some(ring.clone()));
+    let bytes_on = detector_bytes();
+    let alarms_on = alarm_sequence(&bytes_on);
+    set_trace_sink(None);
+
+    assert_eq!(
+        bytes_off, bytes_on,
+        "tracing must not change the trained model bytes"
+    );
+    assert_eq!(
+        alarms_off, alarms_on,
+        "tracing must not change the alarm sequence"
+    );
+
+    // The sink really was live: training fires at least the pipeline,
+    // ensemble and per-fit spans.
+    let events = ring.events();
+    assert!(
+        events.iter().any(|e| e.name == "pipeline_train"),
+        "expected a pipeline_train span, got {:?}",
+        events.iter().map(|e| e.name).collect::<Vec<_>>()
+    );
+    assert!(events.iter().any(|e| e.name == "lda_fit"));
+    assert!(events.iter().any(|e| e.name == "lstm_train_epoch"));
+}
