@@ -124,6 +124,7 @@ impl MisuseDetector {
     ///
     /// Panics if the cluster is out of range.
     pub fn model(&self, cluster: ClusterId) -> &LstmLm {
+        // ibcm-lint: allow(panic-index, reason = "documented panicking accessor; an out-of-range cluster is a caller bug")
         &self.models[cluster.index()]
     }
 
@@ -147,12 +148,12 @@ impl MisuseDetector {
     /// Scores a full session: route, then average likelihood/loss under the
     /// routed cluster's model.
     pub fn score_session(&self, actions: &[ActionId]) -> SessionVerdict {
-        let start = std::time::Instant::now();
+        let start = ibcm_obs::Stopwatch::start();
         let decision = self.route(actions);
         let score = self.score_in_cluster(actions, decision.cluster);
         let metrics = scoring_metrics();
         metrics.sessions.inc();
-        metrics.seconds.observe(start.elapsed().as_secs_f64());
+        metrics.seconds.observe(start.elapsed_seconds());
         SessionVerdict {
             cluster: decision.cluster,
             score,
@@ -162,6 +163,7 @@ impl MisuseDetector {
     /// Scores a session under a specific cluster's model (used when the true
     /// cluster is known, as in the paper's offline experiments).
     pub fn score_in_cluster(&self, actions: &[ActionId], cluster: ClusterId) -> SessionScore {
+        // ibcm-lint: allow(panic-index, reason = "ClusterId values come from this detector's router, and new() asserts one model per routed cluster")
         self.models[cluster.index()].score_session(&self.encode(actions))
     }
 

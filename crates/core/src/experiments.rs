@@ -572,6 +572,7 @@ pub fn cluster_data_purity(clusters: &[ClusterData]) -> f64 {
             .chain(&c.validation)
             .chain(&c.test)
             .collect();
+        // ibcm-lint: allow(det-default-hasher, reason = "only values().max() over integer counts is taken; iteration order cannot affect the result")
         let mut counts = std::collections::HashMap::new();
         let mut labeled = 0usize;
         for s in &sessions {
@@ -845,7 +846,7 @@ pub fn hyperparam_sweep(
                     seed,
                     ..*base
                 };
-                let t0 = std::time::Instant::now();
+                let t0 = ibcm_obs::Stopwatch::start();
                 let lm = LstmLm::train(&cfg, &pool, &val)?;
                 let eval = lm.evaluate(&val);
                 rows.push(HyperparamRow {
@@ -854,7 +855,7 @@ pub fn hyperparam_sweep(
                     dropout,
                     val_loss: eval.avg_loss,
                     val_accuracy: eval.accuracy,
-                    seconds: t0.elapsed().as_secs_f64(),
+                    seconds: t0.elapsed_seconds(),
                 });
             }
         }

@@ -164,9 +164,11 @@ impl OnlineMonitor<'_> {
                 self.locked = Some(ClusterId(argmax_usize(&self.votes)));
             }
         }
+        // Equivalent to `current_cluster()` with `position >= 1`, without
+        // the unreachable-`None` unwrap.
         let cluster = self
-            .current_cluster()
-            .expect("at least one action has been fed");
+            .locked
+            .unwrap_or_else(|| ClusterId(argmax_usize(&self.votes)));
 
         // Advance every cluster model; keep the effective cluster's score.
         // The checked feed skips out-of-vocabulary actions and corrupt

@@ -100,7 +100,7 @@ impl Pipeline {
 
         // 1. Topic modeling on sessions with at least 2 actions (shorter
         //    ones carry no sequence signal and are dropped by the paper).
-        let t0 = std::time::Instant::now();
+        let t0 = ibcm_obs::Stopwatch::start();
         let (docs, origin) = sessions_to_docs(dataset.sessions(), 2);
         if docs.is_empty() {
             return Err(CoreError::InsufficientData(
@@ -108,12 +108,12 @@ impl Pipeline {
             ));
         }
         let ensemble = Ensemble::fit(&self.config.ensemble_config(vocab), &docs)?;
-        let t_lda = t0.elapsed().as_secs_f64();
+        let t_lda = t0.elapsed_seconds();
 
         // 2. Informed clustering through the (simulated) expert session.
-        let t1 = std::time::Instant::now();
+        let t1 = ibcm_obs::Stopwatch::start();
         let (clustering, expert_log) = SimulatedExpert::new(self.config.expert).run(&ensemble);
-        let t_expert = t1.elapsed().as_secs_f64();
+        let t_expert = t1.elapsed_seconds();
 
         // 3. Per-cluster splits.
         let mut cluster_sessions: Vec<Vec<Session>> =
@@ -124,9 +124,9 @@ impl Pipeline {
         }
 
         // 4. Train one OC-SVM and one LSTM LM per non-degenerate cluster.
-        let t2 = std::time::Instant::now();
+        let t2 = ibcm_obs::Stopwatch::start();
         let (detector, clusters) = self.train_clustered(dataset, cluster_sessions)?;
-        let t_models = t2.elapsed().as_secs_f64();
+        let t_models = t2.elapsed_seconds();
         observe_stage("lda_ensemble", t_lda);
         observe_stage("expert_clustering", t_expert);
         observe_stage("cluster_models", t_models);

@@ -24,6 +24,7 @@
 //! [`StreamMonitor::checkpoint`] in `persist.rs` and DESIGN.md, "Failure
 //! model & recovery".
 
+// ibcm-lint: allow(det-default-hasher, reason = "the active-session map is iterated only in shed_oldest, which takes a (last_minute, user index) minimum with a total-order tie-break; checkpoints sort by user index before serializing")
 use std::collections::HashMap;
 
 use ibcm_logsim::{ActionId, ClusterId, UserId};

@@ -1,0 +1,170 @@
+//! The workspace-level metric rules (M family).
+//!
+//! Per-file scanning catches metric-name literals escaping the catalog;
+//! this module checks the opposite directions: every `MetricDef` the
+//! catalog declares must be *emitted* by some crate outside `ibcm-obs`,
+//! and *documented* in `OPERATIONS.md`. Together the three rules keep the
+//! exported metric surface exactly equal to the catalog.
+
+use std::collections::BTreeSet;
+
+use crate::findings::{Finding, RuleId};
+use crate::lexer::{lex, TokKind};
+use crate::pragma::snippet_at;
+
+/// One `pub const NAME: MetricDef = MetricDef { name: "...", ... }` entry.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The const identifier (`STREAM_EVENTS`).
+    pub const_name: String,
+    /// The exported metric name (`ibcm_stream_events_total`).
+    pub metric_name: String,
+    /// 1-indexed line of the const declaration in the catalog file.
+    pub line: u32,
+}
+
+/// Parses the catalog file (`crates/obs/src/names.rs`) for its entries.
+pub fn parse_catalog(src: &str) -> Vec<CatalogEntry> {
+    let tokens = lex(src);
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < sig.len() {
+        let t = |k: usize| &tokens[sig[k]];
+        // const NAME : MetricDef
+        if t(i).is_ident("const")
+            && t(i + 1).kind == TokKind::Ident
+            && t(i + 2).is_punct(':')
+            && t(i + 3).is_ident("MetricDef")
+        {
+            let const_name = t(i + 1).text.clone();
+            let line = t(i + 1).line;
+            // Scan forward for `name : "<metric>"` within the initializer.
+            let mut metric_name = String::new();
+            let mut j = i + 4;
+            while j + 2 < sig.len() {
+                if t(j).is_ident("name")
+                    && t(j + 1).is_punct(':')
+                    && t(j + 2).kind == TokKind::Str
+                {
+                    metric_name = t(j + 2).text.clone();
+                    break;
+                }
+                if t(j).is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            if !metric_name.is_empty() {
+                out.push(CatalogEntry {
+                    const_name,
+                    metric_name,
+                    line,
+                });
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Runs the emit-coverage and documentation-coverage rules.
+///
+/// `emitting_idents` is the union of identifiers appearing (outside test
+/// regions) in src files of every crate except `ibcm-obs` itself — a
+/// catalog const counts as emitted when some production code references it.
+/// `operations_doc` is the text of `OPERATIONS.md` (`None` if unreadable,
+/// which fails every entry rather than silently passing).
+pub fn check(
+    catalog_path: &str,
+    catalog_src: &str,
+    emitting_idents: &BTreeSet<String>,
+    operations_doc: Option<&str>,
+) -> Vec<Finding> {
+    let lines: Vec<&str> = catalog_src.lines().collect();
+    let mut findings = Vec::new();
+    for entry in parse_catalog(catalog_src) {
+        if !emitting_idents.contains(&entry.const_name) {
+            findings.push(Finding {
+                rule: RuleId::MetricUnemitted,
+                file: catalog_path.to_string(),
+                line: entry.line,
+                message: format!(
+                    "catalog metric `{}` ({}) is referenced by no crate outside \
+                     ibcm-obs — a declared metric nobody emits",
+                    entry.const_name, entry.metric_name
+                ),
+                snippet: snippet_at(&lines, entry.line),
+            });
+        }
+        let documented = operations_doc
+            .map(|doc| doc.contains(&entry.metric_name))
+            .unwrap_or(false);
+        if !documented {
+            findings.push(Finding {
+                rule: RuleId::MetricUndocumented,
+                file: catalog_path.to_string(),
+                line: entry.line,
+                message: format!(
+                    "catalog metric `{}` is not documented in OPERATIONS.md",
+                    entry.metric_name
+                ),
+                snippet: snippet_at(&lines, entry.line),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CATALOG: &str = r#"
+pub const STREAM_EVENTS: MetricDef = MetricDef {
+    name: "ibcm_stream_events_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Events ingested.",
+};
+pub const ALL: &[MetricDef] = &[STREAM_EVENTS];
+"#;
+
+    #[test]
+    fn parses_entries_not_the_all_slice() {
+        let entries = parse_catalog(CATALOG);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].const_name, "STREAM_EVENTS");
+        assert_eq!(entries[0].metric_name, "ibcm_stream_events_total");
+    }
+
+    #[test]
+    fn unemitted_and_undocumented() {
+        let empty = BTreeSet::new();
+        let fired = check("names.rs", CATALOG, &empty, Some("no metrics here"));
+        let rules: Vec<&str> = fired.iter().map(|f| f.rule.id()).collect();
+        assert_eq!(rules, vec!["metric-unemitted", "metric-undocumented"]);
+
+        let mut emitters = BTreeSet::new();
+        emitters.insert("STREAM_EVENTS".to_string());
+        let fired = check(
+            "names.rs",
+            CATALOG,
+            &emitters,
+            Some("ibcm_stream_events_total is documented"),
+        );
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn missing_operations_doc_fails_closed() {
+        let mut emitters = BTreeSet::new();
+        emitters.insert("STREAM_EVENTS".to_string());
+        let fired = check("names.rs", CATALOG, &emitters, None);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule.id(), "metric-undocumented");
+    }
+}

@@ -1,0 +1,366 @@
+//! A comment- and string-aware Rust lexer.
+//!
+//! The linter's rules are lexical: they need identifiers, punctuation,
+//! string literals, and — unusually for a lexer — the comments, because
+//! `// SAFETY:` justifications and `// ibcm-lint: allow(...)` pragmas live
+//! there. This is a hand-rolled scanner, not a parser: it understands just
+//! enough of Rust's token grammar (nested block comments, raw strings with
+//! arbitrary `#` fences, char-vs-lifetime disambiguation, byte literals) to
+//! never misclassify a token boundary, which is all the rules require.
+
+/// What kind of token was scanned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// A numeric literal.
+    Number,
+    /// A string literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`, `br"..."`.
+    /// `text` holds the *unquoted* cooked contents for plain strings and the
+    /// raw contents for raw strings (escapes are not processed).
+    Str,
+    /// A char or byte literal: `'x'`, `b'x'`.
+    Char,
+    /// A `//` comment (doc comments `///` and `//!` included). `text` holds
+    /// the full comment including the leading slashes.
+    LineComment,
+    /// A `/* ... */` comment (nesting handled). `text` holds the full
+    /// comment including delimiters.
+    BlockComment,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One scanned token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// 1-indexed line on which the token *starts*.
+    pub line: u32,
+    /// Token text (see [`TokKind`] for what is included per kind).
+    pub text: String,
+}
+
+impl Tok {
+    /// True if this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// Scans `src` into a token stream. Never fails: unterminated literals are
+/// closed at end of input (the linter runs on code that already compiles,
+/// so this is a fixture-corpus nicety, not a correctness concern).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self, text: &str) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let start_line = self.line;
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start_line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start_line),
+                b'"' => self.string(start_line, self.pos, false),
+                b'r' | b'b' => self.ident_or_prefixed_literal(text, start_line),
+                b'\'' => self.char_or_lifetime(start_line),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(text, start_line),
+                c if c.is_ascii_digit() => self.number(text, start_line),
+                c if c.is_ascii() => {
+                    self.push(TokKind::Punct, start_line, (c as char).to_string());
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 outside literals only appears in
+                    // identifiers in pathological code; skip the scalar.
+                    let mut end = self.pos + 1;
+                    while end < self.src.len() && (self.src[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32, text: String) {
+        self.out.push(Tok { kind, line, text });
+    }
+
+    fn count_newlines(&mut self, from: usize, to: usize) {
+        self.line += self.src[from..to].iter().filter(|&&b| b == b'\n').count() as u32;
+    }
+
+    fn line_comment(&mut self, start_line: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::LineComment, start_line, text);
+    }
+
+    fn block_comment(&mut self, start_line: u32) {
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.count_newlines(start, self.pos);
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::BlockComment, start_line, text);
+    }
+
+    /// Cooked string starting at the opening quote (`lit_start` points at
+    /// any prefix such as `b`).
+    fn string(&mut self, start_line: u32, _lit_start: usize, _byte: bool) {
+        self.pos += 1; // opening quote
+        let body_start = self.pos;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => break,
+                _ => self.pos += 1,
+            }
+        }
+        let body_end = self.pos.min(self.src.len());
+        self.count_newlines(body_start, body_end);
+        let text = String::from_utf8_lossy(&self.src[body_start..body_end]).into_owned();
+        if self.pos < self.src.len() {
+            self.pos += 1; // closing quote
+        }
+        self.push(TokKind::Str, start_line, text);
+    }
+
+    /// Raw string starting at `r` (prefixes like `b` already consumed by
+    /// the caller advancing `self.pos`).
+    fn raw_string(&mut self, start_line: u32) {
+        self.pos += 1; // 'r'
+        let mut fence = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fence += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let body_start = self.pos;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', fence))
+            .collect();
+        let mut body_end = self.src.len();
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' && self.src[self.pos..].starts_with(&closer) {
+                body_end = self.pos;
+                self.pos += closer.len();
+                break;
+            }
+            self.pos += 1;
+        }
+        self.count_newlines(body_start, self.pos.min(self.src.len()));
+        let text = String::from_utf8_lossy(&self.src[body_start..body_end]).into_owned();
+        self.push(TokKind::Str, start_line, text);
+    }
+
+    /// `r`/`b` begin raw strings, byte strings, byte chars, raw idents, or
+    /// plain identifiers; disambiguate by lookahead.
+    fn ident_or_prefixed_literal(&mut self, text: &str, start_line: u32) {
+        let c = self.src[self.pos];
+        match (c, self.peek(1), self.peek(2)) {
+            (b'r', Some(b'"'), _) | (b'r', Some(b'#'), Some(b'"')) => self.raw_string(start_line),
+            (b'r', Some(b'#'), Some(n)) if n == b'_' || n.is_ascii_alphabetic() => {
+                // raw identifier r#ident: skip the fence, lex as ident
+                self.pos += 2;
+                self.ident(text, start_line);
+            }
+            (b'b', Some(b'"'), _) => {
+                self.pos += 1;
+                self.string(start_line, self.pos, true);
+            }
+            (b'b', Some(b'r'), Some(b'"')) | (b'b', Some(b'r'), Some(b'#')) => {
+                self.pos += 1;
+                self.raw_string(start_line);
+            }
+            (b'b', Some(b'\''), _) => {
+                self.pos += 1;
+                self.char_or_lifetime(start_line);
+            }
+            _ => self.ident(text, start_line),
+        }
+    }
+
+    fn char_or_lifetime(&mut self, start_line: u32) {
+        // 'a vs 'a': a lifetime is a quote + ident NOT followed by a closing
+        // quote; anything else is a char literal.
+        let mut j = self.pos + 1;
+        let mut saw_ident = false;
+        while j < self.src.len()
+            && (self.src[j] == b'_' || self.src[j].is_ascii_alphanumeric())
+        {
+            saw_ident = true;
+            j += 1;
+        }
+        if saw_ident && self.src.get(j) != Some(&b'\'') {
+            let text = String::from_utf8_lossy(&self.src[self.pos..j]).into_owned();
+            self.pos = j;
+            self.push(TokKind::Lifetime, start_line, text);
+            return;
+        }
+        // Char literal: consume to the closing quote, honoring escapes.
+        self.pos += 1;
+        let body_start = self.pos;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => break,
+                _ => self.pos += 1,
+            }
+        }
+        let body_end = self.pos.min(self.src.len());
+        let text = String::from_utf8_lossy(&self.src[body_start..body_end]).into_owned();
+        if self.pos < self.src.len() {
+            self.pos += 1;
+        }
+        self.push(TokKind::Char, start_line, text);
+    }
+
+    fn ident(&mut self, text: &str, start_line: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos] == b'_' || self.src[self.pos].is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, start_line, text[start..self.pos].to_string());
+    }
+
+    fn number(&mut self, text: &str, start_line: u32) {
+        let start = self.pos;
+        // Good enough for token boundaries: digits, underscores, radix/type
+        // suffix letters, and a fractional dot (not `..`).
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            let fraction_dot =
+                b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit());
+            if b == b'_' || b.is_ascii_alphanumeric() || fraction_dot {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, start_line, text[start..self.pos].to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[4], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "unwrap() // not a comment";"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"let s = r#"a "quoted" b"#;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == r#"a "quoted" b"#));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_inside_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = lex("unsafe { x } // SAFETY: fine");
+        let c = toks.iter().find(|t| t.is_comment()).unwrap();
+        assert!(c.text.contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t == "bytes"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+    }
+}

@@ -1,0 +1,139 @@
+//! `ibcm-lint` — the workspace's invariant-enforcing static analyzer.
+//!
+//! The reproduction's guarantees — bit-identical results at any thread
+//! count, panic-free scoring and ingest paths, FMA-free AVX2 kernels, an
+//! enumerable metric catalog — are *invariants*, not features: nothing
+//! re-checks them when new code lands. This crate turns each one into a
+//! machine-checkable rule with a `file:line` finding, so CI fails the
+//! moment a patch would erode them.
+//!
+//! Four rule families (see [`findings::RuleId`] for the full list):
+//!
+//! - **(D) determinism** — no FMA or non-whitelisted SIMD intrinsics, no
+//!   wall-clock reads outside `ibcm-obs`/`ibcm-bench`, no ambient
+//!   randomness, no default-hasher `HashMap`/`HashSet` entering a
+//!   model-affecting crate unjustified.
+//! - **(P) panic-freedom** — no `unwrap`/`expect`/`panic!`/slice indexing
+//!   on the designated scoring and ingest hot paths.
+//! - **(U) unsafe hygiene** — every `unsafe` block carries `// SAFETY:`,
+//!   every `unsafe fn` a `# Safety` doc section; the full inventory is
+//!   reported.
+//! - **(M) metric coverage** — every catalog `MetricDef` is emitted and
+//!   documented, and no metric-name literal escapes the catalog.
+//!
+//! Suppression is per-site and must be justified:
+//!
+//! ```text
+//! self.models[cluster.index()] // ibcm-lint: allow(panic-index, reason = "router output < n_clusters by construction")
+//! ```
+//!
+//! A pragma without a reason, naming an unknown rule, or suppressing
+//! nothing is itself a finding.
+//!
+//! The analyzer is deliberately *lexical*: a comment/string-aware token
+//! scanner ([`lexer`]), not a parser. Every rule is expressible over
+//! tokens, which keeps the crate zero-dependency (it polices the workspace,
+//! so it must not depend on it) and the false-positive surface small
+//! enough that each suppression is worth a human-written reason.
+//!
+//! `MetricDef` above refers to `ibcm_obs::names::MetricDef`, which this
+//! crate reads as *source text* — there is no code dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use ibcm_lint::{policy::FileCtx, rules::scan_file};
+//!
+//! let ctx = FileCtx::classify("crates/lm/src/scorer.rs").unwrap();
+//! let scan = scan_file(&ctx, "fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+//! assert_eq!(scan.findings.len(), 1);
+//! assert_eq!(scan.findings[0].rule.id(), "panic-unwrap");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod findings;
+pub mod lexer;
+pub mod policy;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+pub use findings::{Finding, RuleId, Severity};
+pub use report::Report;
+
+/// Lints the workspace rooted at `root`: scans every first-party `.rs`
+/// file, applies suppression pragmas, runs the workspace-level metric
+/// rules, and returns the combined report.
+///
+/// # Errors
+///
+/// Returns an `io::Error` only for filesystem-walk failures; unreadable
+/// individual files and a missing `OPERATIONS.md` are reported as findings
+/// (the linter fails closed, it does not skip).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = walk::rust_files(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut unsafe_inventory = Vec::new();
+    let mut emitting_idents: BTreeSet<String> = BTreeSet::new();
+    let mut catalog_src: Option<String> = None;
+    let mut files_scanned = 0usize;
+
+    for rel in &files {
+        let Some(ctx) = policy::FileCtx::classify(rel) else {
+            continue;
+        };
+        let src = match fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                findings.push(Finding {
+                    rule: RuleId::IoUnreadable,
+                    file: rel.clone(),
+                    line: 0,
+                    message: format!("unreadable source file: {e}"),
+                    snippet: String::new(),
+                });
+                continue;
+            }
+        };
+        files_scanned += 1;
+        if ctx.is_metric_catalog() {
+            catalog_src = Some(src.clone());
+        }
+        let scan = rules::scan_file(&ctx, &src);
+        if ctx.crate_name != "ibcm-obs" && ctx.target_kind == policy::TargetKind::Src {
+            emitting_idents.extend(scan.src_idents);
+        }
+        findings.extend(scan.findings);
+        unsafe_inventory.extend(scan.unsafe_sites);
+    }
+
+    if let Some(src) = catalog_src {
+        let ops = fs::read_to_string(root.join(policy::OPERATIONS_DOC)).ok();
+        findings.extend(catalog::check(
+            policy::METRIC_CATALOG_PATH,
+            &src,
+            &emitting_idents,
+            ops.as_deref(),
+        ));
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.id()).cmp(&(b.file.as_str(), b.line, b.rule.id()))
+    });
+    unsafe_inventory.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+
+    Ok(Report {
+        root: root.display().to_string(),
+        files_scanned,
+        findings,
+        unsafe_inventory,
+    })
+}

@@ -1,0 +1,83 @@
+//! The `ibcm-lint` binary: lints the workspace and exits nonzero on any
+//! unsuppressed error-severity finding.
+//!
+//! ```text
+//! cargo run -p ibcm-lint --               # human-readable text
+//! cargo run -p ibcm-lint -- --json        # CI artifact (schema ibcm-lint/1)
+//! cargo run -p ibcm-lint -- --unsafe-report   # unsafe inventory table
+//! cargo run -p ibcm-lint -- --root path/to/ws # lint another tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut unsafe_report = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--unsafe-report" => unsafe_report = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ibcm-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "ibcm-lint: invariant-enforcing static analyzer for the ibcm workspace\n\
+                     \n\
+                     USAGE: ibcm-lint [--json] [--unsafe-report] [--root <dir>]\n\
+                     \n\
+                     Exits 0 when the workspace has no unsuppressed error-severity\n\
+                     findings; 1 otherwise; 2 on usage or I/O failure."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ibcm-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    let report = match ibcm_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ibcm-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+        if unsafe_report {
+            print!("{}", report.render_unsafe_inventory());
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest when built
+/// in-tree (`crates/lint` -> workspace), else the current directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}

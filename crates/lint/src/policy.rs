@@ -1,0 +1,166 @@
+//! The workspace policy: which rules apply where.
+//!
+//! This module is the one place that encodes repo-specific knowledge — the
+//! crate roles, the designated panic-free hot paths, the reviewed intrinsic
+//! whitelist. Everything else in the linter is generic machinery.
+
+/// Intrinsics `ibcm-nn`'s AVX2 kernels are allowed to use. The list is the
+/// separate-rounding mul/add/load/store/broadcast family — exactly the
+/// operations whose per-lane rounding matches the scalar reference loops.
+/// Anything fused (FMA), shuffling (horizontal adds reassociate), or
+/// approximate (`rcp`, `rsqrt`) is absent on purpose.
+pub const NN_INTRINSIC_WHITELIST: &[&str] = &[
+    "_mm256_set1_ps",
+    "_mm256_loadu_ps",
+    "_mm256_storeu_ps",
+    "_mm256_add_ps",
+    "_mm256_mul_ps",
+];
+
+/// Files (workspace-relative, `/`-separated) designated panic-free: the
+/// scoring and ingest hot paths where a panic means a crashed detector in
+/// production. The P-family rules fire only here (outside `#[cfg(test)]`).
+pub const PANIC_FREE_PATHS: &[&str] = &[
+    "crates/lm/src/scorer.rs",
+    "crates/core/src/detector.rs",
+    "crates/core/src/stream.rs",
+    "crates/ocsvm/src/router.rs",
+];
+
+/// Crates whose outputs feed model bytes or alarm decisions. The
+/// default-hasher rule applies here: `HashMap`/`HashSet` iteration order is
+/// seeded per process, so any order-dependent use breaks run-to-run
+/// determinism.
+pub const MODEL_AFFECTING_CRATES: &[&str] = &[
+    "ibcm-core",
+    "ibcm-lm",
+    "ibcm-nn",
+    "ibcm-topics",
+    "ibcm-ocsvm",
+    "ibcm-patterns",
+    "ibcm-logsim",
+    "ibcm-par",
+    "ibcm", // the facade re-exports pipeline entry points
+];
+
+/// Crates allowed to read the wall clock. `ibcm-obs` is the observe-only
+/// telemetry substrate (proven side-effect-free by the obs_identity suite);
+/// `ibcm-bench` measures wall time by definition.
+pub const WALL_CLOCK_CRATES: &[&str] = &["ibcm-obs", "ibcm-bench"];
+
+/// The metric catalog: the only file where `ibcm_*` metric-name string
+/// literals may appear.
+pub const METRIC_CATALOG_PATH: &str = "crates/obs/src/names.rs";
+
+/// The operator runbook that must document every catalog metric.
+pub const OPERATIONS_DOC: &str = "OPERATIONS.md";
+
+/// What kind of build target a source file belongs to. Test-only targets
+/// get relaxed rules (panics and ad-hoc clocks are fine in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// A `src/` file of a library or binary target.
+    Src,
+    /// An integration test, bench, or example — compiled, but never on a
+    /// production path.
+    TestLike,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Cargo package the file belongs to (`ibcm` for the root crate).
+    pub crate_name: String,
+    /// Src vs test-like.
+    pub target_kind: TargetKind,
+}
+
+impl FileCtx {
+    /// Classifies a workspace-relative path. Returns `None` for files the
+    /// linter must not scan (vendored stand-ins, build output, the linter's
+    /// own fixture corpus of deliberate violations).
+    pub fn classify(rel_path: &str) -> Option<FileCtx> {
+        let p = rel_path.replace('\\', "/");
+        if !p.ends_with(".rs") {
+            return None;
+        }
+        if p.starts_with("vendor/") || p.starts_with("target/") {
+            return None;
+        }
+        if p.starts_with("crates/lint/tests/fixtures/") {
+            return None;
+        }
+        let (crate_name, rest): (String, &str) = if let Some(tail) = p.strip_prefix("crates/") {
+            let (dir, rest) = tail.split_once('/')?;
+            (format!("ibcm-{dir}"), rest)
+        } else {
+            ("ibcm".to_string(), p.as_str())
+        };
+        let target_kind = if rest.starts_with("src/") {
+            TargetKind::Src
+        } else if rest.starts_with("tests/")
+            || rest.starts_with("benches/")
+            || rest.starts_with("examples/")
+        {
+            TargetKind::TestLike
+        } else {
+            // Stray top-level .rs files (build.rs etc.) — treat as src.
+            TargetKind::Src
+        };
+        Some(FileCtx {
+            rel_path: p,
+            crate_name,
+            target_kind,
+        })
+    }
+
+    /// True if the P-family (panic-freedom) rules apply to this file.
+    pub fn is_panic_free_path(&self) -> bool {
+        PANIC_FREE_PATHS.contains(&self.rel_path.as_str())
+    }
+
+    /// True if this crate may read the wall clock directly.
+    pub fn wall_clock_allowed(&self) -> bool {
+        WALL_CLOCK_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// True if the default-hasher rule applies to this crate.
+    pub fn is_model_affecting(&self) -> bool {
+        MODEL_AFFECTING_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// True if this file is the metric catalog itself.
+    pub fn is_metric_catalog(&self) -> bool {
+        self.rel_path == METRIC_CATALOG_PATH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let f = FileCtx::classify("crates/lm/src/scorer.rs").unwrap();
+        assert_eq!(f.crate_name, "ibcm-lm");
+        assert_eq!(f.target_kind, TargetKind::Src);
+        assert!(f.is_panic_free_path());
+        assert!(f.is_model_affecting());
+        assert!(!f.wall_clock_allowed());
+
+        let t = FileCtx::classify("crates/core/tests/chaos_stream.rs").unwrap();
+        assert_eq!(t.target_kind, TargetKind::TestLike);
+
+        let root = FileCtx::classify("src/lib.rs").unwrap();
+        assert_eq!(root.crate_name, "ibcm");
+
+        let ex = FileCtx::classify("examples/stream_monitoring.rs").unwrap();
+        assert_eq!(ex.target_kind, TargetKind::TestLike);
+
+        assert!(FileCtx::classify("vendor/rand/src/lib.rs").is_none());
+        assert!(FileCtx::classify("crates/lint/tests/fixtures/bad.rs").is_none());
+        assert!(FileCtx::classify("README.md").is_none());
+    }
+}

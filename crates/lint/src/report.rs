@@ -1,0 +1,236 @@
+//! Rendering: human-readable text, machine-readable JSON (`--json`), and
+//! the unsafe inventory.
+
+use std::fmt::Write as _;
+
+use crate::findings::{Finding, Severity};
+use crate::rules::UnsafeSite;
+
+/// The result of linting a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Workspace root the scan ran over (as given).
+    pub root: String,
+    /// Files scanned (after exclusions).
+    pub files_scanned: usize,
+    /// All unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every `unsafe` occurrence in the workspace.
+    pub unsafe_inventory: Vec<UnsafeSite>,
+}
+
+impl Report {
+    /// Number of error-severity findings (these fail the run).
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity() == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the run passes (no errors; warnings do not block).
+    pub fn clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}: [{}] {}:{}: {}",
+                f.severity(),
+                f.rule.id(),
+                f.file,
+                f.line,
+                f.message
+            );
+            if !f.snippet.is_empty() {
+                let _ = writeln!(out, "    | {}", f.snippet);
+            }
+        }
+        let documented = self
+            .unsafe_inventory
+            .iter()
+            .filter(|s| s.documented)
+            .count();
+        let _ = writeln!(
+            out,
+            "ibcm-lint: {} files, {} errors, {} warnings, {} unsafe sites ({} documented)",
+            self.files_scanned,
+            self.error_count(),
+            self.warn_count(),
+            self.unsafe_inventory.len(),
+            documented,
+        );
+        out
+    }
+
+    /// The unsafe inventory as a standalone table (for `--unsafe-report`).
+    pub fn render_unsafe_inventory(&self) -> String {
+        let mut out = String::from("unsafe inventory (every `unsafe` in the workspace):\n");
+        if self.unsafe_inventory.is_empty() {
+            out.push_str("  (none)\n");
+            return out;
+        }
+        for s in &self.unsafe_inventory {
+            let _ = writeln!(
+                out,
+                "  {}:{} [{}] {} — {}",
+                s.file,
+                s.line,
+                s.kind.label(),
+                if s.documented { "documented" } else { "UNDOCUMENTED" },
+                s.snippet,
+            );
+        }
+        out
+    }
+
+    /// Machine-readable JSON for CI artifacts. Hand-rolled (the linter is
+    /// zero-dependency); the schema is `ibcm-lint/1`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"ibcm-lint/1\",");
+        let _ = writeln!(out, "  \"root\": {},", json_str(&self.root));
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"unsafe_sites\": {}}},",
+            self.error_count(),
+            self.warn_count(),
+            self.unsafe_inventory.len()
+        );
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \
+                 \"message\": {}, \"snippet\": {}}}",
+                json_str(f.rule.id()),
+                json_str(&f.severity().to_string()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                json_str(&f.snippet),
+            );
+        }
+        out.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"unsafe_inventory\": [");
+        for (i, s) in self.unsafe_inventory.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"kind\": {}, \"documented\": {}, \
+                 \"snippet\": {}}}",
+                json_str(&s.file),
+                s.line,
+                json_str(s.kind.label()),
+                s.documented,
+                json_str(&s.snippet),
+            );
+        }
+        out.push_str(if self.unsafe_inventory.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string escaping (control chars, quotes, backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::RuleId;
+    use crate::rules::UnsafeKind;
+
+    fn sample() -> Report {
+        Report {
+            root: ".".into(),
+            files_scanned: 2,
+            findings: vec![Finding {
+                rule: RuleId::DetWallClock,
+                file: "crates/core/src/pipeline.rs".into(),
+                line: 7,
+                message: "clock \"read\"".into(),
+                snippet: "let t = Instant::now();".into(),
+            }],
+            unsafe_inventory: vec![UnsafeSite {
+                file: "crates/nn/src/matrix.rs".into(),
+                line: 589,
+                kind: UnsafeKind::Block,
+                documented: true,
+                snippet: "unsafe { x86::axpy4_avx2(..) }".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn text_mentions_rule_and_location() {
+        let text = sample().render_text();
+        assert!(text.contains("det-wall-clock"));
+        assert!(text.contains("crates/core/src/pipeline.rs:7"));
+        assert!(text.contains("1 errors"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = sample().render_json();
+        assert!(json.contains("\"schema\": \"ibcm-lint/1\""));
+        assert!(json.contains("\\\"read\\\""), "quotes escaped: {json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn clean_report_gates_on_errors_only() {
+        let mut r = sample();
+        assert!(!r.clean());
+        r.findings.clear();
+        assert!(r.clean());
+        r.findings.push(Finding {
+            rule: RuleId::PragmaUnused,
+            file: "x.rs".into(),
+            line: 1,
+            message: "stale".into(),
+            snippet: String::new(),
+        });
+        assert!(r.clean(), "warnings do not fail the run");
+    }
+}

@@ -1,0 +1,36 @@
+//! Workspace file discovery: every first-party `.rs` file, in a
+//! deterministic order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "results", ".github"];
+
+/// Collects every `.rs` file under `root` (workspace-relative,
+/// `/`-separated), sorted so runs are reproducible. Role-based exclusions
+/// (fixtures, etc.) are applied later by [`crate::policy::FileCtx::classify`].
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if ty.is_file() && name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

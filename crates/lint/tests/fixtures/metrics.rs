@@ -1,0 +1,14 @@
+//! Fixture: the metric-literal-escape (M) rule fires on metric-shaped
+//! string literals outside the catalog. Scanned by `lint_fixtures.rs` as
+//! `crates/core/src/stream.rs`; never compiled.
+
+fn emits_off_catalog() {
+    let name = "ibcm_rogue_counter_total";
+    register(name);
+}
+
+fn benign_strings() {
+    let _not_a_metric = "sessions per day";
+    let _wrong_shape = "ibcm_Mixed_Case";
+    let _prefix_only = "ibcm_";
+}

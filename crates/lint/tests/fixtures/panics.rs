@@ -1,0 +1,33 @@
+//! Fixture: every panic-freedom (P) rule fires at a known line. Scanned by
+//! `lint_fixtures.rs` as `crates/lm/src/scorer.rs` (a designated panic-free
+//! hot path); never compiled.
+
+fn unwraps(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn expects(x: Option<u8>) -> u8 {
+    x.expect("present")
+}
+
+fn panics(kind: u8) {
+    if kind == 0 {
+        panic!("boom");
+    }
+    unreachable!("kinds are 0 or 1");
+}
+
+fn indexes(v: &[u8], i: usize) -> u8 {
+    v[i]
+}
+
+fn justified(v: &[u8]) -> u8 {
+    // ibcm-lint: allow(panic-index, reason = "caller guarantees v is non-empty")
+    v[0]
+}
+
+fn benign() -> [u8; 2] {
+    let v = vec![1u8, 2];
+    let [a, b] = [v.len() as u8, 4];
+    [a, b]
+}

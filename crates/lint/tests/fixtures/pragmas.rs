@@ -1,0 +1,20 @@
+//! Fixture: pragma-hygiene rules fire at known lines. Scanned by
+//! `lint_fixtures.rs` as `crates/lm/src/scorer.rs`; never compiled.
+
+fn missing_reason(x: Option<u8>) -> u8 {
+    // ibcm-lint: allow(panic-unwrap)
+    x.unwrap()
+}
+
+fn unknown_rule(x: Option<u8>) -> u8 {
+    // ibcm-lint: allow(no-such-rule, reason = "the rule id has a typo")
+    x.unwrap()
+}
+
+// ibcm-lint: allow(panic-macro, reason = "suppresses nothing on this line")
+fn stale() {}
+
+fn valid_suppression(x: Option<u8>) -> u8 {
+    // ibcm-lint: allow(panic-unwrap, reason = "caller checked is_some above")
+    x.unwrap()
+}

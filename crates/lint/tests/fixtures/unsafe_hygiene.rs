@@ -1,0 +1,26 @@
+//! Fixture: the unsafe-hygiene (U) rules fire at known lines and the
+//! inventory records documented vs undocumented sites. Scanned by
+//! `lint_fixtures.rs` as `crates/nn/src/matrix.rs`; never compiled.
+
+fn undocumented_block(p: *const f32) -> f32 {
+    unsafe { *p }
+}
+
+pub unsafe fn undocumented_fn(p: *const f32) -> f32 {
+    *p
+}
+
+fn documented_block(v: &[f32]) -> f32 {
+    // SAFETY: v is non-empty, checked by the caller.
+    unsafe { *v.get_unchecked(0) }
+}
+
+/// Reads one element without a bounds check.
+///
+/// # Safety
+///
+/// `i` must be less than `v.len()`.
+pub unsafe fn documented_fn(v: &[f32], i: usize) -> f32 {
+    // SAFETY: i < v.len() per this function's contract.
+    unsafe { *v.get_unchecked(i) }
+}

@@ -1,0 +1,59 @@
+//! The linter's own acceptance test: the live workspace must lint clean.
+//! Every invariant violation is either fixed or carries a reasoned pragma,
+//! so any new unsuppressed finding fails this test (and the CI job that
+//! runs the binary).
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn live_workspace_lints_clean() {
+    let report = ibcm_lint::lint_workspace(&workspace_root()).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "expected to scan the whole workspace, saw only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.clean() && report.warn_count() == 0,
+        "workspace must lint clean, got:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn live_workspace_unsafe_is_fully_documented() {
+    let report = ibcm_lint::lint_workspace(&workspace_root()).expect("workspace walk succeeds");
+    let undocumented: Vec<_> = report
+        .unsafe_inventory
+        .iter()
+        .filter(|s| !s.documented)
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "every unsafe site needs a SAFETY justification:\n{:#?}",
+        undocumented
+    );
+    // The AVX2 kernels exist, so the inventory must not be empty — an
+    // empty inventory would mean the scanner stopped seeing them.
+    assert!(
+        !report.unsafe_inventory.is_empty(),
+        "expected the ibcm-nn kernel sites in the inventory"
+    );
+}
+
+#[test]
+fn json_report_is_well_formed_enough_for_ci() {
+    let report = ibcm_lint::lint_workspace(&workspace_root()).expect("workspace walk succeeds");
+    let json = report.render_json();
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"schema\": \"ibcm-lint/1\""));
+    assert!(json.contains("\"findings\""));
+    assert!(json.contains("\"unsafe_inventory\""));
+}

@@ -240,7 +240,7 @@ impl LstmLm {
         let mut ws = TrainWorkspace::default();
         for epoch in 0..config.epochs {
             let _epoch_span = ibcm_obs::span!("lstm_train_epoch");
-            let epoch_start = std::time::Instant::now();
+            let epoch_start = ibcm_obs::Stopwatch::start();
             let mut rng = StdRng::seed_from_u64(config.seed ^ (epoch as u64).wrapping_mul(0x9e37));
             let batches = build_batches(train_seqs, config.scheme, config.batch_size, &mut rng);
             let mut epoch_loss = 0.0f64;
@@ -250,7 +250,7 @@ impl LstmLm {
                 epoch_loss += (loss as f64) * n as f64;
                 epoch_targets += n;
             }
-            lm_epoch_metrics().record(epoch_start.elapsed().as_secs_f64());
+            lm_epoch_metrics().record(epoch_start.elapsed_seconds());
             let train_loss = (epoch_loss / epoch_targets.max(1) as f64) as f32;
             model.report.train_losses.push(train_loss);
 

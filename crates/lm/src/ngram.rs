@@ -1,3 +1,4 @@
+// ibcm-lint: allow(det-default-hasher, reason = "count maps are only iterated to fold order-free aggregates (integer sums, one write per distinct key into an indexed slot); no output depends on iteration order")
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};

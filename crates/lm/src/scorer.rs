@@ -118,9 +118,11 @@ impl<'a> LmScorer<'a> {
     fn step_stack(&mut self, action: usize) {
         self.model
             .lstm
+            // ibcm-lint: allow(panic-index, reason = "states has upper.len() + 1 entries by construction, so states[0] always exists")
             .step_scratch(&mut self.states[0], StepInput::Action(action), &mut self.scratch);
         for (li, layer) in self.model.upper.iter().enumerate() {
             let (below, above) = self.states.split_at_mut(li + 1);
+            // ibcm-lint: allow(panic-index, reason = "li < upper.len() and states.len() == upper.len() + 1, so below has li + 1 entries and above is non-empty")
             layer.step_dense_scratch(&mut above[0], below[li].hidden(), &mut self.scratch);
         }
         self.fed_any = true;
@@ -136,6 +138,7 @@ impl<'a> LmScorer<'a> {
     pub fn feed(&mut self, action: usize) -> Option<StepScore> {
         match self.try_feed(action) {
             Ok(score) => score,
+            // ibcm-lint: allow(panic-macro, reason = "documented panicking convenience wrapper; the stream hot path uses try_feed")
             Err(e) => panic!("{e}"),
         }
     }
@@ -198,6 +201,7 @@ impl<'a> LmScorer<'a> {
     /// [`LmScorer::try_advance`] on untrusted streams.
     pub fn advance(&mut self, action: usize) {
         if let Err(e) = self.try_advance(action) {
+            // ibcm-lint: allow(panic-macro, reason = "documented panicking convenience wrapper; the stream hot path uses try_advance")
             panic!("{e}");
         }
     }

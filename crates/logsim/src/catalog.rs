@@ -1,3 +1,4 @@
+// ibcm-lint: allow(det-default-hasher, reason = "by_name and group_index are lookup/dedup tables; they are never iterated, so hash order cannot reach any output")
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};

@@ -54,6 +54,10 @@ mod tests {
 
     /// Full-model gradient check: LSTM -> Dense -> softmax CE, checking all
     /// five parameter groups against finite differences.
+    // Finite differences mean hundreds of forward passes; skip under
+    // Miri's interpreter (the kernels it exercises are covered by the
+    // faster unit tests).
+    #[cfg_attr(miri, ignore)]
     #[test]
     fn lstm_dense_end_to_end_gradcheck() {
         let vocab = 4;
@@ -154,6 +158,8 @@ mod tests {
 
     /// Loss applied at *every* step (the language-model setting) must also
     /// gradcheck, exercising the recurrent accumulation path.
+    // Same finite-difference cost profile as the end-to-end check.
+    #[cfg_attr(miri, ignore)]
     #[test]
     fn lstm_all_step_loss_gradcheck() {
         let vocab = 3;

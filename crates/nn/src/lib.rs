@@ -37,6 +37,11 @@
 // Denied everywhere except the explicitly-allowed SIMD micro-kernels in
 // `matrix::kernels::x86`, which carry per-function safety contracts.
 #![deny(unsafe_code)]
+// Inside those kernels, every unsafe operation must sit in its own
+// `unsafe { }` block with a `// SAFETY:` justification (ibcm-lint's
+// unsafe-hygiene rules check the comments; this makes rustc check the
+// block structure).
+#![deny(unsafe_op_in_unsafe_fn)]
 // Index-based loops are the clearest notation for the numeric kernels here.
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]

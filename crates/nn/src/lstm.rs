@@ -782,6 +782,8 @@ mod tests {
 
     /// Finite-difference check of the dense backward pass, including the
     /// input gradients a stacked LSTM propagates downward.
+    // Finite-difference check: too many forward passes for Miri.
+    #[cfg_attr(miri, ignore)]
     #[test]
     fn dense_backward_gradcheck() {
         let lstm = LstmLayer::new(3, 2, 5);

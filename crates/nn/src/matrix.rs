@@ -684,28 +684,41 @@ mod kernels {
         ) {
             let n = orow.len();
             debug_assert!(b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n);
+            // Safe: `set1` touches no memory and the enclosing
+            // `#[target_feature(enable = "avx2")]` makes the intrinsic
+            // callable without a block.
             let va0 = _mm256_set1_ps(a[0]);
             let va1 = _mm256_set1_ps(a[1]);
             let va2 = _mm256_set1_ps(a[2]);
             let va3 = _mm256_set1_ps(a[3]);
             let mut j = 0;
             while j + 8 <= n {
-                let p = orow.as_mut_ptr().add(j);
-                let mut vy = _mm256_loadu_ps(p);
-                vy = _mm256_add_ps(vy, _mm256_mul_ps(va0, _mm256_loadu_ps(b0.as_ptr().add(j))));
-                vy = _mm256_add_ps(vy, _mm256_mul_ps(va1, _mm256_loadu_ps(b1.as_ptr().add(j))));
-                vy = _mm256_add_ps(vy, _mm256_mul_ps(va2, _mm256_loadu_ps(b2.as_ptr().add(j))));
-                vy = _mm256_add_ps(vy, _mm256_mul_ps(va3, _mm256_loadu_ps(b3.as_ptr().add(j))));
-                _mm256_storeu_ps(p, vy);
+                // SAFETY: j + 8 <= n and all five slices have n elements
+                // (caller contract, debug-asserted above), so every
+                // unaligned 8-lane load/store at offset j is in bounds.
+                unsafe {
+                    let p = orow.as_mut_ptr().add(j);
+                    let mut vy = _mm256_loadu_ps(p);
+                    vy = _mm256_add_ps(vy, _mm256_mul_ps(va0, _mm256_loadu_ps(b0.as_ptr().add(j))));
+                    vy = _mm256_add_ps(vy, _mm256_mul_ps(va1, _mm256_loadu_ps(b1.as_ptr().add(j))));
+                    vy = _mm256_add_ps(vy, _mm256_mul_ps(va2, _mm256_loadu_ps(b2.as_ptr().add(j))));
+                    vy = _mm256_add_ps(vy, _mm256_mul_ps(va3, _mm256_loadu_ps(b3.as_ptr().add(j))));
+                    _mm256_storeu_ps(p, vy);
+                }
                 j += 8;
             }
             while j < n {
-                let mut acc = *orow.get_unchecked(j);
-                acc += a[0] * *b0.get_unchecked(j);
-                acc += a[1] * *b1.get_unchecked(j);
-                acc += a[2] * *b2.get_unchecked(j);
-                acc += a[3] * *b3.get_unchecked(j);
-                *orow.get_unchecked_mut(j) = acc;
+                // SAFETY: j < n == orow.len() and the b slices have n
+                // elements (caller contract), so unchecked scalar access
+                // at j is in bounds.
+                unsafe {
+                    let mut acc = *orow.get_unchecked(j);
+                    acc += a[0] * *b0.get_unchecked(j);
+                    acc += a[1] * *b1.get_unchecked(j);
+                    acc += a[2] * *b2.get_unchecked(j);
+                    acc += a[3] * *b3.get_unchecked(j);
+                    *orow.get_unchecked_mut(j) = acc;
+                }
                 j += 1;
             }
         }
@@ -719,19 +732,31 @@ mod kernels {
         pub(super) unsafe fn axpy1_avx2(orow: &mut [f32], a0: f32, brow: &[f32]) {
             let n = orow.len();
             debug_assert_eq!(brow.len(), n);
+            // Safe: `set1` touches no memory and the enclosing
+            // `#[target_feature(enable = "avx2")]` makes the intrinsic
+            // callable without a block.
             let va = _mm256_set1_ps(a0);
             let mut j = 0;
             while j + 8 <= n {
-                let p = orow.as_mut_ptr().add(j);
-                let vy = _mm256_add_ps(
-                    _mm256_loadu_ps(p),
-                    _mm256_mul_ps(va, _mm256_loadu_ps(brow.as_ptr().add(j))),
-                );
-                _mm256_storeu_ps(p, vy);
+                // SAFETY: j + 8 <= n and both slices have n elements
+                // (caller contract), so the 8-lane accesses at j are in
+                // bounds.
+                unsafe {
+                    let p = orow.as_mut_ptr().add(j);
+                    let vy = _mm256_add_ps(
+                        _mm256_loadu_ps(p),
+                        _mm256_mul_ps(va, _mm256_loadu_ps(brow.as_ptr().add(j))),
+                    );
+                    _mm256_storeu_ps(p, vy);
+                }
                 j += 8;
             }
             while j < n {
-                *orow.get_unchecked_mut(j) += a0 * *brow.get_unchecked(j);
+                // SAFETY: j < n and both slices have n elements (caller
+                // contract).
+                unsafe {
+                    *orow.get_unchecked_mut(j) += a0 * *brow.get_unchecked(j);
+                }
                 j += 1;
             }
         }
@@ -747,13 +772,23 @@ mod kernels {
             debug_assert_eq!(brow.len(), n);
             let mut j = 0;
             while j + 8 <= n {
-                let p = orow.as_mut_ptr().add(j);
-                let vy = _mm256_add_ps(_mm256_loadu_ps(p), _mm256_loadu_ps(brow.as_ptr().add(j)));
-                _mm256_storeu_ps(p, vy);
+                // SAFETY: j + 8 <= n and both slices have n elements
+                // (caller contract), so the 8-lane accesses at j are in
+                // bounds; AVX2 guaranteed by the caller.
+                unsafe {
+                    let p = orow.as_mut_ptr().add(j);
+                    let vy =
+                        _mm256_add_ps(_mm256_loadu_ps(p), _mm256_loadu_ps(brow.as_ptr().add(j)));
+                    _mm256_storeu_ps(p, vy);
+                }
                 j += 8;
             }
             while j < n {
-                *orow.get_unchecked_mut(j) += *brow.get_unchecked(j);
+                // SAFETY: j < n and both slices have n elements (caller
+                // contract).
+                unsafe {
+                    *orow.get_unchecked_mut(j) += *brow.get_unchecked(j);
+                }
                 j += 1;
             }
         }

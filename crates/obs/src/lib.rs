@@ -43,12 +43,14 @@
 
 mod metrics;
 pub mod names;
+mod time;
 mod trace;
 
 pub use metrics::{
     escape_help, escape_label_value, global, Counter, Gauge, Histogram, MetricKind, Registry,
     DEFAULT_SECONDS_BUCKETS,
 };
+pub use time::Stopwatch;
 pub use trace::{
     flush_trace_sink, point_event, set_trace_sink, span, trace_enabled, JsonlSink, NoopSink,
     RingSink, SpanGuard, TraceEvent, TraceSink,

@@ -36,6 +36,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// Redundant while unsafe_code is forbidden outright, but keeps the
+// contract explicit if the pool ever needs an opt-in unsafe region: any
+// future `unsafe fn` here must still structure its unsafe operations in
+// commented blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -366,7 +366,7 @@ impl Lda {
     /// word index `>= vocab`.
     pub fn fit(&self, docs: &[Vec<usize>]) -> Result<TopicModel, TopicsError> {
         let _span = ibcm_obs::span!("lda_fit");
-        let fit_start = std::time::Instant::now();
+        let fit_start = ibcm_obs::Stopwatch::start();
         let LdaConfig {
             n_topics: k,
             vocab: d,
@@ -468,7 +468,7 @@ impl Lda {
         ibcm_obs::names::LDA_FITS.counter().inc();
         ibcm_obs::names::LDA_FIT_SECONDS
             .histogram(ibcm_obs::DEFAULT_SECONDS_BUCKETS)
-            .observe(fit_start.elapsed().as_secs_f64());
+            .observe(fit_start.elapsed_seconds());
 
         Ok(TopicModel {
             n_topics: k,
