@@ -1,34 +1,43 @@
-//! Before/after wall-clock baseline for the PR-3 kernel work, written to
-//! `BENCH_pr3.json`.
+//! Before/after wall-clock baseline for the kernel, batched-scoring, and
+//! zero-copy loading work, written to `BENCH_pr6.json`.
 //!
-//! Three hot paths, each measured under the retained naive implementation
-//! ("before") and the optimized one ("after"):
+//! Four hot paths, each measured under the retained reference
+//! implementation ("before") and the optimized one ("after"):
 //!
 //! - `lda_fit`: collapsed Gibbs LDA (K = 13, vocab = 300) with the dense
 //!   sweep vs the doc-sparse SparseLDA-style sweep,
 //! - `lstm_train_epoch`: one LM training epoch under
 //!   [`KernelMode::Reference`] vs [`KernelMode::Optimized`],
-//! - `batch_scoring`: per-session LM scoring (the detector's
-//!   `score_sessions` hot path) under both kernel modes.
+//! - `batch_scoring`: per-session LM scoring (PR 3's fastest path — one
+//!   session at a time on optimized kernels) vs the lock-step batched
+//!   scorer ([`LstmLm::score_sessions_batched`]), with a `batch_sweep`
+//!   recording sessions/sec at bucket widths B ∈ {1, 8, 32, 128},
+//! - `ibcd_load`: deserializing a multi-cluster `IBCD` detector bundle
+//!   through the retained copy-per-block decoder
+//!   ([`MisuseDetector::from_bytes_buffered`]) vs the zero-copy
+//!   slice-cursor decoder ([`MisuseDetector::from_bytes`]).
 //!
-//! Both sides of every pair produce bit-identical models/scores (asserted
-//! here and enforced by the property suites), so the comparison measures
-//! nothing but kernel speed. `IBCM_SCALE=test` shrinks the workloads to a
-//! CI smoke run; `IBCM_BENCH_OUT` overrides the output path.
+//! Both sides of every pair produce bit-identical models/scores/bundles
+//! (asserted here and enforced by the property suites), so the comparison
+//! measures nothing but implementation speed. `IBCM_SCALE=test` shrinks
+//! the workloads to a CI smoke run; `IBCM_BENCH_OUT` overrides the output
+//! path.
 //!
-//! Since the observability layer landed, every measured repetition is also
-//! recorded on the global metrics registry
-//! (`ibcm_stage_seconds{stage="<stage>_<side>"}`), and the JSON report
-//! (schema `ibcm-perf-baseline/2`) carries those per-stage histograms plus
-//! an `obs_overhead` block: per-epoch LSTM training time with tracing off
-//! vs routed to a no-op sink, quantifying what the telemetry costs on the
-//! hottest path.
+//! Every measured repetition is also recorded on the global metrics
+//! registry (`ibcm_stage_seconds{stage="<stage>_<side>"}`), and the JSON
+//! report (schema `ibcm-perf-baseline/3`) carries those per-stage
+//! histograms plus an `obs_overhead` block: per-epoch LSTM training time
+//! with tracing off vs routed to a no-op sink, quantifying what the
+//! telemetry costs on the hottest path.
 
 use std::time::Instant;
 
 use ibcm_bench::{seed_from_env, Scale};
+use ibcm_core::MisuseDetector;
 use ibcm_lm::{LmTrainConfig, LstmLm};
+use ibcm_logsim::ActionId;
 use ibcm_nn::{set_kernel_mode, KernelMode};
+use ibcm_ocsvm::{ClusterRouter, OcSvm, OcSvmConfig, SessionFeaturizer};
 use ibcm_topics::{Lda, LdaConfig, SamplerKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +48,9 @@ struct StageRow {
     after_s: f64,
     before_hist: ibcm_obs::Histogram,
     after_hist: ibcm_obs::Histogram,
+    /// Extra JSON fields for this stage (each line ends with a comma),
+    /// spliced into the stage object before the histograms.
+    extra: String,
 }
 
 /// The registry histogram collecting every measured repetition of one
@@ -118,7 +130,7 @@ fn lda_stage(quick: bool, seed: u64) -> StageRow {
     let (before_s, dense) = fit(SamplerKind::Dense, &before_hist);
     let (after_s, sparse) = fit(SamplerKind::Sparse, &after_hist);
     assert_eq!(dense, sparse, "dense and sparse sweeps must agree exactly");
-    StageRow { stage: "lda_fit", before_s, after_s, before_hist, after_hist }
+    StageRow { stage: "lda_fit", before_s, after_s, before_hist, after_hist, extra: String::new() }
 }
 
 fn lm_corpus(quick: bool) -> (LmTrainConfig, Vec<Vec<usize>>) {
@@ -162,32 +174,163 @@ fn lstm_stage(quick: bool) -> (StageRow, LstmLm, Vec<Vec<usize>>) {
         "kernel modes must train byte-identical models"
     );
     (
-        StageRow { stage: "lstm_train_epoch", before_s, after_s, before_hist, after_hist },
+        StageRow { stage: "lstm_train_epoch", before_s, after_s, before_hist, after_hist, extra: String::new() },
         fast,
         seqs,
     )
 }
 
+/// Min-of-N wall clock without a registry histogram (used for the batch
+/// sweep, whose widths are report detail rather than catalog stages).
+fn time_min(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Per-session scoring (PR 3's fastest configuration — optimized kernels,
+/// one session at a time) vs the lock-step batched scorer. Both sides run
+/// the **same** kernels; the speedup is pure scheduling: each weight
+/// matrix is streamed once per timestep for a whole bucket instead of once
+/// per session. Scores are asserted bit-identical.
 fn scoring_stage(quick: bool, lm: &LstmLm, seqs: &[Vec<usize>]) -> StageRow {
+    set_kernel_mode(KernelMode::Optimized);
     let repeats = if quick { 1 } else { 5 };
+    let sessions_per_run = (repeats * seqs.len()) as f64;
     let before_hist = stage_hist("batch_scoring_before");
     let after_hist = stage_hist("batch_scoring_after");
-    let run = |mode: KernelMode, hist: &ibcm_obs::Histogram| {
-        set_kernel_mode(mode);
-        time_best(reps(quick), hist, || {
-            let mut sink = 0.0f64;
+    let headline_b = 32usize;
+    // Scoring runs are sub-second, so extra repetitions are cheap — and the
+    // min-of-N needs them on a shared box, where a noisy-neighbor window
+    // can slow any single run by 30%+.
+    let scoring_reps = if quick { 1 } else { 7 };
+    let (before_s, per_session) = time_best(scoring_reps, &before_hist, || {
+        let mut out = Vec::new();
+        for _ in 0..repeats {
+            out.clear();
+            out.extend(seqs.iter().map(|s| lm.score_session(s)));
+        }
+        out
+    });
+    let (after_s, batched) = time_best(scoring_reps, &after_hist, || {
+        let mut out = Vec::new();
+        for _ in 0..repeats {
+            out = lm.score_sessions_batched(seqs, headline_b);
+        }
+        out
+    });
+    assert_eq!(per_session.len(), batched.len());
+    for (a, b) in per_session.iter().zip(&batched) {
+        assert_eq!(
+            (a.avg_likelihood.to_bits(), a.avg_loss.to_bits(), a.n_predictions),
+            (b.avg_likelihood.to_bits(), b.avg_loss.to_bits(), b.n_predictions),
+            "batched scoring must be bit-identical to the per-session path"
+        );
+    }
+    let mut sweep_json = Vec::new();
+    for b in [1usize, 8, 32, 128] {
+        let dt = time_min(scoring_reps, || {
             for _ in 0..repeats {
-                for seq in seqs {
-                    sink += lm.score_session(seq).avg_loss as f64;
-                }
+                let _ = lm.score_sessions_batched(seqs, b);
             }
-            sink
-        })
+        });
+        let sps = sessions_per_run / dt.max(1e-12);
+        println!("  batch_scoring B={b:<4} {sps:10.1} sessions/sec");
+        sweep_json.push(format!(
+            "{{ \"max_batch\": {b}, \"sessions_per_sec\": {sps:.1} }}"
+        ));
+    }
+    let after_sps = sessions_per_run / after_s.max(1e-12);
+    // The PR 3 baseline this PR is measured against: BENCH_pr3.json's
+    // batch_scoring "after" side (per-session loop on the PR 3 kernels)
+    // scored the identical 480-session paper-shape workload in 0.725 s =
+    // 662.1 sessions/sec. Only comparable at the full scale; quick mode
+    // runs a different (smoke) workload.
+    let vs_pr3 = if quick {
+        String::new()
+    } else {
+        const PR3_SESSIONS_PER_SEC: f64 = 480.0 / 0.725;
+        format!(
+            "      \"pr3_baseline\": {{ \"sessions_per_sec\": {PR3_SESSIONS_PER_SEC:.1}, \"source\": \"BENCH_pr3.json\" }}, \"speedup_vs_pr3\": {:.3},\n",
+            after_sps / PR3_SESSIONS_PER_SEC
+        )
     };
-    let (before_s, a) = run(KernelMode::Reference, &before_hist);
-    let (after_s, b) = run(KernelMode::Optimized, &after_hist);
-    assert_eq!(a.to_bits(), b.to_bits(), "kernel modes must score identically");
-    StageRow { stage: "batch_scoring", before_s, after_s, before_hist, after_hist }
+    let extra = format!(
+        "      \"sessions_per_sec\": {{ \"before\": {:.1}, \"after\": {:.1} }},\n{vs_pr3}      \"batch_sweep\": [{}],\n",
+        sessions_per_run / before_s.max(1e-12),
+        after_sps,
+        sweep_json.join(", ")
+    );
+    StageRow { stage: "batch_scoring", before_s, after_s, before_hist, after_hist, extra }
+}
+
+/// Builds a multi-cluster detector at the scale's model shape (paper shape:
+/// 4 clusters of hidden-256, vocab-300 models — a ~10 MB bundle) and
+/// measures `IBCD` deserialization: retained copy-per-block decoder vs the
+/// zero-copy slice-cursor decoder. Loaded detectors are asserted
+/// byte-identical to the source bundle.
+fn ibcd_load_stage(quick: bool, seed: u64) -> StageRow {
+    let (clusters, vocab, hidden) = if quick { (2, 7, 16) } else { (4, 300, 256) };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1bcd);
+    let featurizer = SessionFeaturizer::new(vocab, true);
+    let mut svms = Vec::new();
+    let mut models = Vec::new();
+    for c in 0..clusters {
+        // Small per-cluster corpora: the stage measures loading, not
+        // training, so one epoch on a handful of sessions is plenty.
+        let seqs: Vec<Vec<usize>> = (0..8)
+            .map(|_| (0..12).map(|_| rng.gen_range(0..vocab)).collect())
+            .collect();
+        let feats: Vec<Vec<f64>> = seqs
+            .iter()
+            .map(|s| {
+                let acts: Vec<ActionId> = s.iter().map(|&t| ActionId(t)).collect();
+                featurizer.features(&acts)
+            })
+            .collect();
+        svms.push(OcSvm::train(&feats, &OcSvmConfig::default()).expect("svm trains"));
+        let mut cfg = LmTrainConfig::paper_exact(vocab, seed.wrapping_add(c as u64));
+        cfg.epochs = 1;
+        cfg.patience = 0;
+        cfg.hidden = hidden;
+        cfg.batch_size = 4;
+        models.push(LstmLm::train(&cfg, &seqs, &[]).expect("lm trains"));
+    }
+    let detector = MisuseDetector::new(ClusterRouter::new(svms, featurizer), models, 15);
+    let bytes = detector.to_bytes();
+    println!("  ibcd_load bundle: {} clusters, {:.1} MB", clusters, bytes.len() as f64 / 1e6);
+    let loads = if quick { 3 } else { 10 };
+    let before_hist = stage_hist("ibcd_load_before");
+    let after_hist = stage_hist("ibcd_load_after");
+    let (before_s, buffered) = time_best(reps(quick), &before_hist, || {
+        let mut last = None;
+        for _ in 0..loads {
+            last = Some(MisuseDetector::from_bytes_buffered(&bytes).expect("buffered load"));
+        }
+        last.expect("at least one load")
+    });
+    let (after_s, zero_copy) = time_best(reps(quick), &after_hist, || {
+        let mut last = None;
+        for _ in 0..loads {
+            last = Some(MisuseDetector::from_bytes(&bytes).expect("zero-copy load"));
+        }
+        last.expect("at least one load")
+    });
+    assert_eq!(
+        buffered.to_bytes(),
+        zero_copy.to_bytes(),
+        "both decoders must load byte-identical detectors"
+    );
+    assert_eq!(zero_copy.to_bytes(), bytes, "loading must round-trip the bundle");
+    let extra = format!(
+        "      \"bundle_bytes\": {}, \"clusters\": {clusters},\n",
+        bytes.len()
+    );
+    StageRow { stage: "ibcd_load", before_s, after_s, before_hist, after_hist, extra }
 }
 
 /// Measures what routing the tracing layer to a sink costs on the hottest
@@ -274,6 +417,7 @@ fn main() -> std::io::Result<()> {
     let (lstm_row, lm, seqs) = lstm_stage(quick);
     rows.push(lstm_row);
     rows.push(scoring_stage(quick, &lm, &seqs));
+    rows.push(ibcd_load_stage(quick, seed));
     set_kernel_mode(KernelMode::Optimized);
     let (untraced_s, traced_s) = obs_overhead(quick);
     let overhead_frac = traced_s / untraced_s.max(1e-12) - 1.0;
@@ -286,7 +430,7 @@ fn main() -> std::io::Result<()> {
     }
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"ibcm-perf-baseline/2\",\n");
+    json.push_str("  \"schema\": \"ibcm-perf-baseline/3\",\n");
     json.push_str(&format!("  \"commit\": \"{}\",\n", commit_hash()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
@@ -301,6 +445,7 @@ fn main() -> std::io::Result<()> {
             "    {{ \"stage\": \"{}\", \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.3},\n",
             r.stage, r.before_s, r.after_s, speedup,
         ));
+        json.push_str(&r.extra);
         json.push_str(&format!(
             "      \"hist\": {{ \"before\": {}, \"after\": {} }} }}{}\n",
             hist_json(&r.before_hist),
@@ -314,7 +459,7 @@ fn main() -> std::io::Result<()> {
     ));
     json.push_str("}\n");
 
-    let out = std::env::var("IBCM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+    let out = std::env::var("IBCM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_string());
     std::fs::write(&out, json)?;
     eprintln!("[ibcm] wrote {out}");
     Ok(())

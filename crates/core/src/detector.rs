@@ -19,6 +19,72 @@ fn scoring_metrics() -> &'static ScoringMetrics {
     })
 }
 
+/// Which execution strategy [`MisuseDetector::score_sessions`] uses.
+///
+/// Both modes produce **bit-identical verdicts** (the batched kernels
+/// replay the per-session operation order exactly — see DESIGN.md,
+/// "Batched inference & memory model"); they differ only in how the work
+/// is scheduled:
+///
+/// - [`ScoringMode::PerSession`] walks one session at a time, streaming
+///   every weight matrix from memory once per session per timestep. This
+///   is the latency path: it also observes the per-session
+///   `ibcm_score_session_seconds` histogram.
+/// - [`ScoringMode::Batched`] is the throughput path: sessions are routed
+///   in parallel, grouped by routed cluster, and each group is scored
+///   through [`LstmLm::try_score_sessions_batched`] so a bucket of up to
+///   `max_batch` sessions shares each weight-matrix pass. Bucket-level
+///   timing lands in the `ibcm_lm_batch_*` metrics instead of the
+///   per-session histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoringMode {
+    /// One session at a time through [`MisuseDetector::score_session`].
+    PerSession,
+    /// Lock-step batched scoring (cluster-grouped buckets).
+    Batched {
+        /// Maximum sessions per lock-step bucket (0 behaves as 1).
+        max_batch: usize,
+    },
+}
+
+impl ScoringMode {
+    /// Bucket width used when `IBCM_SCORING_MODE=batched` does not name
+    /// one. 64 lanes keeps the gate slab L2-resident at the paper's model
+    /// shape while amortizing each weight pass widely.
+    pub const DEFAULT_MAX_BATCH: usize = 64;
+
+    /// Reads the mode from the `IBCM_SCORING_MODE` environment variable:
+    /// `per-session` (or unset) selects [`ScoringMode::PerSession`],
+    /// `batched` selects [`ScoringMode::Batched`] with
+    /// [`ScoringMode::DEFAULT_MAX_BATCH`] lanes, and `batched:N` selects a
+    /// bucket width of `N`. Anything else degrades to the per-session
+    /// path — a typo must not change behavior, and scores are identical
+    /// either way.
+    pub fn from_env() -> Self {
+        match std::env::var("IBCM_SCORING_MODE") {
+            Ok(raw) => Self::parse(&raw),
+            Err(_) => ScoringMode::PerSession,
+        }
+    }
+
+    fn parse(raw: &str) -> Self {
+        let lower = raw.trim().to_ascii_lowercase();
+        if lower == "batched" {
+            return ScoringMode::Batched {
+                max_batch: Self::DEFAULT_MAX_BATCH,
+            };
+        }
+        if let Some(rest) = lower.strip_prefix("batched:") {
+            if let Ok(n) = rest.trim().parse::<usize>() {
+                if n >= 1 {
+                    return ScoringMode::Batched { max_batch: n };
+                }
+            }
+        }
+        ScoringMode::PerSession
+    }
+}
+
 /// The verdict on one session: the cluster it was routed to and its
 /// normality under that cluster's behavior model.
 #[derive(Debug, Clone, PartialEq)]
@@ -236,7 +302,101 @@ impl MisuseDetector {
     where
         S: AsRef<[ActionId]> + Sync,
     {
-        ibcm_par::par_map(threads, sessions, |_, s| self.score_session(s.as_ref()))
+        self.score_sessions_mode(sessions, threads, ScoringMode::from_env())
+    }
+
+    /// [`MisuseDetector::score_sessions`] with the execution strategy made
+    /// explicit instead of read from `IBCM_SCORING_MODE`.
+    ///
+    /// Verdicts are bit-identical across modes, thread counts, and bucket
+    /// widths; only scheduling (and therefore throughput) changes. The
+    /// batched mode routes sessions in parallel, groups them by routed
+    /// cluster, cuts each group into buckets of at most `max_batch`
+    /// sessions, and scores the buckets as independent jobs on the shared
+    /// [`ibcm_par`] pool — so cluster grouping and thread sharding compose.
+    pub fn score_sessions_mode<S>(
+        &self,
+        sessions: &[S],
+        threads: usize,
+        mode: ScoringMode,
+    ) -> Vec<SessionVerdict>
+    where
+        S: AsRef<[ActionId]> + Sync,
+    {
+        match mode {
+            ScoringMode::PerSession => {
+                ibcm_par::par_map(threads, sessions, |_, s| self.score_session(s.as_ref()))
+            }
+            ScoringMode::Batched { max_batch } => {
+                self.score_sessions_batched(sessions, threads, max_batch)
+            }
+        }
+    }
+
+    /// The throughput path behind [`ScoringMode::Batched`]: route in
+    /// parallel, group by routed cluster, score each bucket in lock-step.
+    fn score_sessions_batched<S>(
+        &self,
+        sessions: &[S],
+        threads: usize,
+        max_batch: usize,
+    ) -> Vec<SessionVerdict>
+    where
+        S: AsRef<[ActionId]> + Sync,
+    {
+        let max_batch = max_batch.max(1);
+        // Routing is per-session and order-preserved; encoding here keeps
+        // the scoring jobs borrow-only.
+        let routed: Vec<(ClusterId, Vec<usize>)> = ibcm_par::par_map(threads, sessions, |_, s| {
+            let decision = self.route(s.as_ref());
+            (decision.cluster, self.encode(s.as_ref()))
+        });
+        // Group session indices by routed cluster. Indexed Vecs rather
+        // than a map: cluster ids are dense, and iteration order must be
+        // deterministic.
+        let mut by_cluster: Vec<Vec<usize>> = vec![Vec::new(); self.models.len()];
+        for (i, (cluster, _)) in routed.iter().enumerate() {
+            // ibcm-lint: allow(panic-index, reason = "route() returns a cluster of this router, and new() asserts one model per routed cluster")
+            by_cluster[cluster.index()].push(i);
+        }
+        // One job per bucket: a dominant cluster still spreads across the
+        // pool. Bucket composition cannot change scores (each lane is
+        // bit-identical to its sequential run regardless of neighbors), so
+        // this sharding affects wall-clock only.
+        let mut jobs: Vec<(usize, &[usize])> = Vec::new();
+        for (cluster, indices) in by_cluster.iter().enumerate() {
+            for bucket in indices.chunks(max_batch) {
+                jobs.push((cluster, bucket));
+            }
+        }
+        let scored: Vec<Vec<SessionScore>> = ibcm_par::par_map(threads, &jobs, |_, job| {
+            let (cluster, indices) = *job;
+            let tokens: Vec<&[usize]> = indices
+                .iter()
+                // ibcm-lint: allow(panic-index, reason = "bucket indices are enumerate() positions of `routed`")
+                .map(|&i| routed[i].1.as_slice())
+                .collect();
+            // ibcm-lint: allow(panic-index, reason = "cluster comes from enumerating self.models")
+            self.models[cluster].score_sessions_batched(&tokens, max_batch)
+        });
+        let metrics = scoring_metrics();
+        let mut verdicts: Vec<Option<SessionVerdict>> = (0..sessions.len()).map(|_| None).collect();
+        for (job, scores) in jobs.iter().zip(scored) {
+            let (cluster, indices) = *job;
+            for (&i, score) in indices.iter().zip(scores) {
+                metrics.sessions.inc();
+                // ibcm-lint: allow(panic-index, reason = "bucket indices are enumerate() positions of `verdicts`")
+                verdicts[i] = Some(SessionVerdict {
+                    cluster: ClusterId(cluster),
+                    score,
+                });
+            }
+        }
+        verdicts
+            .into_iter()
+            // ibcm-lint: allow(panic-expect, reason = "every input index lands in exactly one bucket, so every slot is filled")
+            .map(|v| v.expect("every session is bucketed exactly once"))
+            .collect()
     }
 
     /// Ranks sessions most-suspicious-first (ascending average likelihood,
@@ -270,8 +430,27 @@ impl MisuseDetector {
     where
         S: AsRef<[ActionId]> + Sync,
     {
+        self.rank_suspicious_mode(sessions, top_k, threads, ScoringMode::from_env())
+    }
+
+    /// [`MisuseDetector::rank_suspicious_par`] with the scoring strategy
+    /// made explicit. The ranking — including tie order — is identical at
+    /// any thread count and in either [`ScoringMode`], because the sort
+    /// runs over order-preserved, bit-identical scores.
+    ///
+    /// Returns `(index into the input, verdict)` pairs.
+    pub fn rank_suspicious_mode<S>(
+        &self,
+        sessions: &[S],
+        top_k: usize,
+        threads: usize,
+        mode: ScoringMode,
+    ) -> Vec<(usize, SessionVerdict)>
+    where
+        S: AsRef<[ActionId]> + Sync,
+    {
         let mut scored: Vec<(usize, SessionVerdict)> = self
-            .score_sessions(sessions, threads)
+            .score_sessions_mode(sessions, threads, mode)
             .into_iter()
             .enumerate()
             .filter(|(_, v)| v.score.n_predictions > 0)
@@ -403,6 +582,88 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn batched_mode_matches_per_session_bitwise() {
+        let d = detector();
+        let sessions: Vec<Vec<ActionId>> = (0..23)
+            .map(|i| match i % 4 {
+                0 => acts(&[0, 1, 2, 0, 1, 2, 0, 1, 2]),
+                1 => acts(&[3, 4, 5, 3, 4]),
+                2 => acts(&[2, 2, 5, 5, 0, 3]),
+                _ => acts(&[0]), // too short to score; still routed
+            })
+            .collect();
+        let per_session = d.score_sessions_mode(&sessions, 1, ScoringMode::PerSession);
+        for max_batch in [1, 3, 64] {
+            for threads in [1, 4] {
+                let batched =
+                    d.score_sessions_mode(&sessions, threads, ScoringMode::Batched { max_batch });
+                assert_eq!(batched.len(), per_session.len());
+                for (i, (b, p)) in batched.iter().zip(&per_session).enumerate() {
+                    assert_eq!(b.cluster, p.cluster, "session {i} routed differently");
+                    assert_eq!(
+                        b.score.avg_likelihood.to_bits(),
+                        p.score.avg_likelihood.to_bits(),
+                        "session {i} likelihood diverged (max_batch {max_batch}, threads {threads})"
+                    );
+                    assert_eq!(
+                        b.score.avg_loss.to_bits(),
+                        p.score.avg_loss.to_bits(),
+                        "session {i} loss diverged"
+                    );
+                    assert_eq!(b.score.n_predictions, p.score.n_predictions);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_ranking_matches_per_session_ranking() {
+        let d = detector();
+        let sessions: Vec<Vec<ActionId>> = vec![
+            acts(&[0, 1, 2, 0, 1, 2]),
+            acts(&[3, 4, 5, 3, 4, 5]),
+            acts(&[2, 2, 5, 5, 0, 3]),
+            acts(&[0]),
+            acts(&[0, 1, 2, 0, 1, 2, 0]),
+            acts(&[5, 0, 3, 1, 4, 2]),
+        ];
+        let per_session = d.rank_suspicious_mode(&sessions, 4, 1, ScoringMode::PerSession);
+        for threads in [1, 3] {
+            for max_batch in [2, 32] {
+                assert_eq!(
+                    d.rank_suspicious_mode(
+                        &sessions,
+                        4,
+                        threads,
+                        ScoringMode::Batched { max_batch }
+                    ),
+                    per_session,
+                    "threads = {threads}, max_batch = {max_batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scoring_mode_parses_env_values() {
+        assert_eq!(ScoringMode::parse("per-session"), ScoringMode::PerSession);
+        assert_eq!(
+            ScoringMode::parse("batched"),
+            ScoringMode::Batched {
+                max_batch: ScoringMode::DEFAULT_MAX_BATCH
+            }
+        );
+        assert_eq!(
+            ScoringMode::parse(" Batched:128 "),
+            ScoringMode::Batched { max_batch: 128 }
+        );
+        // Degenerate or unrecognized values fall back to the proven path.
+        assert_eq!(ScoringMode::parse("batched:0"), ScoringMode::PerSession);
+        assert_eq!(ScoringMode::parse("turbo"), ScoringMode::PerSession);
+        assert_eq!(ScoringMode::parse(""), ScoringMode::PerSession);
     }
 
     #[test]

@@ -9,6 +9,17 @@
 //!   envelope, so any truncation or single-byte corruption is rejected with
 //!   [`CoreError::Persist`] instead of being parsed into garbage. Version 1
 //!   files (no envelope, no fallback) are still readable.
+//!
+//!   [`MisuseDetector::from_bytes`] reads the bundle **zero-copy**: the
+//!   checksum is verified over the borrowed payload in place, every inner
+//!   block (router, each model) is handed to its decoder as a sub-slice of
+//!   the input, and each tensor is materialized with one bulk conversion —
+//!   so loading from a memory-mapped file allocates nothing but the final
+//!   model parameters. [`MisuseDetector::from_bytes_buffered`] retains the
+//!   original copy-per-block decoder as the equality baseline (same idea
+//!   as the retained reference compute kernels); `perf_baseline`'s
+//!   `ibcd_load` stage measures one against the other and asserts the
+//!   loaded detectors are byte-identical.
 //! * **`IBCS`** — a checkpoint of a live [`StreamMonitor`]: the stream
 //!   configuration, clock, fault counters and, per active session, the full
 //!   prefix of fed actions. Restoring replays each prefix through a fresh
@@ -110,17 +121,99 @@ fn open_envelope(
     Ok((version, Bytes::copy_from_slice(&payload)))
 }
 
-fn take_block(buf: &mut Bytes, what: &str) -> Result<Vec<u8>, CoreError> {
-    if buf.remaining() < 8 {
-        return Err(persist_err(format!("{what} block header truncated")));
+/// Borrowed-slice variant of [`open_envelope`]: verifies the magic,
+/// version, length, and FNV-1a checksum **in place** and returns the
+/// payload as a sub-slice of `data`. Nothing is copied, so the input can
+/// be a memory-mapped region.
+fn open_envelope_zero_copy<'a>(
+    data: &'a [u8],
+    magic: &[u8; 4],
+    what: &str,
+    versioned: impl Fn(u32) -> bool,
+) -> Result<(u32, &'a [u8]), CoreError> {
+    if data.len() < 8 {
+        return Err(persist_err(format!("{what} header truncated")));
     }
-    let len = buf.get_u64_le() as usize;
-    if buf.remaining() < len {
-        return Err(persist_err(format!("{what} block body truncated")));
+    let (m, rest) = data.split_at(4);
+    if m != magic {
+        return Err(persist_err(format!("bad {what} magic {m:?}")));
     }
-    let mut block = vec![0u8; len];
-    buf.copy_to_slice(&mut block);
-    Ok(block)
+    let version = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+    if !versioned(version) {
+        return Err(persist_err(format!(
+            "unsupported {what} format version {version}"
+        )));
+    }
+    if version == 1 && magic == MAGIC {
+        // Legacy detector files: no envelope; the rest is the payload.
+        return Ok((version, &data[8..]));
+    }
+    if data.len() < 16 {
+        return Err(persist_err(format!("{what} length truncated")));
+    }
+    let len = u64::from_le_bytes(data[8..16].try_into().expect("8-byte slice")) as usize;
+    if data.len().saturating_sub(16) != len.saturating_add(8) {
+        return Err(persist_err(format!(
+            "{what} payload length mismatch: header says {len}, {} bytes follow",
+            data.len().saturating_sub(16).saturating_sub(8)
+        )));
+    }
+    let payload = &data[16..16 + len];
+    let stored =
+        u64::from_le_bytes(data[16 + len..].try_into().expect("trailing 8-byte checksum"));
+    if fnv1a(payload) != stored {
+        return Err(persist_err(format!("{what} checksum mismatch")));
+    }
+    Ok((version, payload))
+}
+
+/// Borrowed cursor over an already-validated payload slice: every read is
+/// bounds-checked into a typed [`CoreError::Persist`], and [`take`] /
+/// [`block`] return sub-slices of the original input rather than copies.
+///
+/// [`take`]: SliceCursor::take
+/// [`block`]: SliceCursor::block
+struct SliceCursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> SliceCursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        SliceCursor { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CoreError> {
+        if self.buf.len() < n {
+            return Err(persist_err(format!("{what} truncated")));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, CoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32_le(&mut self, what: &str) -> Result<u32, CoreError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// A length-prefixed block, borrowed from the input.
+    fn block(&mut self, what: &str) -> Result<&'a [u8], CoreError> {
+        let len = self
+            .take(8, &format!("{what} block header"))
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")) as usize)?;
+        if self.buf.len() < len {
+            return Err(persist_err(format!("{what} block body truncated")));
+        }
+        self.take(len, what)
+    }
 }
 
 fn need(buf: &Bytes, bytes: usize, what: &str) -> Result<(), CoreError> {
@@ -174,13 +267,37 @@ impl MisuseDetector {
     /// Reconstructs a detector from [`MisuseDetector::to_bytes`] output
     /// (version 2, checksummed) or a legacy version-1 file.
     ///
+    /// The load is zero-copy end to end: the envelope checksum is verified
+    /// over the borrowed input, each inner block is decoded from a
+    /// sub-slice, and the LM tensors inside are bulk-converted straight
+    /// into their final allocations ([`ibcm_lm::LstmLm::from_bytes`]).
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Persist`] on malformed, truncated, or corrupted
     /// bytes — including any single-byte corruption of a version-2 file,
     /// which the envelope checksum catches.
     pub fn from_bytes(data: &[u8]) -> Result<Self, CoreError> {
-        let (detector, report) = Self::parse(data, false)?;
+        let (detector, report) = Self::parse(data, false, LstmLm::from_bytes)?;
+        debug_assert!(report.is_clean());
+        Ok(detector)
+    }
+
+    /// The retained copy-per-block loader: identical format and checks,
+    /// but the envelope payload and every inner block are copied into
+    /// owned buffers and the LM tensors are read through the buffered
+    /// decoder ([`ibcm_lm::LstmLm::from_bytes_buffered`]). Kept — like the
+    /// reference compute kernels — as the baseline [`MisuseDetector::from_bytes`]
+    /// is equality-checked and benchmarked against. Prefer `from_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] exactly where `from_bytes` does.
+    pub fn from_bytes_buffered(data: &[u8]) -> Result<Self, CoreError> {
+        let (version, payload) = open_envelope(data, MAGIC, "detector", |v| v == 1 || v == 2)?;
+        let owned: Vec<u8> = payload.to_vec();
+        let (detector, report) =
+            Self::parse_payload(version, &owned, false, LstmLm::from_bytes_buffered)?;
         debug_assert!(report.is_clean());
         Ok(detector)
     }
@@ -196,21 +313,36 @@ impl MisuseDetector {
     /// fallback itself is corrupt, or when a cluster model is corrupt and
     /// the file carries no fallback to stand in for it.
     pub fn from_bytes_lenient(data: &[u8]) -> Result<(Self, LoadReport), CoreError> {
-        Self::parse(data, true)
+        Self::parse(data, true, LstmLm::from_bytes)
     }
 
-    fn parse(data: &[u8], lenient: bool) -> Result<(Self, LoadReport), CoreError> {
-        let (version, mut payload) =
-            open_envelope(data, MAGIC, "detector", |v| v == 1 || v == 2)?;
-        need(&payload, 4, "detector lock-in")?;
-        let lock_in = payload.get_u32_le() as usize;
+    fn parse(
+        data: &[u8],
+        lenient: bool,
+        decode_model: fn(&[u8]) -> Result<LstmLm, ibcm_lm::LmError>,
+    ) -> Result<(Self, LoadReport), CoreError> {
+        let (version, payload) =
+            open_envelope_zero_copy(data, MAGIC, "detector", |v| v == 1 || v == 2)?;
+        Self::parse_payload(version, payload, lenient, decode_model)
+    }
+
+    /// Walks an already-unwrapped detector payload. Shared by the
+    /// zero-copy and buffered loaders; `decode_model` selects which LM
+    /// decoder reads the inner model blocks.
+    fn parse_payload(
+        version: u32,
+        payload: &[u8],
+        lenient: bool,
+        decode_model: fn(&[u8]) -> Result<LstmLm, ibcm_lm::LmError>,
+    ) -> Result<(Self, LoadReport), CoreError> {
+        let mut payload = SliceCursor::new(payload);
+        let lock_in = payload.u32_le("detector lock-in")? as usize;
         if lock_in == 0 {
             return Err(persist_err("lock_in must be positive"));
         }
-        let router = ClusterRouter::from_bytes(&take_block(&mut payload, "router")?)
+        let router = ClusterRouter::from_bytes(payload.block("router")?)
             .map_err(|e| persist_err(e.to_string()))?;
-        need(&payload, 4, "model count")?;
-        let n = payload.get_u32_le() as usize;
+        let n = payload.u32_le("model count")? as usize;
         if n != router.n_clusters() {
             return Err(persist_err(
                 "model count disagrees with router clusters",
@@ -219,8 +351,8 @@ impl MisuseDetector {
         let mut models: Vec<Option<LstmLm>> = Vec::with_capacity(n);
         let mut report = LoadReport::default();
         for i in 0..n {
-            let block = take_block(&mut payload, "model")?;
-            match LstmLm::from_bytes(&block) {
+            let block = payload.block("model")?;
+            match decode_model(block) {
                 Ok(model) => models.push(Some(model)),
                 Err(e) if lenient => {
                     report.degraded_clusters.push(i);
@@ -231,12 +363,9 @@ impl MisuseDetector {
             }
         }
         let fallback = if version >= 2 {
-            need(&payload, 1, "fallback flag")?;
-            if payload.get_u8() == 1 {
-                let block = take_block(&mut payload, "fallback")?;
-                Some(
-                    LstmLm::from_bytes(&block).map_err(|e| persist_err(e.to_string()))?,
-                )
+            if payload.u8("fallback flag")? == 1 {
+                let block = payload.block("fallback")?;
+                Some(decode_model(block).map_err(|e| persist_err(e.to_string()))?)
             } else {
                 None
             }
@@ -649,6 +778,33 @@ mod tests {
         bytes[1] = b'?';
         assert!(matches!(
             MisuseDetector::from_bytes(&bytes),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn zero_copy_and_buffered_loaders_agree_bitwise() {
+        let d = detector().with_fallback(fallback_lm());
+        let bytes = d.to_bytes();
+        let zero_copy = MisuseDetector::from_bytes(&bytes).unwrap();
+        let buffered = MisuseDetector::from_bytes_buffered(&bytes).unwrap();
+        assert_eq!(zero_copy.to_bytes(), bytes, "zero-copy load round-trips");
+        assert_eq!(buffered.to_bytes(), bytes, "buffered load round-trips");
+    }
+
+    #[test]
+    fn buffered_loader_rejects_the_same_corruption() {
+        let bytes = detector().to_bytes();
+        for cut in [0usize, 3, 11, 40, bytes.len() - 1] {
+            assert!(
+                MisuseDetector::from_bytes_buffered(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 0x40;
+        assert!(matches!(
+            MisuseDetector::from_bytes_buffered(&bad),
             Err(CoreError::Persist(_))
         ));
     }

@@ -4,17 +4,23 @@
 //! crate roles, the designated panic-free hot paths, the reviewed intrinsic
 //! whitelist. Everything else in the linter is generic machinery.
 
-/// Intrinsics `ibcm-nn`'s AVX2 kernels are allowed to use. The list is the
-/// separate-rounding mul/add/load/store/broadcast family — exactly the
-/// operations whose per-lane rounding matches the scalar reference loops.
-/// Anything fused (FMA), shuffling (horizontal adds reassociate), or
-/// approximate (`rcp`, `rsqrt`) is absent on purpose.
+/// Intrinsics `ibcm-nn`'s SIMD kernels (AVX2 and AVX-512F tiers) are allowed
+/// to use. The list is the separate-rounding mul/add/load/store/broadcast
+/// family — exactly the operations whose per-lane rounding matches the
+/// scalar reference loops, at either vector width. Anything fused (FMA),
+/// shuffling (horizontal adds reassociate), or approximate (`rcp`, `rsqrt`)
+/// is absent on purpose.
 pub const NN_INTRINSIC_WHITELIST: &[&str] = &[
     "_mm256_set1_ps",
     "_mm256_loadu_ps",
     "_mm256_storeu_ps",
     "_mm256_add_ps",
     "_mm256_mul_ps",
+    "_mm512_set1_ps",
+    "_mm512_loadu_ps",
+    "_mm512_storeu_ps",
+    "_mm512_add_ps",
+    "_mm512_mul_ps",
 ];
 
 /// Files (workspace-relative, `/`-separated) designated panic-free: the

@@ -18,6 +18,10 @@
 //!   ([`BatchScheme`]),
 //! - [`LmScorer`]: a streaming scorer holding the recurrent state, used by
 //!   the online regime (score each action as it arrives),
+//! - [`LstmLm::try_score_sessions_batched`]: the lock-step batched scorer
+//!   for the offline throughput regime — many sessions advance through one
+//!   model together, bit-identical to the per-session path (see the
+//!   [`plan_buckets`] scheduler),
 //! - [`SequenceEval`] metrics: next-action accuracy, average loss, average
 //!   likelihood, and per-position likelihood curves (Figs. 4, 5, 7–12),
 //! - [`NgramLm`]: an interpolated n-gram baseline for ablations,
@@ -46,6 +50,7 @@
 #![allow(clippy::needless_range_loop)]
 #![deny(missing_docs)]
 
+mod batch;
 mod batcher;
 mod error;
 mod hmm;
@@ -56,6 +61,7 @@ mod persist;
 mod scorer;
 mod vocab;
 
+pub use batch::plan_buckets;
 pub use batcher::{BatchScheme, TrainBatch};
 pub use error::LmError;
 pub use hmm::{HmmConfig, HmmLm};

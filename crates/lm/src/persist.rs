@@ -2,10 +2,22 @@
 //!
 //! Format (all little-endian): `IBCM` magic, format version, the training
 //! configuration scalars, then the five parameter tensors.
+//!
+//! Two decoders read this format:
+//!
+//! - [`LstmLm::from_bytes`] — the zero-copy path: a borrowed
+//!   [`ibcm_nn::serialize::SliceReader`] cursor walks the input slice in
+//!   place, and each tensor is materialized with **one** bulk
+//!   little-endian conversion. No intermediate owned buffer is ever
+//!   created, so the input can be a memory-mapped region.
+//! - [`LstmLm::from_bytes_buffered`] — the retained reference decoder on
+//!   owned [`Bytes`], kept (like the reference compute kernels) as the
+//!   equality baseline: both decoders must produce byte-identical models,
+//!   and `perf_baseline`'s `ibcd_load` stage asserts exactly that.
 
 use bytes::{Buf, Bytes, BytesMut};
 use ibcm_nn::serialize as nns;
-use ibcm_nn::{Dense, LstmLayer};
+use ibcm_nn::{Dense, LstmLayer, Matrix};
 
 use crate::batcher::BatchScheme;
 use crate::error::LmError;
@@ -57,12 +69,95 @@ impl LstmLm {
         buf.to_vec()
     }
 
-    /// Reconstructs a model from [`LstmLm::to_bytes`] output.
+    /// Reconstructs a model from [`LstmLm::to_bytes`] output without
+    /// copying the input: a borrowed [`nns::SliceReader`] cursor walks the
+    /// slice in place and each tensor is decoded with one bulk
+    /// little-endian conversion straight into its final allocation. Pass a
+    /// memory-mapped region and nothing but the tensors themselves is ever
+    /// materialized.
+    ///
+    /// The retained buffered decoder ([`LstmLm::from_bytes_buffered`])
+    /// accepts exactly the same bytes and produces a byte-identical model.
     ///
     /// # Errors
     ///
     /// Returns [`LmError::Persist`] on malformed or truncated bytes.
     pub fn from_bytes(data: &[u8]) -> Result<Self, LmError> {
+        let mut r = nns::SliceReader::new(data);
+        let version = nns::read_header_slice(&mut r)?;
+        if version != FORMAT_VERSION {
+            return Err(LmError::Persist(format!(
+                "unsupported model format version {version}"
+            )));
+        }
+        let vocab = r.u32_le("config vocab")? as usize;
+        let hidden = r.u32_le("config hidden")? as usize;
+        let layers = (r.u32_le("config layers")? as usize).max(1);
+        let dropout = r.f32_le("config dropout")?;
+        let learning_rate = r.f32_le("config learning_rate")?;
+        let batch_size = r.u32_le("config batch_size")? as usize;
+        let epochs = r.u32_le("config epochs")? as usize;
+        let clip_norm = r.f32_le("config clip_norm")?;
+        let seed = r.u64_le("config seed")?;
+        let patience = r.u32_le("config patience")? as usize;
+        let scheme = match r.u8("batch scheme tag")? {
+            0 => BatchScheme::MovingWindow {
+                window: r.u32_le("moving window")? as usize,
+            },
+            1 => BatchScheme::FullSequence {
+                max_len: r.u32_le("full-sequence max_len")? as usize,
+            },
+            x => return Err(LmError::Persist(format!("unknown batch scheme tag {x}"))),
+        };
+        if vocab == 0 || hidden == 0 {
+            return Err(LmError::Persist(
+                "vocab and hidden must be positive".into(),
+            ));
+        }
+        let wx = nns::read_matrix_slice(&mut r)?;
+        let wh = nns::read_matrix_slice(&mut r)?;
+        let b = nns::read_vec_slice(&mut r)?;
+        let mut upper_params = Vec::with_capacity(layers - 1);
+        for _ in 1..layers {
+            let uwx = nns::read_matrix_slice(&mut r)?;
+            let uwh = nns::read_matrix_slice(&mut r)?;
+            let ub = nns::read_vec_slice(&mut r)?;
+            upper_params.push((uwx, uwh, ub));
+        }
+        let dw = nns::read_matrix_slice(&mut r)?;
+        let db = nns::read_vec_slice(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(LmError::Persist(format!(
+                "{} trailing bytes after model payload",
+                r.remaining()
+            )));
+        }
+        let config = LmTrainConfig {
+            vocab,
+            hidden,
+            layers,
+            dropout,
+            learning_rate,
+            batch_size,
+            epochs,
+            scheme,
+            clip_norm,
+            seed,
+            patience,
+        };
+        build_model(config, wx, wh, b, upper_params, dw, db)
+    }
+
+    /// The retained reference decoder: reads [`LstmLm::to_bytes`] output
+    /// through owned [`Bytes`] buffers (the pre-zero-copy path). Kept for
+    /// the same reason the naive compute kernels are kept — as the
+    /// baseline the zero-copy decoder is equality-checked and benchmarked
+    /// against. Prefer [`LstmLm::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::Persist`] on malformed or truncated bytes.
+    pub fn from_bytes_buffered(data: &[u8]) -> Result<Self, LmError> {
         let mut buf = Bytes::copy_from_slice(data);
         let version = nns::read_header(&mut buf)?;
         if version != FORMAT_VERSION {
@@ -100,80 +195,35 @@ impl LstmLm {
         let wx = nns::read_matrix(&mut buf)?;
         let wh = nns::read_matrix(&mut buf)?;
         let b = nns::read_vec(&mut buf)?;
-        let mut upper = Vec::with_capacity(layers - 1);
-        for li in 1..layers {
+        let mut upper_params = Vec::with_capacity(layers - 1);
+        for _ in 1..layers {
             let uwx = nns::read_matrix(&mut buf)?;
             let uwh = nns::read_matrix(&mut buf)?;
             let ub = nns::read_vec(&mut buf)?;
-            if uwx.rows() != hidden
-                || uwx.cols() != 4 * hidden
-                || uwh.rows() != hidden
-                || uwh.cols() != 4 * hidden
-                || ub.len() != 4 * hidden
-            {
-                return Err(LmError::Persist("upper layer shapes inconsistent".into()));
-            }
-            let mut layer = LstmLayer::new(hidden, hidden, seed ^ (li as u64) << 8);
-            let (pwx, pwh, pb) = layer.params_mut();
-            *pwx = uwx;
-            *pwh = uwh;
-            *pb = ub;
-            upper.push(layer);
+            upper_params.push((uwx, uwh, ub));
         }
         let dw = nns::read_matrix(&mut buf)?;
         let db = nns::read_vec(&mut buf)?;
-        // Every tensor shape is pinned to the config so a bit-flipped
-        // dimension cannot survive into scoring-time indexing.
-        if wx.rows() != vocab
-            || wx.cols() != 4 * hidden
-            || wh.rows() != hidden
-            || wh.cols() != 4 * hidden
-            || b.len() != 4 * hidden
-            || dw.rows() != hidden
-            || dw.cols() != vocab
-            || db.len() != vocab
-        {
-            return Err(LmError::Persist("tensor shapes inconsistent".into()));
-        }
         if buf.remaining() != 0 {
             return Err(LmError::Persist(format!(
                 "{} trailing bytes after model payload",
                 buf.remaining()
             )));
         }
-        let mut lstm = LstmLayer::new(vocab, hidden, seed);
-        {
-            let (pwx, pwh, pb) = lstm.params_mut();
-            *pwx = wx;
-            *pwh = wh;
-            *pb = b;
-        }
-        let mut dense = Dense::new(hidden, vocab, seed);
-        {
-            let (pdw, pdb) = dense.params_mut();
-            *pdw = dw;
-            *pdb = db;
-        }
-        Ok(LstmLm::from_parts(
-            lstm,
-            upper,
-            dense,
-            Vocab::with_size(vocab),
-            LmTrainConfig {
-                vocab,
-                hidden,
-                layers,
-                dropout,
-                learning_rate,
-                batch_size,
-                epochs,
-                scheme,
-                clip_norm,
-                seed,
-                patience,
-            },
-            TrainReport::default(),
-        ))
+        let config = LmTrainConfig {
+            vocab,
+            hidden,
+            layers,
+            dropout,
+            learning_rate,
+            batch_size,
+            epochs,
+            scheme,
+            clip_norm,
+            seed,
+            patience,
+        };
+        build_model(config, wx, wh, b, upper_params, dw, db)
     }
 
     /// Writes the model to a file.
@@ -195,6 +245,73 @@ impl LstmLm {
         let data = std::fs::read(path)?;
         LstmLm::from_bytes(&data)
     }
+}
+
+/// Shared tail of both decoders: pin every tensor shape to the config and
+/// assemble the model. A bit-flipped dimension must die here, never
+/// survive into scoring-time indexing.
+#[allow(clippy::type_complexity)]
+fn build_model(
+    config: LmTrainConfig,
+    wx: Matrix,
+    wh: Matrix,
+    b: Vec<f32>,
+    upper_params: Vec<(Matrix, Matrix, Vec<f32>)>,
+    dw: Matrix,
+    db: Vec<f32>,
+) -> Result<LstmLm, LmError> {
+    let (vocab, hidden, seed) = (config.vocab, config.hidden, config.seed);
+    for (uwx, uwh, ub) in &upper_params {
+        if uwx.rows() != hidden
+            || uwx.cols() != 4 * hidden
+            || uwh.rows() != hidden
+            || uwh.cols() != 4 * hidden
+            || ub.len() != 4 * hidden
+        {
+            return Err(LmError::Persist("upper layer shapes inconsistent".into()));
+        }
+    }
+    if wx.rows() != vocab
+        || wx.cols() != 4 * hidden
+        || wh.rows() != hidden
+        || wh.cols() != 4 * hidden
+        || b.len() != 4 * hidden
+        || dw.rows() != hidden
+        || dw.cols() != vocab
+        || db.len() != vocab
+    {
+        return Err(LmError::Persist("tensor shapes inconsistent".into()));
+    }
+    let mut upper = Vec::with_capacity(upper_params.len());
+    for (li, (uwx, uwh, ub)) in upper_params.into_iter().enumerate() {
+        let mut layer = LstmLayer::new(hidden, hidden, seed ^ ((li + 1) as u64) << 8);
+        let (pwx, pwh, pb) = layer.params_mut();
+        *pwx = uwx;
+        *pwh = uwh;
+        *pb = ub;
+        upper.push(layer);
+    }
+    let mut lstm = LstmLayer::new(vocab, hidden, seed);
+    {
+        let (pwx, pwh, pb) = lstm.params_mut();
+        *pwx = wx;
+        *pwh = wh;
+        *pb = b;
+    }
+    let mut dense = Dense::new(hidden, vocab, seed);
+    {
+        let (pdw, pdb) = dense.params_mut();
+        *pdw = dw;
+        *pdb = db;
+    }
+    Ok(LstmLm::from_parts(
+        lstm,
+        upper,
+        dense,
+        Vocab::with_size(vocab),
+        config,
+        TrainReport::default(),
+    ))
 }
 
 #[cfg(test)]
@@ -272,6 +389,42 @@ mod tests {
         let back = LstmLm::from_bytes(&m.to_bytes()).unwrap();
         assert_eq!(back.config().layers, 2);
         assert_eq!(m.score_session(&[0, 1, 2, 0]), back.score_session(&[0, 1, 2, 0]));
+    }
+
+    #[test]
+    fn zero_copy_and_buffered_decoders_agree_bitwise() {
+        let seqs: Vec<Vec<usize>> = (0..8).map(|i| vec![0, 1, 2, i % 3, 1, 2]).collect();
+        let cfg = LmTrainConfig {
+            vocab: 3,
+            hidden: 5,
+            layers: 2,
+            epochs: 4,
+            batch_size: 4,
+            patience: 0,
+            ..LmTrainConfig::default()
+        };
+        let m = LstmLm::train(&cfg, &seqs, &[]).unwrap();
+        let bytes = m.to_bytes();
+        let zero_copy = LstmLm::from_bytes(&bytes).unwrap();
+        let buffered = LstmLm::from_bytes_buffered(&bytes).unwrap();
+        assert_eq!(zero_copy.to_bytes(), bytes, "zero-copy decode round-trips");
+        assert_eq!(buffered.to_bytes(), bytes, "buffered decode round-trips");
+    }
+
+    #[test]
+    fn decoders_reject_the_same_corruptions() {
+        let bytes = trained().to_bytes();
+        for cut in [0, 3, 7, 20, bytes.len() - 1] {
+            assert!(LstmLm::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            assert!(
+                LstmLm::from_bytes_buffered(&bytes[..cut]).is_err(),
+                "buffered cut {cut}"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(LstmLm::from_bytes(&trailing).is_err());
+        assert!(LstmLm::from_bytes_buffered(&trailing).is_err());
     }
 
     #[test]

@@ -5,7 +5,9 @@ use crate::model::LstmLm;
 
 /// Per-action scoring counter (`ibcm_lm_actions_scored_total`). The handle
 /// is cached so the hot scoring loop pays one relaxed atomic add per action.
-fn actions_scored_counter() -> &'static ibcm_obs::Counter {
+/// Shared with the lock-step batched scorer so the counter means "actions
+/// scored" regardless of which path scored them.
+pub(crate) fn actions_scored_counter() -> &'static ibcm_obs::Counter {
     static CELL: std::sync::OnceLock<ibcm_obs::Counter> = std::sync::OnceLock::new();
     CELL.get_or_init(|| ibcm_obs::names::LM_ACTIONS_SCORED.counter())
 }

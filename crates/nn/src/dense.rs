@@ -162,6 +162,41 @@ impl Dense {
         y.extend_from_slice(&self.b);
         self.w.vecmat_acc_into(x, y);
     }
+
+    /// Batched scoring head: one forward pass for a `lanes x in_dim` block
+    /// of hidden states, writing `lanes x out_dim` logits into `y`
+    /// (overwritten, reusing its allocation).
+    ///
+    /// Unlike [`Dense::forward_into`] — which adds the bias after the
+    /// product — this initializes each output row **from the bias** and then
+    /// accumulates the product, replicating [`Dense::forward_vec_into`]'s
+    /// per-element rounding sequence, so row `r` is bit-identical to
+    /// `forward_vec_into(x.row(r), ..)`. The batched scorer depends on that
+    /// identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ibcm_nn::{Dense, Matrix};
+    /// let dense = Dense::new(4, 3, 42);
+    /// let x = Matrix::uniform(2, 4, 1.0, 7);
+    /// let mut batched = Matrix::default();
+    /// dense.forward_batch_into(&x, &mut batched);
+    /// let solo = dense.forward_vec(x.row(1));
+    /// assert_eq!(batched.row(1), solo.as_slice());
+    /// ```
+    pub fn forward_batch_into(&self, x: &Matrix, y: &mut Matrix) {
+        assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
+        y.resize_zeroed(x.rows(), self.out_dim());
+        for r in 0..y.rows() {
+            y.row_mut(r).copy_from_slice(&self.b);
+        }
+        x.matmul_acc_into(&self.w, y);
+    }
 }
 
 /// Result of a fused softmax + cross-entropy evaluation.

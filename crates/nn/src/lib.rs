@@ -64,6 +64,6 @@ pub use dense::{
 };
 pub use dropout::Dropout;
 pub use error::NnError;
-pub use lstm::{LstmCache, LstmGrads, LstmLayer, LstmState, StepInput};
+pub use lstm::{LstmBatchState, LstmCache, LstmGrads, LstmLayer, LstmState, StepInput};
 pub use matrix::{kernel_mode, reference, set_kernel_mode, KernelMode, Matrix};
-pub use scratch::Scratch;
+pub use scratch::{BatchScratch, Scratch};

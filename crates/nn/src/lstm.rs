@@ -2,7 +2,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::activations::{sigmoid, tanh_f};
 use crate::matrix::Matrix;
-use crate::scratch::Scratch;
+use crate::scratch::{BatchScratch, Scratch};
 
 /// One timestep of input for one batch element.
 ///
@@ -109,6 +109,56 @@ impl LstmState {
     pub fn reset(&mut self) {
         self.h.iter_mut().for_each(|v| *v = 0.0);
         self.c.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Recurrent state for a **batch** of independent sessions advancing in
+/// lock-step through one layer: row `r` of each matrix is lane `r`'s hidden
+/// and cell vector.
+///
+/// The batched scorer sorts lanes by descending session length, so lanes
+/// that finish early always form a suffix; [`LstmBatchState::truncate`]
+/// retires them without disturbing the rows still running. Per lane the
+/// update arithmetic is exactly [`LstmLayer::step_scratch`]'s, so a lane's
+/// state trajectory is bit-identical to scoring that session alone (see
+/// `step_batch_matches_per_lane_steps` in this module's tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmBatchState {
+    /// `lanes x hidden` hidden states.
+    h: Matrix,
+    /// `lanes x hidden` cell states.
+    c: Matrix,
+}
+
+impl LstmBatchState {
+    /// Fresh all-zero state for `lanes` sessions through a layer with
+    /// `hidden` units.
+    pub fn new(lanes: usize, hidden: usize) -> Self {
+        LstmBatchState {
+            h: Matrix::zeros(lanes, hidden),
+            c: Matrix::zeros(lanes, hidden),
+        }
+    }
+
+    /// Number of live lanes.
+    pub fn lanes(&self) -> usize {
+        self.h.rows()
+    }
+
+    /// The `lanes x hidden` hidden-state matrix (one row per lane) — the
+    /// input to the next layer up, or to the dense scoring head.
+    pub fn hiddens(&self) -> &Matrix {
+        &self.h
+    }
+
+    /// Retires all lanes past `lanes`, keeping the leading rows intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` exceeds the current lane count.
+    pub fn truncate(&mut self, lanes: usize) {
+        self.h.truncate_rows(lanes);
+        self.c.truncate_rows(lanes);
     }
 }
 
@@ -517,13 +567,22 @@ impl LstmLayer {
     /// Shared fused pointwise update for the online steps: consumes the
     /// preactivation gate slab and advances `state`.
     fn step_pointwise(h: usize, gates: &[f32], state: &mut LstmState) {
+        Self::step_pointwise_lane(h, gates, &mut state.c, &mut state.h);
+    }
+
+    /// One lane's pointwise update against split `c`/`h` slices — the shape
+    /// shared by [`LstmLayer::step_pointwise`] (one [`LstmState`]) and the
+    /// batched path (rows of an [`LstmBatchState`]). Keeping a single body
+    /// is what makes the per-lane arithmetic of the two paths identical by
+    /// construction.
+    fn step_pointwise_lane(h: usize, gates: &[f32], c: &mut [f32], hv: &mut [f32]) {
         for j in 0..h {
             let i_g = sigmoid(gates[j]);
             let f_g = sigmoid(gates[h + j]);
             let g_g = tanh_f(gates[2 * h + j]);
             let o_g = sigmoid(gates[3 * h + j]);
-            state.c[j] = f_g * state.c[j] + i_g * g_g;
-            state.h[j] = o_g * tanh_f(state.c[j]);
+            c[j] = f_g * c[j] + i_g * g_g;
+            hv[j] = o_g * tanh_f(c[j]);
         }
     }
 
@@ -588,11 +647,197 @@ impl LstmLayer {
         self.wh.vecmat_acc_into(&state.h, gates);
         Self::step_pointwise(h, gates, state);
     }
+
+    /// Copies the bias into every live row of the batch gate slab — the
+    /// batched analogue of `gates.extend_from_slice(&self.b)`.
+    fn init_batch_gates(&self, lanes: usize, scratch: &mut BatchScratch) {
+        let gates = &mut scratch.gates;
+        gates.resize_zeroed(lanes, 4 * self.hidden);
+        for r in 0..lanes {
+            gates.row_mut(r).copy_from_slice(&self.b);
+        }
+    }
+
+    /// The batched pointwise update: one [`LstmLayer::step_pointwise_lane`]
+    /// call per live row.
+    fn step_batch_pointwise(&self, states: &mut LstmBatchState, scratch: &BatchScratch) {
+        let h = self.hidden;
+        let LstmBatchState { h: hm, c: cm } = states;
+        for r in 0..hm.rows() {
+            Self::step_pointwise_lane(h, scratch.gates.row(r), cm.row_mut(r), hm.row_mut(r));
+        }
+    }
+
+    /// Advances a batch of lanes by one step each, in lock-step — the
+    /// throughput analogue of [`LstmLayer::step_scratch`] for the bottom
+    /// (action-input) layer of a stack. `inputs[r]` is lane `r`'s input.
+    ///
+    /// One weight-matrix traversal (`wh` here, plus one `wx` row gather per
+    /// acting lane) serves the whole batch, which is where the batched
+    /// scorer's speedup comes from; per lane the sequence of rounded
+    /// floating-point operations is exactly `step_scratch`'s, so every
+    /// lane's state stays bit-identical to stepping that session alone. A
+    /// [`StepInput::Pad`] lane gets the bias-only input, identical to
+    /// `step_scratch(state, StepInput::Pad, ..)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` has a different lane count than `inputs`, the
+    /// state width does not match the layer, or an action index is out of
+    /// the input range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ibcm_nn::{BatchScratch, LstmBatchState, LstmLayer, LstmState, Scratch, StepInput};
+    /// let lstm = LstmLayer::new(6, 4, 9);
+    /// // Two lanes in lock-step ...
+    /// let mut batch = LstmBatchState::new(2, 4);
+    /// let mut bs = BatchScratch::new();
+    /// lstm.step_batch_scratch(&mut batch, &[StepInput::Action(1), StepInput::Action(5)], &mut bs);
+    /// // ... match the same sessions stepped one at a time, bit for bit.
+    /// let mut solo = LstmState::new(4);
+    /// lstm.step_scratch(&mut solo, StepInput::Action(5), &mut Scratch::new());
+    /// assert_eq!(batch.hiddens().row(1), solo.hidden());
+    /// ```
+    pub fn step_batch_scratch(
+        &self,
+        states: &mut LstmBatchState,
+        inputs: &[StepInput],
+        scratch: &mut BatchScratch,
+    ) {
+        let lanes = inputs.len();
+        assert_eq!(states.h.rows(), lanes, "one state lane per input");
+        assert_eq!(states.h.cols(), self.hidden, "state size mismatch");
+        self.init_batch_gates(lanes, scratch);
+        for (r, input) in inputs.iter().enumerate() {
+            if let StepInput::Action(a) = *input {
+                assert!(a < self.input_dim, "action index {a} out of range");
+                for (g, &w) in scratch.gates.row_mut(r).iter_mut().zip(self.wx.row(a).iter()) {
+                    *g += w;
+                }
+            }
+        }
+        states.h.matmul_acc_into(&self.wh, &mut scratch.gates);
+        self.step_batch_pointwise(states, scratch);
+    }
+
+    /// Advances a batch of lanes by one **dense** input row each, in
+    /// lock-step — the throughput analogue of
+    /// [`LstmLayer::step_dense_scratch`] for the upper layers of a stack.
+    /// Row `r` of `inputs` is lane `r`'s input vector (typically the
+    /// [`LstmBatchState::hiddens`] of the layer below).
+    ///
+    /// Per lane the accumulation order matches `step_dense_scratch` exactly
+    /// (bias, then the `wx` product, then the `wh` product, each reduction
+    /// in ascending order), so results are bit-identical to the per-session
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane counts or widths disagree with the layer.
+    pub fn step_batch_dense_scratch(
+        &self,
+        states: &mut LstmBatchState,
+        inputs: &Matrix,
+        scratch: &mut BatchScratch,
+    ) {
+        let lanes = inputs.rows();
+        assert_eq!(states.h.rows(), lanes, "one state lane per input row");
+        assert_eq!(states.h.cols(), self.hidden, "state size mismatch");
+        assert_eq!(inputs.cols(), self.input_dim, "dense input width");
+        self.init_batch_gates(lanes, scratch);
+        inputs.matmul_acc_into(&self.wx, &mut scratch.gates);
+        states.h.matmul_acc_into(&self.wh, &mut scratch.gates);
+        self.step_batch_pointwise(states, scratch);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The batched lock-step path must be bitwise identical, lane by lane,
+    /// to stepping each session alone — in both kernel modes.
+    #[test]
+    fn step_batch_matches_per_lane_steps() {
+        use crate::matrix::{kernel_mode, set_kernel_mode, KernelMode};
+        let bottom = LstmLayer::new(7, 5, 21);
+        let upper = LstmLayer::new(5, 5, 22);
+        let sessions: [&[usize]; 3] = [&[0, 3, 6, 2, 5], &[1, 4, 2], &[6]];
+        let saved = kernel_mode();
+        for mode in [KernelMode::Optimized, KernelMode::Reference] {
+            set_kernel_mode(mode);
+            // Per-session trajectories through the two-layer stack.
+            let mut solo: Vec<(LstmState, LstmState)> = sessions
+                .iter()
+                .map(|_| (LstmState::new(5), LstmState::new(5)))
+                .collect();
+            let mut scratch = Scratch::new();
+            for (s, (st0, st1)) in sessions.iter().zip(solo.iter_mut()) {
+                for &a in s.iter() {
+                    bottom.step_scratch(st0, StepInput::Action(a), &mut scratch);
+                    let hidden = st0.hidden().to_vec();
+                    upper.step_dense_scratch(st1, &hidden, &mut scratch);
+                }
+            }
+            // The same sessions in lock-step, retiring lanes as they end.
+            let mut b0 = LstmBatchState::new(sessions.len(), 5);
+            let mut b1 = LstmBatchState::new(sessions.len(), 5);
+            let mut bs = BatchScratch::new();
+            let max_len = sessions.iter().map(|s| s.len()).max().unwrap();
+            for t in 0..max_len {
+                let active = sessions.iter().filter(|s| s.len() > t).count();
+                b0.truncate(active);
+                b1.truncate(active);
+                let inputs: Vec<StepInput> = sessions[..active]
+                    .iter()
+                    .map(|s| StepInput::Action(s[t]))
+                    .collect();
+                bottom.step_batch_scratch(&mut b0, &inputs, &mut bs);
+                let below = b0.hiddens().clone();
+                upper.step_batch_dense_scratch(&mut b1, &below, &mut bs);
+                for r in 0..active {
+                    if sessions[r].len() == t + 1 {
+                        // This lane just fed its last action; its final
+                        // state must match the solo run exactly.
+                        assert_eq!(b0.hiddens().row(r), solo[r].0.hidden(), "{mode:?} lane {r}");
+                        assert_eq!(b1.hiddens().row(r), solo[r].1.hidden(), "{mode:?} lane {r}");
+                    }
+                }
+            }
+        }
+        set_kernel_mode(saved);
+    }
+
+    #[test]
+    fn step_batch_pad_matches_pad_step() {
+        let lstm = LstmLayer::new(4, 3, 8);
+        let mut batch = LstmBatchState::new(2, 3);
+        lstm.step_batch_scratch(
+            &mut batch,
+            &[StepInput::Pad, StepInput::Action(2)],
+            &mut BatchScratch::new(),
+        );
+        let mut solo = LstmState::new(3);
+        lstm.step_scratch(&mut solo, StepInput::Pad, &mut Scratch::new());
+        assert_eq!(batch.hiddens().row(0), solo.hidden());
+    }
+
+    #[test]
+    fn batch_state_truncate_keeps_leading_lanes() {
+        let lstm = LstmLayer::new(4, 3, 8);
+        let mut batch = LstmBatchState::new(3, 3);
+        lstm.step_batch_scratch(
+            &mut batch,
+            &[StepInput::Action(0), StepInput::Action(1), StepInput::Action(2)],
+            &mut BatchScratch::new(),
+        );
+        let lane0 = batch.hiddens().row(0).to_vec();
+        batch.truncate(1);
+        assert_eq!(batch.lanes(), 1);
+        assert_eq!(batch.hiddens().row(0), lane0.as_slice());
+    }
 
     fn tiny_inputs() -> Vec<Vec<StepInput>> {
         vec![

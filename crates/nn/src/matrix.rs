@@ -11,9 +11,10 @@ use serde::{Deserialize, Serialize};
 /// retained naive reference in the same build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelMode {
-    /// Blocked, multi-accumulator kernels; on x86-64 with AVX2 the axpy
-    /// steps run eight lanes wide (separate mul/add, never FMA, so the
-    /// per-element rounding sequence matches the scalar loops exactly).
+    /// Blocked, multi-accumulator kernels; on x86-64 the axpy steps run
+    /// sixteen lanes wide under AVX-512F, eight under AVX2 (separate
+    /// mul/add, never FMA, so the per-element rounding sequence matches
+    /// the scalar loops exactly at any width).
     Optimized,
     /// The naive scalar loops retained in [`mod@reference`].
     Reference,
@@ -242,13 +243,18 @@ impl Matrix {
 
     /// `out += self * other`, reusing `out`'s storage.
     ///
-    /// The kernel is an i-k-j loop (cache-friendly access to both operands)
-    /// with the k dimension unrolled four-wide. Per output element the
-    /// products are still added in ascending-k order, one rounded addition
-    /// each, so the result is bit-identical to [`reference::matmul_acc_into`]
-    /// for finite inputs. (The reference kernel skips zero elements of
-    /// `self`, so `0.0 * inf` edge cases differ — finite inputs are the
-    /// contract everywhere in this crate.)
+    /// The kernel blocks output rows sixteen-wide (`kernels::LANE_BLOCK`)
+    /// and hoists
+    /// each eight-row slab of `other` above the row loop, so a k-block of
+    /// weight rows is streamed from memory once per row block instead of
+    /// once per output row — the reuse the lock-step batch scorer depends
+    /// on (`other` is the weight matrix there, and it is larger than L2 at
+    /// paper shape). Per output element the products are still added in
+    /// ascending-k order, one rounded addition each, so the result is
+    /// bit-identical to [`reference::matmul_acc_into`] for finite inputs.
+    /// (The reference kernel skips zero elements of `self`, so `0.0 * inf`
+    /// edge cases differ — finite inputs are the contract everywhere in
+    /// this crate.)
     ///
     /// # Panics
     ///
@@ -265,10 +271,57 @@ impl Matrix {
         }
         let n = other.cols;
         let kk = self.cols;
-        for i in 0..self.rows {
-            let arow = &self.data[i * kk..(i + 1) * kk];
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            kernels::acc_rows(arow, &other.data, orow, n);
+        let b = &other.data;
+        let brow = |k: usize| &b[k * n..(k + 1) * n];
+        let mut i = 0;
+        while i < self.rows {
+            let lanes = (self.rows - i).min(kernels::LANE_BLOCK);
+            let mut k = 0;
+            while k + 8 <= kk {
+                let bs = [
+                    brow(k),
+                    brow(k + 1),
+                    brow(k + 2),
+                    brow(k + 3),
+                    brow(k + 4),
+                    brow(k + 5),
+                    brow(k + 6),
+                    brow(k + 7),
+                ];
+                for r in i..i + lanes {
+                    let a = &self.data[r * kk..(r + 1) * kk];
+                    let av = [
+                        a[k],
+                        a[k + 1],
+                        a[k + 2],
+                        a[k + 3],
+                        a[k + 4],
+                        a[k + 5],
+                        a[k + 6],
+                        a[k + 7],
+                    ];
+                    kernels::axpy8(&mut out.data[r * n..(r + 1) * n], av, bs);
+                }
+                k += 8;
+            }
+            if k + 4 <= kk {
+                let (b0, b1, b2, b3) = (brow(k), brow(k + 1), brow(k + 2), brow(k + 3));
+                for r in i..i + lanes {
+                    let a = &self.data[r * kk..(r + 1) * kk];
+                    let av = [a[k], a[k + 1], a[k + 2], a[k + 3]];
+                    kernels::axpy4(&mut out.data[r * n..(r + 1) * n], av, b0, b1, b2, b3);
+                }
+                k += 4;
+            }
+            while k < kk {
+                let bk = brow(k);
+                for r in i..i + lanes {
+                    let av = self.data[r * kk + k];
+                    kernels::axpy1(&mut out.data[r * n..(r + 1) * n], av, bk);
+                }
+                k += 1;
+            }
+            i += lanes;
         }
     }
 
@@ -529,6 +582,20 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Drops all rows past `rows`, keeping the leading rows' data and the
+    /// allocation. Used by the lock-step batch scorer: lanes are sorted by
+    /// descending session length, so finished lanes are always a suffix and
+    /// the live batch shrinks by truncation alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > self.rows()`.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        assert!(rows <= self.rows, "truncate_rows cannot grow the matrix");
+        self.rows = rows;
+        self.data.truncate(rows * self.cols);
+    }
+
     /// Becomes a copy of `other` (shape and contents), reusing the existing
     /// allocation when capacity allows.
     pub fn copy_from(&mut self, other: &Matrix) {
@@ -567,27 +634,35 @@ impl Default for Matrix {
     }
 }
 
-// The only `unsafe` in the crate lives here: runtime-dispatched AVX2
-// micro-kernels plus their guarded call sites, each with an explicit
-// feature-detection check and in-bounds contract.
+// The only `unsafe` in the crate lives here: runtime-dispatched SIMD
+// micro-kernels (AVX-512F and AVX2 tiers) plus their guarded call sites,
+// each with an explicit feature-detection check and in-bounds contract.
 #[allow(unsafe_code)]
 mod kernels {
     /// `orow[j] += a0*b0[j]; += a1*b1[j]; += a2*b2[j]; += a3*b3[j]` — the
-    /// four-wide axpy step every blocked kernel is built from. The additions
-    /// per output element happen sequentially in that order, so the rounded
-    /// operation sequence is identical to the scalar reference loops.
+    /// four-wide axpy step the blocked kernels' k-tails are built from. The
+    /// additions per output element happen sequentially in that order, so
+    /// the rounded operation sequence is identical to the scalar reference
+    /// loops.
     ///
-    /// On x86-64 with AVX2 this runs eight lanes at a time using separate
-    /// `mul`/`add` (never FMA — fused rounding would break bit-identity);
-    /// vector lanes are independent output elements, so widening the loop
-    /// reassociates nothing.
+    /// On x86-64 this runs sixteen lanes at a time under AVX-512F (eight
+    /// under AVX2) using separate `mul`/`add` (never FMA — fused rounding
+    /// would break bit-identity); vector lanes are independent output
+    /// elements, so widening the loop reassociates nothing.
     #[inline]
     pub(super) fn axpy4(orow: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
         #[cfg(target_arch = "x86_64")]
-        if x86::avx2_available() {
-            // SAFETY: AVX2 support verified at runtime above.
-            unsafe { x86::axpy4_avx2(orow, a, b0, b1, b2, b3) };
-            return;
+        {
+            if x86::avx512_available() {
+                // SAFETY: AVX-512F support verified at runtime above.
+                unsafe { x86::axpy4_avx512(orow, a, b0, b1, b2, b3) };
+                return;
+            }
+            if x86::avx2_available() {
+                // SAFETY: AVX2 support verified at runtime above.
+                unsafe { x86::axpy4_avx2(orow, a, b0, b1, b2, b3) };
+                return;
+            }
         }
         for j in 0..orow.len() {
             let mut acc = orow[j];
@@ -599,14 +674,56 @@ mod kernels {
         }
     }
 
+    /// Eight-term axpy: `orow[j] += a[0]*bs[0][j]; ...; += a[7]*bs[7][j]`,
+    /// additions applied sequentially in index order per output element —
+    /// the same rounded-operation sequence as two consecutive [`axpy4`]
+    /// calls on `(a[0..4], bs[0..4])` then `(a[4..8], bs[4..8])`, so using
+    /// it changes scheduling (one accumulator-row pass instead of two),
+    /// never bits.
+    #[inline]
+    pub(super) fn axpy8(orow: &mut [f32], a: [f32; 8], bs: [&[f32]; 8]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if x86::avx512_available() {
+                // SAFETY: AVX-512F support verified at runtime above.
+                unsafe { x86::axpy8_avx512(orow, a, bs) };
+                return;
+            }
+            if x86::avx2_available() {
+                // SAFETY: AVX2 support verified at runtime above.
+                unsafe { x86::axpy8_avx2(orow, a, bs) };
+                return;
+            }
+        }
+        for j in 0..orow.len() {
+            let mut acc = orow[j];
+            acc += a[0] * bs[0][j];
+            acc += a[1] * bs[1][j];
+            acc += a[2] * bs[2][j];
+            acc += a[3] * bs[3][j];
+            acc += a[4] * bs[4][j];
+            acc += a[5] * bs[5][j];
+            acc += a[6] * bs[6][j];
+            acc += a[7] * bs[7][j];
+            orow[j] = acc;
+        }
+    }
+
     /// `orow[j] += a0 * brow[j]` — the single-row tail of [`axpy4`].
     #[inline]
     pub(super) fn axpy1(orow: &mut [f32], a0: f32, brow: &[f32]) {
         #[cfg(target_arch = "x86_64")]
-        if x86::avx2_available() {
-            // SAFETY: AVX2 support verified at runtime above.
-            unsafe { x86::axpy1_avx2(orow, a0, brow) };
-            return;
+        {
+            if x86::avx512_available() {
+                // SAFETY: AVX-512F support verified at runtime above.
+                unsafe { x86::axpy1_avx512(orow, a0, brow) };
+                return;
+            }
+            if x86::avx2_available() {
+                // SAFETY: AVX2 support verified at runtime above.
+                unsafe { x86::axpy1_avx2(orow, a0, brow) };
+                return;
+            }
         }
         for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
             *o += a0 * bv;
@@ -627,32 +744,17 @@ mod kernels {
         }
     }
 
-    /// `orow[j] += Σ_k arow[k] * b[k*n + j]`, ascending-k order per output
-    /// element, with the k dimension unrolled four-wide through [`axpy4`].
-    #[inline]
-    pub(super) fn acc_rows(arow: &[f32], b: &[f32], orow: &mut [f32], n: usize) {
-        let kk = arow.len();
-        let mut k = 0;
-        while k + 4 <= kk {
-            let a = [arow[k], arow[k + 1], arow[k + 2], arow[k + 3]];
-            axpy4(
-                orow,
-                a,
-                &b[k * n..(k + 1) * n],
-                &b[(k + 1) * n..(k + 2) * n],
-                &b[(k + 2) * n..(k + 3) * n],
-                &b[(k + 3) * n..(k + 4) * n],
-            );
-            k += 4;
-        }
-        while k < kk {
-            axpy1(orow, arow[k], &b[k * n..(k + 1) * n]);
-            k += 1;
-        }
-    }
+    /// Output rows processed per block of [`super::Matrix::matmul_acc_into`]:
+    /// a k-block of eight right-operand rows (32 KB at the LSTM's 4·256-wide
+    /// gate slab) is loaded once and applied to this many output rows while
+    /// it is L1-resident, dividing the right operand's memory traffic by the
+    /// block width. Purely a scheduling constant — any value produces the
+    /// same bits, since each output row's accumulation order is unchanged.
+    pub(super) const LANE_BLOCK: usize = 16;
 
-    /// Runtime-dispatched AVX2 micro-kernels: every entry point is gated on
-    /// `avx2_available()` and touches memory strictly within the slice
+    /// Runtime-dispatched SIMD micro-kernels (AVX-512F preferred, AVX2
+    /// fallback): every entry point is gated on the matching
+    /// `*_available()` check and touches memory strictly within the slice
     /// bounds checked by its caller.
     #[cfg(target_arch = "x86_64")]
     mod x86 {
@@ -663,6 +765,113 @@ mod kernels {
         pub(super) fn avx2_available() -> bool {
             static AVX2: OnceLock<bool> = OnceLock::new();
             *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+        }
+
+        #[inline]
+        pub(super) fn avx512_available() -> bool {
+            static AVX512: OnceLock<bool> = OnceLock::new();
+            // Miri interprets AVX2 but not the AVX-512 intrinsic set; force
+            // the interpreter down the 8-lane path it can execute.
+            *AVX512.get_or_init(|| !cfg!(miri) && is_x86_feature_detected!("avx512f"))
+        }
+
+        /// Sixteen-lane [`super::axpy4`] for AVX-512F machines: per element
+        /// `((((y + a0*b0) + a1*b1) + a2*b2) + a3*b3)` with one rounding per
+        /// add/mul — vector lanes are independent output elements, so the
+        /// wider vector reassociates nothing and the result matches the
+        /// scalar loop (and the 8-lane AVX2 kernel) bit for bit.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure AVX-512F is available. Slices must all have
+        /// `orow.len()` elements (enforced by the callers' block slicing).
+        #[target_feature(enable = "avx512f")]
+        pub(super) unsafe fn axpy4_avx512(
+            orow: &mut [f32],
+            a: [f32; 4],
+            b0: &[f32],
+            b1: &[f32],
+            b2: &[f32],
+            b3: &[f32],
+        ) {
+            let n = orow.len();
+            debug_assert!(b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n);
+            // Safe: `set1` touches no memory and the enclosing
+            // `#[target_feature(enable = "avx512f")]` makes the intrinsic
+            // callable without a block.
+            let va0 = _mm512_set1_ps(a[0]);
+            let va1 = _mm512_set1_ps(a[1]);
+            let va2 = _mm512_set1_ps(a[2]);
+            let va3 = _mm512_set1_ps(a[3]);
+            let mut j = 0;
+            while j + 16 <= n {
+                // SAFETY: j + 16 <= n and all five slices have n elements
+                // (caller contract, debug-asserted above), so every
+                // unaligned 16-lane load/store at offset j is in bounds.
+                unsafe {
+                    let p = orow.as_mut_ptr().add(j);
+                    let mut vy = _mm512_loadu_ps(p);
+                    vy = _mm512_add_ps(vy, _mm512_mul_ps(va0, _mm512_loadu_ps(b0.as_ptr().add(j))));
+                    vy = _mm512_add_ps(vy, _mm512_mul_ps(va1, _mm512_loadu_ps(b1.as_ptr().add(j))));
+                    vy = _mm512_add_ps(vy, _mm512_mul_ps(va2, _mm512_loadu_ps(b2.as_ptr().add(j))));
+                    vy = _mm512_add_ps(vy, _mm512_mul_ps(va3, _mm512_loadu_ps(b3.as_ptr().add(j))));
+                    _mm512_storeu_ps(p, vy);
+                }
+                j += 16;
+            }
+            while j < n {
+                // SAFETY: j < n == orow.len() and the b slices have n
+                // elements (caller contract), so unchecked scalar access
+                // at j is in bounds.
+                unsafe {
+                    let mut acc = *orow.get_unchecked(j);
+                    acc += a[0] * *b0.get_unchecked(j);
+                    acc += a[1] * *b1.get_unchecked(j);
+                    acc += a[2] * *b2.get_unchecked(j);
+                    acc += a[3] * *b3.get_unchecked(j);
+                    *orow.get_unchecked_mut(j) = acc;
+                }
+                j += 1;
+            }
+        }
+
+        /// Sixteen-lane `orow[j] += a0 * brow[j]` for AVX-512F machines.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure AVX-512F is available and
+        /// `brow.len() == orow.len()`.
+        #[target_feature(enable = "avx512f")]
+        pub(super) unsafe fn axpy1_avx512(orow: &mut [f32], a0: f32, brow: &[f32]) {
+            let n = orow.len();
+            debug_assert_eq!(brow.len(), n);
+            // Safe: `set1` touches no memory and the enclosing
+            // `#[target_feature(enable = "avx512f")]` makes the intrinsic
+            // callable without a block.
+            let va = _mm512_set1_ps(a0);
+            let mut j = 0;
+            while j + 16 <= n {
+                // SAFETY: j + 16 <= n and both slices have n elements
+                // (caller contract), so the 16-lane accesses at j are in
+                // bounds.
+                unsafe {
+                    let p = orow.as_mut_ptr().add(j);
+                    let vy = _mm512_add_ps(
+                        _mm512_loadu_ps(p),
+                        _mm512_mul_ps(va, _mm512_loadu_ps(brow.as_ptr().add(j))),
+                    );
+                    _mm512_storeu_ps(p, vy);
+                }
+                j += 16;
+            }
+            while j < n {
+                // SAFETY: j < n and both slices have n elements (caller
+                // contract).
+                unsafe {
+                    *orow.get_unchecked_mut(j) += a0 * *brow.get_unchecked(j);
+                }
+                j += 1;
+            }
         }
 
         /// Eight-lane [`super::axpy4`]: per element
@@ -756,6 +965,123 @@ mod kernels {
                 // contract).
                 unsafe {
                     *orow.get_unchecked_mut(j) += a0 * *brow.get_unchecked(j);
+                }
+                j += 1;
+            }
+        }
+
+        /// Sixteen-lane [`super::axpy8`] for AVX-512F machines: eight
+        /// broadcast/mul/add terms applied sequentially per element, one
+        /// rounding each — the same operation sequence as two chained
+        /// [`axpy4_avx512`] calls, in one accumulator-row pass.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure AVX-512F is available and every slice in `bs`
+        /// has `orow.len()` elements.
+        #[target_feature(enable = "avx512f")]
+        pub(super) unsafe fn axpy8_avx512(orow: &mut [f32], a: [f32; 8], bs: [&[f32]; 8]) {
+            let n = orow.len();
+            debug_assert!(bs.iter().all(|b| b.len() == n));
+            // Safe: `set1` touches no memory and the enclosing
+            // `#[target_feature(enable = "avx512f")]` makes the intrinsic
+            // callable without a block.
+            let va: [_; 8] = [
+                _mm512_set1_ps(a[0]),
+                _mm512_set1_ps(a[1]),
+                _mm512_set1_ps(a[2]),
+                _mm512_set1_ps(a[3]),
+                _mm512_set1_ps(a[4]),
+                _mm512_set1_ps(a[5]),
+                _mm512_set1_ps(a[6]),
+                _mm512_set1_ps(a[7]),
+            ];
+            let mut j = 0;
+            while j + 16 <= n {
+                // SAFETY: j + 16 <= n and all nine slices have n elements
+                // (caller contract, debug-asserted above), so every
+                // unaligned 16-lane load/store at offset j is in bounds.
+                unsafe {
+                    let p = orow.as_mut_ptr().add(j);
+                    let mut vy = _mm512_loadu_ps(p);
+                    for t in 0..8 {
+                        vy = _mm512_add_ps(
+                            vy,
+                            _mm512_mul_ps(va[t], _mm512_loadu_ps(bs[t].as_ptr().add(j))),
+                        );
+                    }
+                    _mm512_storeu_ps(p, vy);
+                }
+                j += 16;
+            }
+            while j < n {
+                // SAFETY: j < n == orow.len() and the bs slices have n
+                // elements (caller contract), so unchecked scalar access
+                // at j is in bounds.
+                unsafe {
+                    let mut acc = *orow.get_unchecked(j);
+                    for t in 0..8 {
+                        acc += a[t] * *bs[t].get_unchecked(j);
+                    }
+                    *orow.get_unchecked_mut(j) = acc;
+                }
+                j += 1;
+            }
+        }
+
+        /// Eight-lane [`super::axpy8`]: the AVX2 fallback of
+        /// [`axpy8_avx512`], same sequential eight-term accumulation per
+        /// element.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure AVX2 is available and every slice in `bs` has
+        /// `orow.len()` elements.
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn axpy8_avx2(orow: &mut [f32], a: [f32; 8], bs: [&[f32]; 8]) {
+            let n = orow.len();
+            debug_assert!(bs.iter().all(|b| b.len() == n));
+            // Safe: `set1` touches no memory and the enclosing
+            // `#[target_feature(enable = "avx2")]` makes the intrinsic
+            // callable without a block.
+            let va: [_; 8] = [
+                _mm256_set1_ps(a[0]),
+                _mm256_set1_ps(a[1]),
+                _mm256_set1_ps(a[2]),
+                _mm256_set1_ps(a[3]),
+                _mm256_set1_ps(a[4]),
+                _mm256_set1_ps(a[5]),
+                _mm256_set1_ps(a[6]),
+                _mm256_set1_ps(a[7]),
+            ];
+            let mut j = 0;
+            while j + 8 <= n {
+                // SAFETY: j + 8 <= n and all nine slices have n elements
+                // (caller contract, debug-asserted above), so every
+                // unaligned 8-lane load/store at offset j is in bounds.
+                unsafe {
+                    let p = orow.as_mut_ptr().add(j);
+                    let mut vy = _mm256_loadu_ps(p);
+                    for t in 0..8 {
+                        vy = _mm256_add_ps(
+                            vy,
+                            _mm256_mul_ps(va[t], _mm256_loadu_ps(bs[t].as_ptr().add(j))),
+                        );
+                    }
+                    _mm256_storeu_ps(p, vy);
+                }
+                j += 8;
+            }
+            while j < n {
+                // SAFETY: j < n == orow.len() and the bs slices have n
+                // elements (caller contract), so unchecked scalar access
+                // at j is in bounds.
+                unsafe {
+                    let mut acc = *orow.get_unchecked(j);
+                    for t in 0..8 {
+                        acc += a[t] * *bs[t].get_unchecked(j);
+                    }
+                    *orow.get_unchecked_mut(j) = acc;
                 }
                 j += 1;
             }

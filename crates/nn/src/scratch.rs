@@ -51,3 +51,40 @@ impl Scratch {
         Scratch::default()
     }
 }
+
+/// Reusable workspace for the lock-step **batched** inference path.
+///
+/// Where [`Scratch`] carries the `4*hidden` gate slab of a single-example
+/// online step, `BatchScratch` carries the batch-major `lanes x 4*hidden`
+/// slab that [`LstmLayer::step_batch_scratch`](crate::LstmLayer::step_batch_scratch)
+/// drives through the weight matrices once per timestep for the whole
+/// batch. The slab is resized in place, so steady-state batched scoring
+/// performs no heap allocation per step once the widest bucket has been
+/// seen.
+///
+/// # Example
+///
+/// ```
+/// use ibcm_nn::{BatchScratch, LstmBatchState, LstmLayer, StepInput};
+/// let lstm = LstmLayer::new(10, 8, 1);
+/// let mut states = LstmBatchState::new(2, 8);
+/// let mut scratch = BatchScratch::new();
+/// lstm.step_batch_scratch(
+///     &mut states,
+///     &[StepInput::Action(3), StepInput::Action(7)],
+///     &mut scratch,
+/// );
+/// assert_eq!(states.lanes(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Batch-major `lanes x 4*hidden` gate slab for lock-step steps.
+    pub(crate) gates: Matrix,
+}
+
+impl BatchScratch {
+    /// Creates an empty workspace; the slab is sized lazily on first use.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+}

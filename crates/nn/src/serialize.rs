@@ -2,6 +2,19 @@
 //!
 //! Format: little-endian `u32` dimensions followed by raw little-endian
 //! `f32` data. Used by `ibcm-lm` to persist trained language models.
+//!
+//! Two reader families share the format:
+//!
+//! - the original [`Bytes`]-cursor readers ([`read_matrix`], [`read_vec`],
+//!   [`read_header`]), which copy the input up front and decode `f32`s one
+//!   at a time — retained as the reference implementation and the "before"
+//!   side of the `ibcd_load` bench stage;
+//! - the zero-copy [`SliceReader`] family ([`read_matrix_slice`] etc.),
+//!   which walks a **borrowed** `&[u8]` — an mmap'd region drops straight
+//!   in — and converts each tensor's data in one bulk little-endian pass.
+//!   The only allocations are the final `Vec<f32>` tensor buffers
+//!   themselves. Both families decode identical bytes to identical tensors
+//!   (asserted in this module's tests and the persistence suites).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -95,9 +108,201 @@ pub fn read_header(buf: &mut Bytes) -> Result<u32, NnError> {
     Ok(buf.get_u32_le())
 }
 
+/// A forward-only cursor over **borrowed** serialized bytes — the zero-copy
+/// counterpart of the [`Bytes`]-based readers above. Slicing never copies;
+/// the lifetime ties every view to the caller's buffer (a file read once, or
+/// an mmap'd region).
+///
+/// # Example
+///
+/// ```
+/// use bytes::BytesMut;
+/// use ibcm_nn::serialize::{write_matrix, read_matrix_slice, SliceReader};
+/// use ibcm_nn::Matrix;
+/// let m = Matrix::uniform(3, 2, 1.0, 5);
+/// let mut buf = BytesMut::new();
+/// write_matrix(&mut buf, &m);
+/// let bytes = buf.freeze();
+/// let mut r = SliceReader::new(&bytes);
+/// assert_eq!(read_matrix_slice(&mut r)?, m);
+/// assert_eq!(r.remaining(), 0);
+/// # Ok::<(), ibcm_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SliceReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> SliceReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SliceReader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the next `n` bytes as a borrowed subslice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Deserialize`] (naming `what`) if fewer than `n`
+    /// bytes remain.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], NnError> {
+        if self.buf.len() < n {
+            return Err(NnError::Deserialize(format!(
+                "{what} truncated: need {n} bytes, have {}",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Deserialize`] on truncation.
+    pub fn u8(&mut self, what: &str) -> Result<u8, NnError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Deserialize`] on truncation.
+    pub fn u32_le(&mut self, what: &str) -> Result<u32, NnError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Deserialize`] on truncation.
+    pub fn u64_le(&mut self, what: &str) -> Result<u64, NnError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Deserialize`] on truncation.
+    pub fn f32_le(&mut self, what: &str) -> Result<f32, NnError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads `n` little-endian `f32`s in one bulk pass — the only place the
+    /// zero-copy tensor path materializes data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Deserialize`] on truncation.
+    pub fn f32s_le(&mut self, n: usize, what: &str) -> Result<Vec<f32>, NnError> {
+        let bytes = n
+            .checked_mul(4)
+            .ok_or_else(|| NnError::Deserialize(format!("{what} size overflow")))?;
+        let raw = self.take(bytes, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+/// Zero-copy counterpart of [`read_header`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] on bad magic or truncation.
+pub fn read_header_slice(r: &mut SliceReader<'_>) -> Result<u32, NnError> {
+    let magic = r.take(4, "header")?;
+    if magic != MAGIC {
+        return Err(NnError::Deserialize(format!("bad magic {magic:?}")));
+    }
+    r.u32_le("header version")
+}
+
+/// Zero-copy counterpart of [`read_matrix`]: dimensions from the borrowed
+/// slice, data in one bulk conversion.
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] if the buffer is truncated.
+pub fn read_matrix_slice(r: &mut SliceReader<'_>) -> Result<Matrix, NnError> {
+    let rows = r.u32_le("matrix header")? as usize;
+    let cols = r.u32_le("matrix header")? as usize;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| NnError::Deserialize("matrix size overflow".into()))?;
+    let data = r.f32s_le(n, "matrix body")?;
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Zero-copy counterpart of [`read_vec`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] if the buffer is truncated.
+pub fn read_vec_slice(r: &mut SliceReader<'_>) -> Result<Vec<f32>, NnError> {
+    let n = r.u32_le("vector header")? as usize;
+    r.f32s_le(n, "vector body")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slice_reader_matches_buffered_readers() {
+        let m = Matrix::uniform(6, 5, 2.0, 11);
+        let v = vec![0.5f32, -1.25, 3.0];
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, 2);
+        write_matrix(&mut buf, &m);
+        write_vec(&mut buf, &v);
+        let bytes = buf.freeze();
+
+        let mut owned = bytes.clone();
+        let ver_a = read_header(&mut owned).unwrap();
+        let m_a = read_matrix(&mut owned).unwrap();
+        let v_a = read_vec(&mut owned).unwrap();
+
+        let mut r = SliceReader::new(&bytes);
+        assert_eq!(read_header_slice(&mut r).unwrap(), ver_a);
+        assert_eq!(read_matrix_slice(&mut r).unwrap(), m_a);
+        assert_eq!(read_vec_slice(&mut r).unwrap(), v_a);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_reader_truncation_and_bad_magic() {
+        let m = Matrix::uniform(4, 4, 1.0, 1);
+        let mut buf = BytesMut::new();
+        write_matrix(&mut buf, &m);
+        let bytes = buf.freeze();
+        let mut short = SliceReader::new(&bytes[..10]);
+        assert!(matches!(
+            read_matrix_slice(&mut short),
+            Err(NnError::Deserialize(_))
+        ));
+        let mut bad = SliceReader::new(b"NOPE\x01\x00\x00\x00");
+        assert!(read_header_slice(&mut bad).is_err());
+        let mut empty = SliceReader::new(&[]);
+        assert!(empty.u8("flag").is_err());
+        assert!(empty.u64_le("len").is_err());
+    }
 
     #[test]
     fn matrix_round_trip() {

@@ -48,7 +48,7 @@ mod trace;
 
 pub use metrics::{
     escape_help, escape_label_value, global, Counter, Gauge, Histogram, MetricKind, Registry,
-    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_LANE_BUCKETS, DEFAULT_SECONDS_BUCKETS,
 };
 pub use time::Stopwatch;
 pub use trace::{

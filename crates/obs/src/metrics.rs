@@ -61,6 +61,13 @@ pub const DEFAULT_SECONDS_BUCKETS: &[f64] = &[
     300.0, 600.0,
 ];
 
+/// Default histogram buckets for batch lane occupancy (sessions per
+/// executed scoring bucket): powers of two up to the largest batch size the
+/// lock-step scorer is expected to run (upper bounds, `+Inf` implicit).
+pub const DEFAULT_LANE_BUCKETS: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+];
+
 /// A monotonically increasing counter. Clones share the same cell.
 #[derive(Debug, Clone)]
 pub struct Counter(Arc<AtomicU64>);

@@ -168,6 +168,30 @@ pub const LM_EPOCH_SECONDS: MetricDef = MetricDef {
     help: "Wall-clock seconds per LSTM training epoch.",
 };
 
+/// LM batched scoring: lock-step scoring buckets executed.
+pub const LM_SCORE_BATCHES: MetricDef = MetricDef {
+    name: "ibcm_lm_score_batches_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Lock-step scoring buckets executed by the batched session scorer.",
+};
+
+/// LM batched scoring: per-bucket wall clock.
+pub const LM_BATCH_SECONDS: MetricDef = MetricDef {
+    name: "ibcm_lm_batch_seconds",
+    kind: MetricKind::Histogram,
+    labels: &[],
+    help: "Wall-clock seconds per lock-step scoring bucket (all lanes).",
+};
+
+/// LM batched scoring: lane occupancy per executed bucket.
+pub const LM_BATCH_LANES: MetricDef = MetricDef {
+    name: "ibcm_lm_batch_lanes",
+    kind: MetricKind::Histogram,
+    labels: &[],
+    help: "Sessions per executed lock-step scoring bucket (how full the batch was).",
+};
+
 /// Topic modeling: LDA fits completed.
 pub const LDA_FITS: MetricDef = MetricDef {
     name: "ibcm_lda_fits_total",
@@ -213,7 +237,7 @@ pub const STAGE_SECONDS: MetricDef = MetricDef {
     name: "ibcm_stage_seconds",
     kind: MetricKind::Histogram,
     labels: &["stage"],
-    help: "Wall-clock seconds per pipeline/bench stage (lda_ensemble, expert_clustering, cluster_models, lda_fit, lstm_train_epoch, batch_scoring, chaos_scenario).",
+    help: "Wall-clock seconds per pipeline/bench stage (lda_ensemble, expert_clustering, cluster_models, lda_fit, lstm_train_epoch, batch_scoring, ibcd_load, chaos_scenario).",
 };
 
 /// Kernels: matmul-family dispatches, by kernel mode.
@@ -242,6 +266,9 @@ pub const ALL: &[MetricDef] = &[
     LM_ACTIONS_SCORED,
     LM_TRAIN_EPOCHS,
     LM_EPOCH_SECONDS,
+    LM_SCORE_BATCHES,
+    LM_BATCH_SECONDS,
+    LM_BATCH_LANES,
     LDA_FITS,
     LDA_FIT_SECONDS,
     CLUSTER_MODELS_TRAINED,
