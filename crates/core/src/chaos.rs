@@ -267,6 +267,103 @@ pub fn replay_with_kill(
     })
 }
 
+/// One scheduled shard kill in a daemon chaos campaign: after the daemon
+/// has ingested `at_offset` events, shard `shard` is made to panic at its
+/// next command (the supervisor catches the panic and restarts the shard
+/// from its newest valid checkpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPoint {
+    /// Event offset (into the ingest stream) at which the kill fires.
+    pub at_offset: usize,
+    /// Index of the shard to kill.
+    pub shard: usize,
+}
+
+/// A seeded daemon-level chaos campaign: which shards to kill when, whether
+/// to corrupt the newest checkpoint before the restart reads it, and an
+/// optional tiny ingest-queue capacity to provoke queue-full storms.
+///
+/// This is pure schedule *data* — `ibcm-core` cannot depend on the daemon,
+/// so execution lives in `ibcm-served` (`Daemon::run_campaign`) and the
+/// `daemon_chaos` bench binary. Keeping the schedule here means the chaos
+/// harness, the daemon tests, and CI all derive campaigns from the same
+/// seeded generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonCampaign {
+    /// Shard kills, sorted by event offset.
+    pub kills: Vec<KillPoint>,
+    /// If set, flip bytes in this shard's *newest* checkpoint generation
+    /// right before its next restart — restore must fall back to the prior
+    /// checksum-valid generation.
+    pub corrupt_newest_checkpoint: Option<usize>,
+    /// If set, run with this per-shard ingest-queue capacity (a deliberately
+    /// tiny bound provokes backpressure/queue-full storms).
+    pub queue_capacity: Option<usize>,
+}
+
+impl DaemonCampaign {
+    /// Derives a deterministic campaign from a seed: `n_kills` kill points
+    /// at distinct offsets in `1..n_events`, targeting seeded shards in
+    /// `0..n_shards`. Equal inputs give equal campaigns.
+    pub fn seeded(seed: u64, n_events: usize, n_shards: usize, n_kills: usize) -> Self {
+        let mut rng = ChaosRng::new(seed ^ 0xdae0);
+        let n_shards = n_shards.max(1);
+        let mut kills = Vec::with_capacity(n_kills);
+        if n_events > 1 {
+            let mut offsets: Vec<usize> = Vec::with_capacity(n_kills);
+            while offsets.len() < n_kills.min(n_events - 1) {
+                let off = 1 + rng.below((n_events - 1) as u64) as usize;
+                if !offsets.contains(&off) {
+                    offsets.push(off);
+                }
+            }
+            offsets.sort_unstable();
+            for off in offsets {
+                kills.push(KillPoint {
+                    at_offset: off,
+                    shard: rng.below(n_shards as u64) as usize,
+                });
+            }
+        }
+        DaemonCampaign {
+            kills,
+            corrupt_newest_checkpoint: None,
+            queue_capacity: None,
+        }
+    }
+
+    /// Returns the campaign with byte corruption scheduled for `shard`'s
+    /// newest checkpoint (exercises the rotation-fallback path on restart).
+    pub fn with_corrupt_newest(mut self, shard: usize) -> Self {
+        self.corrupt_newest_checkpoint = Some(shard);
+        self
+    }
+
+    /// Returns the campaign with a deliberately small per-shard ingest
+    /// queue (exercises backpressure under queue-full storms).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// One-line human summary for logs and bench artifacts.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(out, "{} kill(s)", self.kills.len());
+        for k in &self.kills {
+            let _ = write!(out, " [shard {} @ event {}]", k.shard, k.at_offset);
+        }
+        if let Some(shard) = self.corrupt_newest_checkpoint {
+            let _ = write!(out, ", corrupt newest checkpoint of shard {shard}");
+        }
+        if let Some(cap) = self.queue_capacity {
+            let _ = write!(out, ", queue capacity {cap}");
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,5 +420,29 @@ mod tests {
         let mut again = base.clone();
         inject_out_of_order(&mut again, 5, 42);
         assert_eq!(ooo, again);
+    }
+
+    #[test]
+    fn daemon_campaigns_are_seeded_and_bounded() {
+        let a = DaemonCampaign::seeded(9, 500, 4, 3);
+        let b = DaemonCampaign::seeded(9, 500, 4, 3);
+        assert_eq!(a, b, "equal seeds must give equal campaigns");
+        assert_eq!(a.kills.len(), 3);
+        assert!(a.kills.windows(2).all(|w| w[0].at_offset < w[1].at_offset));
+        assert!(a.kills.iter().all(|k| k.shard < 4));
+        assert!(a.kills.iter().all(|k| k.at_offset >= 1 && k.at_offset < 500));
+
+        let c = DaemonCampaign::seeded(10, 500, 4, 3);
+        assert_ne!(a, c, "different seeds should give different schedules");
+
+        // Degenerate inputs stay safe.
+        assert!(DaemonCampaign::seeded(1, 0, 0, 5).kills.is_empty());
+        assert!(DaemonCampaign::seeded(1, 1, 1, 5).kills.is_empty());
+
+        let d = a.clone().with_corrupt_newest(2).with_queue_capacity(4);
+        assert_eq!(d.corrupt_newest_checkpoint, Some(2));
+        assert_eq!(d.queue_capacity, Some(4));
+        assert!(d.describe().contains("corrupt newest checkpoint of shard 2"));
+        assert!(d.describe().contains("queue capacity 4"));
     }
 }

@@ -516,6 +516,35 @@ impl StreamMonitor<'_> {
         })
     }
 
+    /// Sheds a *specific* user's session — the targeted counterpart of the
+    /// oldest-victim eviction behind [`FaultPolicy::max_active_sessions`].
+    ///
+    /// The sharded daemon (`ibcm-served`) selects victims centrally so the
+    /// eviction order is independent of how sessions are partitioned across
+    /// shards, then tells the owning shard to shed by name through this
+    /// method. The returned alarm is identical to what [`shed_oldest`]
+    /// would have produced had this session been the global minimum.
+    ///
+    /// Returns `None` when the user has no active session.
+    ///
+    /// [`shed_oldest`]: StreamMonitor::ingest
+    pub fn shed_session(&mut self, user: UserId) -> Option<StreamAlarm> {
+        let sess = self.active.remove(&user)?;
+        self.end_sessions_metric(1);
+        self.counters.shed += 1;
+        stream_metrics().shed.inc();
+        stream_metrics().active_sessions.set(self.active.len() as i64);
+        count_alarm("shed", sess.monitor.current_cluster());
+        Some(StreamAlarm {
+            user,
+            position: sess.monitor.position(),
+            minute: sess.last_minute,
+            windowed_likelihood: None,
+            trend: false,
+            kind: StreamAlarmKind::Shed,
+        })
+    }
+
     /// Forces a user's session closed (e.g. on an out-of-band signal).
     /// Returns `true` if a session was active.
     pub fn end_session(&mut self, user: UserId) -> bool {

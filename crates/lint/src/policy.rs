@@ -31,6 +31,8 @@ pub const PANIC_FREE_PATHS: &[&str] = &[
     "crates/core/src/detector.rs",
     "crates/core/src/stream.rs",
     "crates/ocsvm/src/router.rs",
+    "crates/served/src/shard.rs",
+    "crates/served/src/supervisor.rs",
 ];
 
 /// Crates whose outputs feed model bytes or alarm decisions. The
@@ -46,6 +48,7 @@ pub const MODEL_AFFECTING_CRATES: &[&str] = &[
     "ibcm-patterns",
     "ibcm-logsim",
     "ibcm-par",
+    "ibcm-served", // the daemon's merged alarm stream is an output surface
     "ibcm", // the facade re-exports pipeline entry points
 ];
 
@@ -164,6 +167,14 @@ mod tests {
 
         let ex = FileCtx::classify("examples/stream_monitoring.rs").unwrap();
         assert_eq!(ex.target_kind, TargetKind::TestLike);
+
+        let shard = FileCtx::classify("crates/served/src/shard.rs").unwrap();
+        assert_eq!(shard.crate_name, "ibcm-served");
+        assert!(shard.is_panic_free_path());
+        assert!(shard.is_model_affecting());
+        assert!(!shard.wall_clock_allowed());
+        let sup = FileCtx::classify("crates/served/src/supervisor.rs").unwrap();
+        assert!(sup.is_panic_free_path());
 
         assert!(FileCtx::classify("vendor/rand/src/lib.rs").is_none());
         assert!(FileCtx::classify("crates/lint/tests/fixtures/bad.rs").is_none());

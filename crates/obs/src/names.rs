@@ -37,6 +37,11 @@ impl MetricDef {
         global().gauge(self.name, self.help)
     }
 
+    /// Registers (or fetches) this gauge with concrete label values.
+    pub fn gauge_labeled(&self, labels: &[(&str, &str)]) -> Gauge {
+        global().gauge_with(self.name, self.help, labels)
+    }
+
     /// Registers (or fetches) this histogram on the global registry.
     pub fn histogram(&self, buckets: &[f64]) -> Histogram {
         global().histogram(self.name, self.help, buckets)
@@ -248,6 +253,78 @@ pub const NN_KERNEL_CALLS: MetricDef = MetricDef {
     help: "Matmul-family kernel dispatches by mode (optimized, reference).",
 };
 
+/// Daemon: configured shard count.
+pub const SERVED_SHARDS: MetricDef = MetricDef {
+    name: "ibcm_served_shards",
+    kind: MetricKind::Gauge,
+    labels: &[],
+    help: "Shards the monitoring daemon is running (set at startup).",
+};
+
+/// Daemon: supervised shard restarts.
+pub const SERVED_SHARD_RESTARTS: MetricDef = MetricDef {
+    name: "ibcm_served_shard_restarts_total",
+    kind: MetricKind::Counter,
+    labels: &["shard"],
+    help: "Shard worker restarts after a caught panic (checkpoint restore + replay).",
+};
+
+/// Daemon: current restart backoff per shard.
+pub const SERVED_RESTART_BACKOFF_MS: MetricDef = MetricDef {
+    name: "ibcm_served_restart_backoff_ms",
+    kind: MetricKind::Gauge,
+    labels: &["shard"],
+    help: "Exponential backoff applied before the shard's most recent restart, in milliseconds (0 once the shard makes progress).",
+};
+
+/// Daemon: ingest-queue depth per shard.
+pub const SERVED_QUEUE_DEPTH: MetricDef = MetricDef {
+    name: "ibcm_served_queue_depth",
+    kind: MetricKind::Gauge,
+    labels: &["shard"],
+    help: "Commands waiting in the shard's bounded ingest queue.",
+};
+
+/// Daemon: ingest-queue overflows per shard.
+pub const SERVED_QUEUE_OVERFLOWS: MetricDef = MetricDef {
+    name: "ibcm_served_queue_overflows_total",
+    kind: MetricKind::Counter,
+    labels: &["shard"],
+    help: "try_ingest rejections because the shard's ingest queue was full (explicit backpressure).",
+};
+
+/// Daemon: checkpoint rotation outcomes per shard.
+pub const SERVED_CHECKPOINTS: MetricDef = MetricDef {
+    name: "ibcm_served_checkpoints_total",
+    kind: MetricKind::Counter,
+    labels: &["shard", "outcome"],
+    help: "Checkpoint rotation attempts by outcome (written, failed).",
+};
+
+/// Daemon: restore outcomes per shard.
+pub const SERVED_RESTORES: MetricDef = MetricDef {
+    name: "ibcm_served_restores_total",
+    kind: MetricKind::Counter,
+    labels: &["shard", "outcome"],
+    help: "Restart restores by outcome (newest = newest generation was valid, fallback = an older generation was used, fresh = no valid checkpoint, full replay).",
+};
+
+/// Daemon: alarms released into the merged stream.
+pub const SERVED_ALARMS_MERGED: MetricDef = MetricDef {
+    name: "ibcm_served_alarms_merged_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Alarms released into the daemon's deterministic merged stream.",
+};
+
+/// Daemon: graceful-drain duration.
+pub const SERVED_DRAIN_SECONDS: MetricDef = MetricDef {
+    name: "ibcm_served_drain_seconds",
+    kind: MetricKind::Histogram,
+    labels: &[],
+    help: "Wall-clock seconds for graceful drain (quiesce, final checkpoints, merged-stream close).",
+};
+
 /// Every metric the pipeline exports. `OPERATIONS.md`'s catalog is checked
 /// against this list.
 pub const ALL: &[MetricDef] = &[
@@ -276,4 +353,13 @@ pub const ALL: &[MetricDef] = &[
     DETECTOR_CLUSTERS,
     STAGE_SECONDS,
     NN_KERNEL_CALLS,
+    SERVED_SHARDS,
+    SERVED_SHARD_RESTARTS,
+    SERVED_RESTART_BACKOFF_MS,
+    SERVED_QUEUE_DEPTH,
+    SERVED_QUEUE_OVERFLOWS,
+    SERVED_CHECKPOINTS,
+    SERVED_RESTORES,
+    SERVED_ALARMS_MERGED,
+    SERVED_DRAIN_SECONDS,
 ];

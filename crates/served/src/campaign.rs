@@ -1,0 +1,117 @@
+//! Daemon-level chaos campaigns: drive a [`Daemon`] over an event stream
+//! while executing a seeded kill/restore schedule, and report the merged
+//! alarm stream in a canonical, comparison-friendly form.
+//!
+//! The campaign *schedule* lives in [`ibcm_core::chaos::DaemonCampaign`]
+//! (pure data, seeded, shard-count-agnostic); this module is the executor.
+//! The headline check — run the same events under different shard counts
+//! and kill schedules and diff [`CampaignReport::merged_log`] — is what
+//! the `daemon_chaos` tests and CI job do.
+
+use std::sync::Arc;
+
+use ibcm_core::chaos::DaemonCampaign;
+use ibcm_core::{MisuseDetector, SessionEvent};
+
+use crate::config::ServedConfig;
+use crate::error::ServeError;
+use crate::rotation::CheckpointStore;
+use crate::supervisor::{Daemon, DrainReport, MergedAlarm};
+
+/// How often the campaign polls the merged stream between ingests. An odd
+/// cadence on purpose: polls must not line up with checkpoint cadence or
+/// kill offsets, or a test could pass by coincidence of alignment.
+const POLL_EVERY: usize = 17;
+
+/// What a campaign run produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The merged alarm stream, one canonical line per alarm, in global
+    /// sequence order. Lines contain the sequence number and the alarm —
+    /// *not* the shard index — so logs from runs at different shard
+    /// counts are byte-comparable.
+    pub merged_log: Vec<String>,
+    /// The alarms themselves, in release order.
+    pub alarms: Vec<MergedAlarm>,
+    /// Kills actually delivered (a kill targeting an already-failed shard
+    /// is skipped and not counted).
+    pub kills_delivered: usize,
+    /// Whether the campaign corrupted a newest checkpoint generation.
+    pub corrupted: bool,
+    /// The drain report from the end of the run.
+    pub drain: DrainReport,
+}
+
+/// Renders one merged alarm as its canonical log line. The shard index is
+/// deliberately excluded: it is routing metadata and varies with shard
+/// count, while `seq` and the alarm body do not.
+pub(crate) fn log_line(merged: &MergedAlarm) -> String {
+    format!("{:06} {:?}", merged.seq, merged.alarm)
+}
+
+/// Runs `campaign` against a fresh daemon: ingests `events` in order,
+/// fires the scheduled kills at their event offsets (corrupting the
+/// targeted shard's newest checkpoint first, when the campaign asks for
+/// it), polls the merged stream periodically, and drains.
+///
+/// The campaign's `queue_capacity` override, if any, replaces the one in
+/// `config`. Kill targets are reduced modulo the daemon's shard count so
+/// one seeded schedule is runnable at any shard count.
+///
+/// # Errors
+///
+/// Propagates daemon construction, ingest, and drain errors. Kills aimed
+/// at already-failed shards are skipped, not errors.
+pub fn run_campaign(
+    detector: Arc<MisuseDetector>,
+    mut config: ServedConfig,
+    store: CheckpointStore,
+    events: &[SessionEvent],
+    campaign: &DaemonCampaign,
+) -> Result<CampaignReport, ServeError> {
+    if let Some(capacity) = campaign.queue_capacity {
+        config.queue_capacity = capacity;
+    }
+    let mut daemon = Daemon::new(detector, config, store)?;
+    let shards = daemon.shards();
+    let mut alarms: Vec<MergedAlarm> = Vec::new();
+    let mut kills_delivered = 0;
+    let mut next_kill = 0;
+
+    for (offset, event) in events.iter().enumerate() {
+        while let Some(kill) = campaign.kills.get(next_kill) {
+            if kill.at_offset != offset {
+                break;
+            }
+            next_kill += 1;
+            let target = kill.shard % shards;
+            if campaign.corrupt_newest_checkpoint == Some(kill.shard) {
+                // Scheduled, not immediate: the corruption lands at the
+                // shard's next restart, after its last pre-crash rotation,
+                // so the fallback path is exercised deterministically.
+                daemon.corrupt_newest_on_restart(target);
+            }
+            match daemon.kill_shard(target) {
+                Ok(()) => kills_delivered += 1,
+                Err(ServeError::ShardFailed { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        daemon.ingest(*event)?;
+        if offset % POLL_EVERY == POLL_EVERY - 1 {
+            alarms.extend(daemon.poll_alarms());
+        }
+    }
+
+    let drain = daemon.drain()?;
+    let corrupted = daemon.corruptions_applied() > 0;
+    alarms.extend(drain.alarms.iter().cloned());
+    let merged_log = alarms.iter().map(log_line).collect();
+    Ok(CampaignReport {
+        merged_log,
+        alarms,
+        kills_delivered,
+        corrupted,
+        drain,
+    })
+}

@@ -1,0 +1,70 @@
+//! Typed errors for the daemon.
+
+use std::fmt;
+
+use ibcm_core::CoreError;
+
+/// Everything that can go wrong operating a [`Daemon`](crate::Daemon).
+#[derive(Debug)]
+pub enum ServeError {
+    /// `try_ingest` found a shard's bounded ingest queue full. The event
+    /// was *not* admitted (the admission mirror is untouched); the caller
+    /// decides whether to retry, block, or shed upstream.
+    Backpressure {
+        /// The shard whose queue was full.
+        shard: usize,
+    },
+    /// The shard exhausted its restart budget without making progress and
+    /// has been taken out of service. Events routed to it are rejected.
+    ShardFailed {
+        /// The failed shard.
+        shard: usize,
+    },
+    /// A shard index outside `0..shards`.
+    UnknownShard {
+        /// The offending index.
+        shard: usize,
+    },
+    /// The daemon has already been drained; it accepts no further events.
+    Drained,
+    /// A worker thread could not be spawned.
+    Spawn(std::io::Error),
+    /// Checkpoint-store I/O failed.
+    Io(std::io::Error),
+    /// A core persistence or scoring error (checkpoint encode/restore).
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Backpressure { shard } => {
+                write!(f, "shard {shard} ingest queue full (backpressure)")
+            }
+            ServeError::ShardFailed { shard } => {
+                write!(f, "shard {shard} failed (restart budget exhausted)")
+            }
+            ServeError::UnknownShard { shard } => write!(f, "unknown shard {shard}"),
+            ServeError::Drained => write!(f, "daemon already drained"),
+            ServeError::Spawn(e) => write!(f, "failed to spawn shard worker: {e}"),
+            ServeError::Io(e) => write!(f, "checkpoint store I/O: {e}"),
+            ServeError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Spawn(e) | ServeError::Io(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}

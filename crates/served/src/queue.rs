@@ -1,0 +1,168 @@
+//! The bounded per-shard ingest queue.
+//!
+//! Single-producer (the supervisor thread), single-consumer (the shard
+//! worker) by contract; implemented as a mutex-guarded ring with condvars
+//! so the crate stays `forbid(unsafe_code)`. The producer side never
+//! blocks indefinitely on a dead consumer: every wait watches the shard's
+//! crashed flag.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::shard::{WORKER_CRASHED, WORKER_CRASHED_ON_RESTORE};
+
+/// Result of a blocking push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushOutcome {
+    /// The command was enqueued.
+    Pushed,
+    /// The consumer crashed; the command was not enqueued.
+    Crashed,
+}
+
+/// Result of a non-blocking push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TryPushOutcome {
+    /// The command was enqueued.
+    Pushed,
+    /// The queue was at capacity.
+    Full,
+    /// The consumer crashed; the command was not enqueued.
+    Crashed,
+}
+
+/// A bounded FIFO between the supervisor and one shard worker.
+#[derive(Debug)]
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+fn worker_dead(state: &AtomicU8) -> bool {
+    let s = state.load(Ordering::Acquire);
+    s == WORKER_CRASHED || s == WORKER_CRASHED_ON_RESTORE
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to at least 1).
+    pub(crate) fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current queue depth.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Blocking push: waits for a free slot, aborting if the consumer's
+    /// state flips to crashed (a crashed worker never pops again; its
+    /// queue contents are superseded by the supervisor's replay buffer).
+    pub(crate) fn push(&self, item: T, worker_state: &AtomicU8) -> PushOutcome {
+        let mut q = self.lock();
+        loop {
+            if worker_dead(worker_state) {
+                return PushOutcome::Crashed;
+            }
+            if q.len() < self.capacity {
+                q.push_back(item);
+                self.not_empty.notify_one();
+                return PushOutcome::Pushed;
+            }
+            // Bounded wait so a crash that happens mid-wait is noticed
+            // without requiring the dead consumer to signal.
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(q, Duration::from_millis(5))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    /// Non-blocking push.
+    pub(crate) fn try_push(&self, item: T, worker_state: &AtomicU8) -> TryPushOutcome {
+        if worker_dead(worker_state) {
+            return TryPushOutcome::Crashed;
+        }
+        let mut q = self.lock();
+        if q.len() < self.capacity {
+            q.push_back(item);
+            self.not_empty.notify_one();
+            TryPushOutcome::Pushed
+        } else {
+            TryPushOutcome::Full
+        }
+    }
+
+    /// Blocking pop (worker side). The worker always eventually receives a
+    /// `Drain` or `Kill` command, so this cannot deadlock a live daemon.
+    pub(crate) fn pop(&self) -> T {
+        let mut q = self.lock();
+        loop {
+            if let Some(item) = q.pop_front() {
+                self.not_full.notify_one();
+                return item;
+            }
+            q = self
+                .not_empty
+                .wait(q)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU8;
+    use std::sync::Arc;
+
+    use crate::shard::WORKER_RUNNING;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        let state = AtomicU8::new(WORKER_RUNNING);
+        assert_eq!(q.try_push(1, &state), TryPushOutcome::Pushed);
+        assert_eq!(q.try_push(2, &state), TryPushOutcome::Pushed);
+        assert_eq!(q.try_push(3, &state), TryPushOutcome::Full);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), 1);
+        assert_eq!(q.pop(), 2);
+    }
+
+    #[test]
+    fn push_aborts_on_crashed_consumer() {
+        let q = BoundedQueue::new(1);
+        let state = AtomicU8::new(WORKER_RUNNING);
+        assert_eq!(q.push(1, &state), PushOutcome::Pushed);
+        state.store(WORKER_CRASHED, Ordering::Release);
+        assert_eq!(q.push(2, &state), PushOutcome::Crashed);
+        assert_eq!(q.try_push(2, &state), TryPushOutcome::Crashed);
+    }
+
+    #[test]
+    fn blocking_push_wakes_on_crash_flag() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let state = Arc::new(AtomicU8::new(WORKER_RUNNING));
+        q.push(1, &state);
+        let q2 = Arc::clone(&q);
+        let s2 = Arc::clone(&state);
+        let h = std::thread::spawn(move || q2.push(2, &s2));
+        std::thread::sleep(Duration::from_millis(20));
+        state.store(WORKER_CRASHED, Ordering::Release);
+        assert_eq!(h.join().unwrap(), PushOutcome::Crashed);
+    }
+}

@@ -1,0 +1,408 @@
+//! The shard worker: one supervised thread running one `StreamMonitor`
+//! over its partition of the session table.
+//!
+//! The worker pops commands from its bounded ingest queue, feeds its
+//! monitor, publishes alarms (tagged with their global sequence number)
+//! and a stats snapshot through shared state, and writes `IBCS`
+//! checkpoints on a command-count cadence. Panics — including deliberate
+//! chaos kills — are caught at the [`run_worker`] `catch_unwind`
+//! boundary; the worker records its exit state and returns, leaving the
+//! restart decision to the supervisor.
+//!
+//! This file is on the linter's panic-free hot-path list: the only panic
+//! is the deliberate chaos kill switch, which exists to be caught.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ibcm_core::{FaultCounters, MisuseDetector, SessionEvent, StreamConfig, StreamMonitor};
+use ibcm_logsim::UserId;
+
+use crate::metrics::ShardMetrics;
+use crate::queue::BoundedQueue;
+use crate::rotation::{CheckpointStore, Generation};
+use crate::supervisor::MergedAlarm;
+
+/// Worker state: processing commands.
+pub(crate) const WORKER_RUNNING: u8 = 0;
+/// Worker state: a panic was caught; the thread has exited.
+pub(crate) const WORKER_CRASHED: u8 = 1;
+/// Worker state: the checkpoint restore failed at startup; the thread has
+/// exited without processing anything.
+pub(crate) const WORKER_CRASHED_ON_RESTORE: u8 = 2;
+/// Worker state: drained cleanly after a final checkpoint.
+pub(crate) const WORKER_DRAINED: u8 = 3;
+
+/// Panic message marking a deliberate chaos kill. The process-wide panic
+/// hook suppresses the default stderr report for payloads carrying this
+/// marker; everything else is reported normally.
+pub(crate) const CHAOS_KILL_MSG: &str = "ibcm-served: deliberate chaos kill";
+
+/// One command on a shard's ingest queue. `Deliver` and `Shed` are data
+/// commands and carry a global sequence number; `Kill` and `Drain` are
+/// control commands and deliberately do not, so an injected chaos
+/// schedule can never perturb the data sequence.
+#[derive(Debug, Clone)]
+pub(crate) enum ShardCommand {
+    /// Feed one (already clock-clamped) event to the shard's monitor.
+    Deliver {
+        /// Global sequence number.
+        seq: u64,
+        /// The event; its minute has already passed the front door.
+        event: SessionEvent,
+    },
+    /// Shed a named session (global capacity enforcement decided the
+    /// victim at the front door).
+    Shed {
+        /// Global sequence number.
+        seq: u64,
+        /// The victim.
+        user: UserId,
+    },
+    /// Chaos: panic at the catch_unwind boundary.
+    Kill,
+    /// Graceful shutdown: final checkpoint, publish stats, exit.
+    Drain,
+}
+
+impl ShardCommand {
+    /// The data sequence number, if this is a data command.
+    pub(crate) fn data_seq(&self) -> Option<u64> {
+        match self {
+            ShardCommand::Deliver { seq, .. } | ShardCommand::Shed { seq, .. } => Some(*seq),
+            ShardCommand::Kill | ShardCommand::Drain => None,
+        }
+    }
+}
+
+/// A consistent snapshot of one shard's progress, published by the worker
+/// after every processed command and aggregated at drain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard's fault counters (non-monotonic stays zero: clock faults
+    /// are classified at the front door).
+    pub counters: FaultCounters,
+    /// Sessions opened on this shard.
+    pub sessions_started: usize,
+    /// Sessions closed on this shard (logout, timeout, shed).
+    pub sessions_ended: usize,
+    /// Sessions currently active on this shard.
+    pub active_sessions: usize,
+    /// Highest data sequence number processed.
+    pub processed: u64,
+}
+
+/// State shared between the supervisor and one shard worker.
+#[derive(Debug)]
+pub(crate) struct ShardShared {
+    /// [`WORKER_RUNNING`] / [`WORKER_CRASHED`] /
+    /// [`WORKER_CRASHED_ON_RESTORE`] / [`WORKER_DRAINED`].
+    pub(crate) state: AtomicU8,
+    /// Highest data seq processed *and published*: the worker pushes
+    /// outputs and stats before storing this (release ordering), so a
+    /// supervisor that reads `processed` (acquire) then drains outputs is
+    /// guaranteed to see every alarm at or below it.
+    pub(crate) processed: AtomicU64,
+    /// Covered seq of the oldest retained checkpoint generation — the
+    /// durable floor below which the supervisor may trim its replay
+    /// buffer.
+    pub(crate) durable_floor: AtomicU64,
+    /// Alarms awaiting collection by the supervisor's merge.
+    pub(crate) outputs: Mutex<Vec<MergedAlarm>>,
+    /// Latest stats snapshot.
+    pub(crate) stats: Mutex<ShardStats>,
+}
+
+impl ShardShared {
+    pub(crate) fn new() -> Self {
+        ShardShared {
+            state: AtomicU8::new(WORKER_RUNNING),
+            processed: AtomicU64::new(0),
+            durable_floor: AtomicU64::new(0),
+            outputs: Mutex::new(Vec::new()),
+            stats: Mutex::new(ShardStats::default()),
+        }
+    }
+}
+
+/// Everything a (re)spawned worker needs to reach a deterministic state.
+#[derive(Debug)]
+pub(crate) struct WorkerPlan {
+    /// This shard's index.
+    pub(crate) shard: usize,
+    /// Checkpoint to restore from; `None` starts a fresh monitor.
+    pub(crate) restore: Option<Generation>,
+    /// Data commands after the checkpoint's covered seq, replayed before
+    /// the queue is consumed. Control commands are never replayed.
+    pub(crate) replay: Vec<ShardCommand>,
+    /// Alarms for seqs at or below this were already published by a
+    /// previous incarnation; re-emission is suppressed during replay.
+    pub(crate) suppress_through: u64,
+    /// The shard-local stream config (capacity bound removed — the front
+    /// door owns it).
+    pub(crate) stream: StreamConfig,
+    /// Checkpoint cadence in processed data commands (0 = drain-only).
+    pub(crate) checkpoint_every: u64,
+    /// Keep-K retention for checkpoint rotation.
+    pub(crate) keep: usize,
+}
+
+/// How the worker loop ended.
+enum WorkerExit {
+    Drained,
+    RestoreFailed,
+}
+
+/// Control flow after one command.
+enum Flow {
+    Continue,
+    Drained,
+}
+
+/// Thread entry point: runs the worker loop under `catch_unwind` and
+/// records the exit state.
+pub(crate) fn run_worker(
+    detector: Arc<MisuseDetector>,
+    plan: WorkerPlan,
+    queue: Arc<BoundedQueue<ShardCommand>>,
+    shared: Arc<ShardShared>,
+    store: Arc<CheckpointStore>,
+    metrics: ShardMetrics,
+) {
+    let shared_for_exit = Arc::clone(&shared);
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        worker_loop(&detector, plan, &queue, &shared, &store, &metrics)
+    }));
+    let state = match outcome {
+        Ok(WorkerExit::Drained) => WORKER_DRAINED,
+        Ok(WorkerExit::RestoreFailed) => WORKER_CRASHED_ON_RESTORE,
+        Err(_) => WORKER_CRASHED,
+    };
+    shared_for_exit.state.store(state, Ordering::Release);
+}
+
+fn worker_loop(
+    detector: &MisuseDetector,
+    plan: WorkerPlan,
+    queue: &BoundedQueue<ShardCommand>,
+    shared: &ShardShared,
+    store: &CheckpointStore,
+    metrics: &ShardMetrics,
+) -> WorkerExit {
+    let WorkerPlan {
+        shard,
+        restore,
+        replay,
+        suppress_through,
+        stream,
+        checkpoint_every,
+        keep,
+    } = plan;
+    let mut sm = match restore {
+        None => detector.stream_monitor(stream),
+        Some(generation) => match detector.restore_stream_monitor(&generation.ibcs) {
+            Ok(sm) => sm,
+            Err(_) => return WorkerExit::RestoreFailed,
+        },
+    };
+    let mut since_checkpoint: u64 = 0;
+    let mut last_seq: u64 = shared.processed.load(Ordering::Acquire);
+
+    for cmd in replay {
+        match step(
+            &mut sm,
+            cmd,
+            shard,
+            suppress_through,
+            shared,
+            store,
+            metrics,
+            checkpoint_every,
+            keep,
+            &mut since_checkpoint,
+            &mut last_seq,
+        ) {
+            Flow::Continue => {}
+            Flow::Drained => return WorkerExit::Drained,
+        }
+    }
+    loop {
+        let cmd = queue.pop();
+        match step(
+            &mut sm,
+            cmd,
+            shard,
+            suppress_through,
+            shared,
+            store,
+            metrics,
+            checkpoint_every,
+            keep,
+            &mut since_checkpoint,
+            &mut last_seq,
+        ) {
+            Flow::Continue => {}
+            Flow::Drained => return WorkerExit::Drained,
+        }
+    }
+}
+
+/// Processes one command against the shard's monitor.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    sm: &mut StreamMonitor<'_>,
+    cmd: ShardCommand,
+    shard: usize,
+    suppress_through: u64,
+    shared: &ShardShared,
+    store: &CheckpointStore,
+    metrics: &ShardMetrics,
+    checkpoint_every: u64,
+    keep: usize,
+    since_checkpoint: &mut u64,
+    last_seq: &mut u64,
+) -> Flow {
+    match cmd {
+        ShardCommand::Deliver { seq, event } => {
+            let out = sm.ingest(event);
+            publish(shared, seq, shard, out.shed, out.alarm, suppress_through);
+            finish_data(
+                sm,
+                seq,
+                shard,
+                shared,
+                store,
+                metrics,
+                checkpoint_every,
+                keep,
+                since_checkpoint,
+                last_seq,
+            );
+            Flow::Continue
+        }
+        ShardCommand::Shed { seq, user } => {
+            let alarm = sm.shed_session(user);
+            publish(shared, seq, shard, Vec::new(), alarm, suppress_through);
+            finish_data(
+                sm,
+                seq,
+                shard,
+                shared,
+                store,
+                metrics,
+                checkpoint_every,
+                keep,
+                since_checkpoint,
+                last_seq,
+            );
+            Flow::Continue
+        }
+        ShardCommand::Kill => {
+            // ibcm-lint: allow(panic-macro, reason = "deliberate chaos kill switch; always caught at run_worker's catch_unwind boundary and handled by the supervisor's restart protocol")
+            panic!("{CHAOS_KILL_MSG}")
+        }
+        ShardCommand::Drain => {
+            write_checkpoint(sm, *last_seq, shard, shared, store, metrics, keep);
+            publish_stats(sm, *last_seq, shared);
+            Flow::Drained
+        }
+    }
+}
+
+/// Publishes the alarms one data command produced (shed victims first,
+/// then the scoring alarm — the same order a monolithic monitor reports
+/// them). Alarms at or below the suppression watermark were already
+/// published by a previous incarnation and are dropped.
+fn publish(
+    shared: &ShardShared,
+    seq: u64,
+    shard: usize,
+    shed: Vec<ibcm_core::StreamAlarm>,
+    alarm: Option<ibcm_core::StreamAlarm>,
+    suppress_through: u64,
+) {
+    if seq <= suppress_through {
+        return;
+    }
+    if shed.is_empty() && alarm.is_none() {
+        return;
+    }
+    let mut outputs = shared.outputs.lock().unwrap_or_else(|e| e.into_inner());
+    for a in shed {
+        outputs.push(MergedAlarm {
+            seq,
+            shard,
+            alarm: a,
+        });
+    }
+    if let Some(a) = alarm {
+        outputs.push(MergedAlarm {
+            seq,
+            shard,
+            alarm: a,
+        });
+    }
+}
+
+/// Post-command bookkeeping: stats snapshot, the processed watermark
+/// (release-ordered after outputs), and the checkpoint cadence.
+#[allow(clippy::too_many_arguments)]
+fn finish_data(
+    sm: &StreamMonitor<'_>,
+    seq: u64,
+    shard: usize,
+    shared: &ShardShared,
+    store: &CheckpointStore,
+    metrics: &ShardMetrics,
+    checkpoint_every: u64,
+    keep: usize,
+    since_checkpoint: &mut u64,
+    last_seq: &mut u64,
+) {
+    *last_seq = seq;
+    publish_stats(sm, seq, shared);
+    shared.processed.store(seq, Ordering::Release);
+    *since_checkpoint += 1;
+    if checkpoint_every > 0 && *since_checkpoint >= checkpoint_every {
+        *since_checkpoint = 0;
+        write_checkpoint(sm, seq, shard, shared, store, metrics, keep);
+    }
+}
+
+fn publish_stats(sm: &StreamMonitor<'_>, processed: u64, shared: &ShardShared) {
+    let snapshot = ShardStats {
+        counters: sm.fault_counters(),
+        sessions_started: sm.sessions_started(),
+        sessions_ended: sm.sessions_ended(),
+        active_sessions: sm.active_sessions(),
+        processed,
+    };
+    let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    *stats = snapshot;
+}
+
+fn write_checkpoint(
+    sm: &StreamMonitor<'_>,
+    covered_seq: u64,
+    shard: usize,
+    shared: &ShardShared,
+    store: &CheckpointStore,
+    metrics: &ShardMetrics,
+    keep: usize,
+) {
+    let ibcs = sm.checkpoint();
+    match store.save(shard, covered_seq, &ibcs, keep) {
+        Ok(receipt) => {
+            if receipt.written {
+                metrics.checkpoints_written.inc();
+                shared
+                    .durable_floor
+                    .store(receipt.oldest_retained, Ordering::Release);
+            }
+        }
+        Err(_) => {
+            metrics.checkpoints_failed.inc();
+        }
+    }
+}

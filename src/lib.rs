@@ -21,6 +21,7 @@
 //! | [`ibcm_patterns`] | frequent itemsets and PrefixSpan sequential patterns |
 //! | [`ibcm_nn`] | the from-scratch neural substrate (matrix, LSTM, Adam) |
 //! | [`ibcm_core`] | the end-to-end pipeline, detector, online monitor |
+//! | [`ibcm_served`] | supervised sharded monitoring daemon (crash-isolated shards, checkpoint rotation) |
 //! | [`ibcm_obs`] | tracing spans + metrics registry (zero-dependency) |
 //!
 //! # Quickstart
@@ -45,7 +46,7 @@
 #![warn(missing_docs)]
 
 pub use ibcm_core::{
-    experiments, par, AlarmPolicy, ClockPolicy, ClusterData, CoreError, DriftConfig,
+    chaos, experiments, par, AlarmPolicy, ClockPolicy, ClusterData, CoreError, DriftConfig,
     DriftDetector, DriftStatus, FaultAction, FaultCounters, FaultKind, FaultPolicy, LoadReport,
     MisuseDetector, MonitorEvent, ObserveOutcome, OnlineMonitor, Pipeline, PipelineConfig,
     SessionEvent, SessionVerdict, SharedMonitor, StreamAlarm, StreamAlarmKind, StreamConfig,
@@ -55,6 +56,10 @@ pub use ibcm_core::{
 /// and the process-wide metrics registry (re-export of `ibcm-obs`; see
 /// OPERATIONS.md for the metric catalog).
 pub use ibcm_obs as obs;
+/// The supervised sharded monitoring daemon: crash-isolated `StreamMonitor`
+/// shards, keep-K checkpoint rotation, and a deterministic merged alarm
+/// stream (re-export of `ibcm-served`; see OPERATIONS.md for the runbook).
+pub use ibcm_served as served;
 pub use ibcm_lm::{
     BatchScheme, HmmConfig, HmmLm, LmError, LmScorer, LmTrainConfig, LstmLm, NgramConfig, NgramLm, SequenceEval,
     SessionScore, StepScore, Vocab,
