@@ -1,0 +1,417 @@
+//! Daemon ingest throughput baseline: the PR 7 hot path (mutex+condvar
+//! queue, one command per lock acquisition, inline checkpoint rotation on
+//! the worker thread) vs the overhauled path (lock-free SPSC ring,
+//! batched drain, background checkpoint writer), written to
+//! `BENCH_pr8.json` (schema `ibcm-perf-baseline/4`).
+//!
+//! Two stage families:
+//!
+//! - `daemon_ingest_handoff` (the headline): one producer thread feeding
+//!   N per-shard queues through the real [`IngestQueue`] arms — the
+//!   daemon's supervisor→shard topology with the per-event monitor
+//!   compute removed, so the number measures exactly what this PR
+//!   rebuilt. "Before" is the PR 7 shape (mutex+condvar queue, one
+//!   command per drain); "after" is the SPSC ring with the default
+//!   drain batch.
+//! - `daemon_e2e`: the full daemon (supervisor, admission mirror,
+//!   workers, disk-backed checkpoint rotation) over the trained
+//!   detector's event stream. The merged alarm stream is asserted
+//!   byte-identical between the two sides at every shard count — and
+//!   against the uninterrupted single-shard reference — and every
+//!   shard's queue depth is sampled into per-side histograms. On a
+//!   many-core host the end-to-end delta approaches the hand-off delta;
+//!   on a starved runner (the report records `cpus`) both sides sit at
+//!   the monitor's compute floor and the e2e speedup compresses toward
+//!   1×, which is why the hand-off stage is measured separately.
+//!
+//! `IBCM_SCALE=test` shrinks the workload to a CI smoke run;
+//! `IBCM_BENCH_OUT` overrides the output path. Exits non-zero if any
+//! merged stream diverges.
+//!
+//! [`IngestQueue`]: ibcm_served::IngestPath
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use std::path::Path;
+
+use ibcm_bench::Harness;
+use ibcm_core::chaos::event_stream;
+use ibcm_core::{AlarmPolicy, FaultPolicy, MisuseDetector, SessionEvent, StreamConfig};
+use ibcm_served::{handoff_items_per_sec, CheckpointStore, Daemon, IngestPath, ServedConfig};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Poll the merged stream at the same odd cadence the chaos campaigns
+/// use, so release-buffer behavior matches the validated suites.
+const POLL_EVERY: usize = 17;
+/// Sample queue depths every this many ingests (cheap: one relaxed
+/// atomic load per shard).
+const SAMPLE_EVERY: usize = 8;
+/// The acceptance threshold this PR is measured against, checked on the
+/// hand-off stage at 4 shards (printed, and surfaced in the JSON
+/// headline block).
+const HEADLINE_SHARDS: usize = 4;
+const HEADLINE_THRESHOLD: f64 = 1.5;
+/// Queue capacity / drain batch the hand-off stage runs at — the
+/// daemon's defaults (`ServedConfig::new`).
+const HANDOFF_CAPACITY: usize = 1024;
+const HANDOFF_DRAIN_BATCH: usize = 32;
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        session_timeout_minutes: 30,
+        policy: AlarmPolicy {
+            likelihood_threshold: 0.05,
+            window: 5,
+            warmup: 5,
+            trend_window: 5,
+            ..AlarmPolicy::default()
+        },
+        faults: FaultPolicy {
+            max_active_sessions: Some(32),
+            ..FaultPolicy::default()
+        },
+        ..StreamConfig::default()
+    }
+}
+
+fn served_config(shards: usize) -> ServedConfig {
+    ServedConfig::new(stream_config())
+        .with_shards(shards)
+        .with_rotation(64, 3)
+        .with_supervision(8, 1, 50)
+}
+
+/// Fixed-bound depth histogram (Prometheus-style `le` buckets plus an
+/// overflow slot). Depths are small integers, so the bounds are explicit
+/// rather than exponential-from-data.
+struct DepthHist {
+    bounds: Vec<usize>,
+    counts: Vec<u64>,
+    sum: u64,
+    samples: u64,
+    max: usize,
+}
+
+impl DepthHist {
+    fn new() -> DepthHist {
+        let bounds = vec![0, 1, 2, 4, 8, 16, 32, 64, 128];
+        let counts = vec![0; bounds.len() + 1];
+        DepthHist { bounds, counts, sum: 0, samples: 0, max: 0 }
+    }
+
+    fn observe(&mut self, depth: usize) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| depth <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += depth as u64;
+        self.samples += 1;
+        self.max = self.max.max(depth);
+    }
+
+    fn mean(&self) -> f64 {
+        self.sum as f64 / (self.samples.max(1)) as f64
+    }
+
+    fn json(&self) -> String {
+        let bounds: Vec<String> = self.bounds.iter().map(|b| b.to_string()).collect();
+        let counts: Vec<String> = self.counts.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{ \"bounds\": [{}], \"counts\": [{}], \"mean\": {:.3}, \"max\": {}, \"samples\": {} }}",
+            bounds.join(", "),
+            counts.join(", "),
+            self.mean(),
+            self.max,
+            self.samples
+        )
+    }
+}
+
+/// One timed pass: a fresh daemon ingests every event, polling alarms and
+/// sampling queue depths on their cadences, then drains. The wall clock
+/// covers ingest **through drain** — the queue can hide a slow consumer
+/// for its capacity's worth of events, so sustained throughput is only
+/// honest once every shard has quiesced.
+struct RunResult {
+    merged_log: Vec<String>,
+    wall_s: f64,
+    depths: DepthHist,
+}
+
+fn run_once(
+    detector: &Arc<MisuseDetector>,
+    config: ServedConfig,
+    events: &[SessionEvent],
+    ckpt_dir: &Path,
+) -> Result<RunResult, Box<dyn std::error::Error>> {
+    // A disk-backed store, like the production daemon: inline rotation
+    // means tmp-write + read-back validation + rename on the worker's
+    // ingest path, which is precisely the cost the background writer
+    // moves off it. A fresh directory per run keeps repetitions honest.
+    let _ = std::fs::remove_dir_all(ckpt_dir);
+    std::fs::create_dir_all(ckpt_dir)?;
+    let mut daemon = Daemon::new(
+        Arc::clone(detector),
+        config,
+        CheckpointStore::disk(ckpt_dir),
+    )?;
+    let mut merged = Vec::new();
+    let mut depths = DepthHist::new();
+    let t0 = Instant::now();
+    for (offset, event) in events.iter().enumerate() {
+        daemon.ingest(*event)?;
+        if offset % POLL_EVERY == POLL_EVERY - 1 {
+            merged.extend(daemon.poll_alarms());
+        }
+        if offset % SAMPLE_EVERY == 0 {
+            for depth in daemon.queue_depths() {
+                depths.observe(depth);
+            }
+        }
+    }
+    let drain = daemon.drain()?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    merged.extend(drain.alarms.iter().cloned());
+    let merged_log = merged
+        .iter()
+        .map(|m| format!("{:06} {:?}", m.seq, m.alarm))
+        .collect();
+    Ok(RunResult { merged_log, wall_s, depths })
+}
+
+/// Min-of-N wall clock for one side; the merged log must be identical
+/// across repetitions (the daemon is deterministic, so any flake here is
+/// a bug, not noise). Depth histograms come from the fastest rep.
+fn run_side(
+    label: &str,
+    reps: usize,
+    detector: &Arc<MisuseDetector>,
+    config: &ServedConfig,
+    events: &[SessionEvent],
+    ckpt_dir: &Path,
+) -> Result<RunResult, Box<dyn std::error::Error>> {
+    let mut best: Option<RunResult> = None;
+    for rep in 0..reps {
+        let r = run_once(detector, config.clone(), events, ckpt_dir)?;
+        if let Some(prev) = &best {
+            if prev.merged_log != r.merged_log {
+                return Err(format!(
+                    "{label}: merged stream differs between repetitions (rep {rep})"
+                )
+                .into());
+            }
+            if r.wall_s < prev.wall_s {
+                best = Some(r);
+            }
+        } else {
+            best = Some(r);
+        }
+    }
+    Ok(best.expect("at least one rep"))
+}
+
+fn commit_hash() -> String {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let head = git(&["rev-parse", "HEAD"])
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    match head {
+        Some(h) => {
+            let dirty = git(&["status", "--porcelain"]).is_some_and(|s| !s.trim().is_empty());
+            if dirty {
+                format!("{h}-dirty")
+            } else {
+                h
+            }
+        }
+        None => "unknown".to_string(),
+    }
+}
+
+/// Best-of-N hand-off rate for one side.
+fn handoff_best(reps: usize, path: IngestPath, pairs: usize, items: usize, drain: usize) -> f64 {
+    (0..reps)
+        .map(|_| handoff_items_per_sec(path, pairs, items, HANDOFF_CAPACITY, drain))
+        .fold(0.0, f64::max)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = Harness::from_env()?;
+    let quick = harness.scale == ibcm_bench::Scale::Test;
+    let reps = if quick { 2 } else { 3 };
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let dataset = harness.dataset();
+    let trained = harness.train(&dataset)?;
+    let detector = Arc::new(trained.detector().clone());
+    let events = event_stream(&dataset);
+    eprintln!(
+        "[ibcm] daemon throughput: {} events, shard counts {SHARD_COUNTS:?}, {reps} reps/side, {cpus} cpus",
+        events.len()
+    );
+
+    // Stage 1: the isolated supervisor→shard hand-off, PR 7 shape vs the
+    // overhauled shape, at the daemon's default capacity/drain batch.
+    let handoff_items = if quick { 200_000 } else { 1_000_000 };
+    let mut handoff_rows = Vec::new();
+    let mut headline_speedup = 0.0;
+    for pairs in SHARD_COUNTS {
+        let before = handoff_best(reps, IngestPath::Locked, pairs, handoff_items, 1);
+        let after = handoff_best(
+            reps,
+            IngestPath::LockFree,
+            pairs,
+            handoff_items,
+            HANDOFF_DRAIN_BATCH,
+        );
+        let speedup = after / before.max(1e-12);
+        if pairs == HEADLINE_SHARDS {
+            headline_speedup = speedup;
+        }
+        println!(
+            "handoff shards={pairs} before {before:12.0} items/s  after {after:12.0} items/s  speedup {speedup:.2}x"
+        );
+        handoff_rows.push(format!(
+            "    {{ \"stage\": \"daemon_ingest_handoff\", \"shards\": {pairs}, \
+             \"items_per_pair\": {handoff_items},\n      \
+             \"items_per_sec\": {{ \"before\": {before:.0}, \"after\": {after:.0} }}, \
+             \"speedup\": {speedup:.3} }}"
+        ));
+    }
+
+    // Stage 2: the full daemon, end to end, with byte-equality checks.
+    let ckpt_dir = harness.results_dir().join("daemon_throughput_ckpt");
+
+    // The correctness anchor every measured run is diffed against: one
+    // shard on the legacy path — i.e. exactly the PR 7 daemon.
+    let reference = run_side(
+        "reference",
+        1,
+        &detector,
+        &served_config(1).with_legacy_ingest(),
+        &events,
+        &ckpt_dir,
+    )?;
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut all_identical = true;
+    for shards in SHARD_COUNTS {
+        let before = run_side(
+            "before",
+            reps,
+            &detector,
+            &served_config(shards).with_legacy_ingest(),
+            &events,
+            &ckpt_dir,
+        )?;
+        let after = run_side(
+            "after",
+            reps,
+            &detector,
+            &served_config(shards),
+            &events,
+            &ckpt_dir,
+        )?;
+        let identical = before.merged_log == reference.merged_log
+            && after.merged_log == reference.merged_log;
+        all_identical &= identical;
+        let n = events.len() as f64;
+        let before_eps = n / before.wall_s.max(1e-12);
+        let after_eps = n / after.wall_s.max(1e-12);
+        let speedup = before.wall_s / after.wall_s.max(1e-12);
+        println!(
+            "e2e shards={shards} before {:8.0} ev/s  after {:8.0} ev/s  speedup {:.2}x  \
+             depth(mean) {:.2} -> {:.2}  identical={identical}",
+            before_eps,
+            after_eps,
+            speedup,
+            before.depths.mean(),
+            after.depths.mean(),
+        );
+        csv_rows.push(vec![
+            shards.to_string(),
+            ibcm_bench::fmt(before.wall_s),
+            ibcm_bench::fmt(after.wall_s),
+            format!("{before_eps:.1}"),
+            format!("{after_eps:.1}"),
+            format!("{speedup:.3}"),
+            format!("{:.3}", before.depths.mean()),
+            format!("{:.3}", after.depths.mean()),
+            identical.to_string(),
+        ]);
+        rows.push(format!(
+            "    {{ \"stage\": \"daemon_e2e\", \"shards\": {shards}, \
+             \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {speedup:.3},\n      \
+             \"events_per_sec\": {{ \"before\": {before_eps:.1}, \"after\": {after_eps:.1} }},\n      \
+             \"alarms\": {}, \"identical\": {identical},\n      \
+             \"queue_depth_hist\": {{ \"before\": {}, \"after\": {} }} }}",
+            before.wall_s,
+            after.wall_s,
+            after.merged_log.len(),
+            before.depths.json(),
+            after.depths.json(),
+        ));
+    }
+
+    harness.write_csv(
+        "daemon_throughput",
+        &[
+            "shards",
+            "before_s",
+            "after_s",
+            "before_events_per_sec",
+            "after_events_per_sec",
+            "speedup",
+            "before_depth_mean",
+            "after_depth_mean",
+            "identical",
+        ],
+        csv_rows,
+    )?;
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"ibcm-perf-baseline/4\",\n");
+    json.push_str(&format!("  \"commit\": \"{}\",\n", commit_hash()));
+    json.push_str(&format!("  \"threads\": {},\n", harness.threads));
+    json.push_str(&format!("  \"cpus\": {cpus},\n"));
+    json.push_str(&format!("  \"scale\": \"{}\",\n", harness.scale.label()));
+    json.push_str(&format!("  \"events\": {},\n", events.len()));
+    json.push_str("  \"stages\": [\n");
+    json.push_str(&handoff_rows.join(",\n"));
+    json.push_str(",\n");
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"headline\": {{ \"stage\": \"daemon_ingest_handoff\", \"shards\": {HEADLINE_SHARDS}, \
+         \"speedup\": {headline_speedup:.3}, \"threshold\": {HEADLINE_THRESHOLD} }}\n"
+    ));
+    json.push_str("}\n");
+
+    let out = std::env::var("IBCM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+    std::fs::write(&out, json)?;
+    eprintln!("[ibcm] wrote {out}");
+
+    if !all_identical {
+        return Err("merged alarm stream diverged between ingest paths".into());
+    }
+    println!(
+        "OK: merged alarm stream byte-identical across both paths at shard counts {SHARD_COUNTS:?}"
+    );
+    if headline_speedup < HEADLINE_THRESHOLD && !quick {
+        eprintln!(
+            "[ibcm] WARNING: hand-off speedup {headline_speedup:.2}x below the \
+             {HEADLINE_THRESHOLD}x target at {HEADLINE_SHARDS} shards"
+        );
+    }
+    Ok(())
+}

@@ -49,9 +49,13 @@ pub enum ScoringMode {
 
 impl ScoringMode {
     /// Bucket width used when `IBCM_SCORING_MODE=batched` does not name
-    /// one. 64 lanes keeps the gate slab L2-resident at the paper's model
-    /// shape while amortizing each weight pass widely.
-    pub const DEFAULT_MAX_BATCH: usize = 64;
+    /// one. BENCH_pr6.json's `batch_sweep` peaks at 8–32 lanes and
+    /// *regresses* at 128 (1040.8 sessions/sec vs 1333.6 at 8: past ~32
+    /// lanes the gate slab falls out of L2 at the paper's model shape),
+    /// so the default caps at 32; wider widths remain available
+    /// explicitly via `batched:N`. See OPERATIONS.md ("Batched scoring")
+    /// for the sweep data.
+    pub const DEFAULT_MAX_BATCH: usize = 32;
 
     /// Reads the mode from the `IBCM_SCORING_MODE` environment variable:
     /// `per-session` (or unset) selects [`ScoringMode::PerSession`],
@@ -664,6 +668,36 @@ mod tests {
         assert_eq!(ScoringMode::parse("batched:0"), ScoringMode::PerSession);
         assert_eq!(ScoringMode::parse("turbo"), ScoringMode::PerSession);
         assert_eq!(ScoringMode::parse(""), ScoringMode::PerSession);
+    }
+
+    #[test]
+    fn default_batch_width_is_capped_at_32() {
+        // BENCH_pr6 batch_sweep: 128 lanes regresses (1040.8 sessions/s
+        // vs 1333.6 at 8); the unqualified `batched` default must stay
+        // in the sweep's winning 8–32 band. Wider is opt-in only.
+        assert_eq!(ScoringMode::DEFAULT_MAX_BATCH, 32);
+        assert_eq!(
+            ScoringMode::parse("batched"),
+            ScoringMode::Batched { max_batch: 32 }
+        );
+        // Explicit widths still win over the capped default, unclamped.
+        assert_eq!(
+            ScoringMode::parse("batched:128"),
+            ScoringMode::Batched { max_batch: 128 }
+        );
+        assert_eq!(
+            ScoringMode::parse("batched:1"),
+            ScoringMode::Batched { max_batch: 1 }
+        );
+        // Malformed widths (sign, garbage, overflow) degrade safely
+        // instead of guessing.
+        assert_eq!(ScoringMode::parse("batched:-8"), ScoringMode::PerSession);
+        assert_eq!(ScoringMode::parse("batched:lots"), ScoringMode::PerSession);
+        assert_eq!(ScoringMode::parse("batched:"), ScoringMode::PerSession);
+        assert_eq!(
+            ScoringMode::parse("batched:99999999999999999999999999"),
+            ScoringMode::PerSession
+        );
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub enum RuleId {
     UnsafeMissingSafety,
     /// (U) An `unsafe fn` without a `# Safety` section in its doc comment.
     UnsafeUndocumentedFn,
+    /// (U) An `Ordering::Relaxed` atomic access in a designated lock-free
+    /// module without an `// ordering:` comment on the same or an
+    /// immediately preceding line. Relaxed is the one ordering that
+    /// provides no synchronization at all, so every use must say why that
+    /// is sufficient (monitoring mirror, single-writer cursor, ...).
+    UnsafeOrderingUndocumented,
     /// (M) A string literal shaped like a metric name (`ibcm_*`) outside
     /// the catalog (`crates/obs/src/names.rs`): all exported names must
     /// come from `MetricDef`s so the surface stays enumerable.
@@ -95,6 +101,7 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::PanicIndex,
     RuleId::UnsafeMissingSafety,
     RuleId::UnsafeUndocumentedFn,
+    RuleId::UnsafeOrderingUndocumented,
     RuleId::MetricLiteralEscape,
     RuleId::MetricUnemitted,
     RuleId::MetricUndocumented,
@@ -119,6 +126,7 @@ impl RuleId {
             RuleId::PanicIndex => "panic-index",
             RuleId::UnsafeMissingSafety => "unsafe-missing-safety",
             RuleId::UnsafeUndocumentedFn => "unsafe-undocumented-fn",
+            RuleId::UnsafeOrderingUndocumented => "unsafe-ordering-undocumented",
             RuleId::MetricLiteralEscape => "metric-literal-escape",
             RuleId::MetricUnemitted => "metric-unemitted",
             RuleId::MetricUndocumented => "metric-undocumented",

@@ -33,6 +33,19 @@ pub const PANIC_FREE_PATHS: &[&str] = &[
     "crates/ocsvm/src/router.rs",
     "crates/served/src/shard.rs",
     "crates/served/src/supervisor.rs",
+    "crates/served/src/queue.rs",
+    "crates/served/src/ring.rs",
+    "crates/served/src/writer.rs",
+];
+
+/// Files (workspace-relative, `/`-separated) where every
+/// `Ordering::Relaxed` atomic access must carry an `// ordering:` comment
+/// justifying why no synchronization is needed. These are the lock-free
+/// modules whose correctness rests entirely on the memory-ordering
+/// argument — an undocumented Relaxed there is an unreviewable one.
+pub const ORDERING_DOCUMENTED_PATHS: &[&str] = &[
+    "crates/served/src/ring.rs",
+    "crates/served/src/queue.rs",
 ];
 
 /// Crates whose outputs feed model bytes or alarm decisions. The
@@ -130,6 +143,12 @@ impl FileCtx {
         PANIC_FREE_PATHS.contains(&self.rel_path.as_str())
     }
 
+    /// True if `Ordering::Relaxed` accesses in this file must carry an
+    /// `// ordering:` justification comment.
+    pub fn is_ordering_documented_path(&self) -> bool {
+        ORDERING_DOCUMENTED_PATHS.contains(&self.rel_path.as_str())
+    }
+
     /// True if this crate may read the wall clock directly.
     pub fn wall_clock_allowed(&self) -> bool {
         WALL_CLOCK_CRATES.contains(&self.crate_name.as_str())
@@ -175,6 +194,10 @@ mod tests {
         assert!(!shard.wall_clock_allowed());
         let sup = FileCtx::classify("crates/served/src/supervisor.rs").unwrap();
         assert!(sup.is_panic_free_path());
+        let ring = FileCtx::classify("crates/served/src/ring.rs").unwrap();
+        assert!(ring.is_panic_free_path());
+        assert!(ring.is_ordering_documented_path());
+        assert!(!sup.is_ordering_documented_path());
 
         assert!(FileCtx::classify("vendor/rand/src/lib.rs").is_none());
         assert!(FileCtx::classify("crates/lint/tests/fixtures/bad.rs").is_none());

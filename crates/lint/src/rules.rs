@@ -273,6 +273,28 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> FileScan {
             ));
         }
 
+        // (U) undocumented Relaxed ordering in a designated lock-free
+        // module. Src only: test assertions may read atomics casually.
+        if !tested
+            && ctx.target_kind == TargetKind::Src
+            && ctx.is_ordering_documented_path()
+            && tok.is_ident("Relaxed")
+            && prev_sig(&tokens, &sig, si, 1).is_some_and(|t| t.is_punct(':'))
+            && prev_sig(&tokens, &sig, si, 2).is_some_and(|t| t.is_punct(':'))
+            && prev_sig(&tokens, &sig, si, 3).is_some_and(|t| t.is_ident("Ordering"))
+            && !has_ordering_comment(&tokens, tok.line)
+        {
+            raw.push(finding(
+                RuleId::UnsafeOrderingUndocumented,
+                tok.line,
+                "`Ordering::Relaxed` in a lock-free module without an `// ordering:` \
+                 comment — Relaxed provides no synchronization, so each use must say \
+                 why that is sufficient"
+                    .to_string(),
+                &lines,
+            ));
+        }
+
         // (U) unsafe hygiene — applies everywhere, tests included.
         if tok.is_ident("unsafe") {
             let next = next_sig(&tokens, &sig, si, 1);
@@ -415,12 +437,23 @@ fn is_metric_name(s: &str) -> bool {
 /// `// SAFETY:` on the `unsafe` keyword's line, or on the comment-only
 /// lines immediately above it.
 fn has_safety_comment(tokens: &[Tok], line: u32) -> bool {
-    if pragma::comment_on_line(tokens, line, "SAFETY:") {
+    has_marker_comment(tokens, line, "SAFETY:")
+}
+
+/// `// ordering:` on the `Ordering::Relaxed` line, or on the comment-only
+/// lines immediately above it.
+fn has_ordering_comment(tokens: &[Tok], line: u32) -> bool {
+    has_marker_comment(tokens, line, "ordering:")
+}
+
+/// `marker` in a comment on `line` or the comment-only lines above it.
+fn has_marker_comment(tokens: &[Tok], line: u32, marker: &str) -> bool {
+    if pragma::comment_on_line(tokens, line, marker) {
         return true;
     }
     let mut l = line.saturating_sub(1);
     while l > 0 && pragma::line_is_comment_only(tokens, l) {
-        if pragma::comment_on_line(tokens, l, "SAFETY:") {
+        if pragma::comment_on_line(tokens, l, marker) {
             return true;
         }
         l -= 1;
@@ -711,6 +744,25 @@ mod tests {
         // BTree collections and non-model crates are fine.
         assert!(rules_fired("crates/lm/src/ngram.rs", "use std::collections::BTreeMap;").is_empty());
         assert!(rules_fired("crates/viz/src/export.rs", single).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_requires_comment_in_lockfree_modules() {
+        let bad = "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) }";
+        assert_eq!(
+            rules_fired("crates/served/src/ring.rs", bad),
+            vec![("unsafe-ordering-undocumented".to_string(), 1)]
+        );
+        // A same-line or immediately preceding `// ordering:` comment
+        // satisfies the rule.
+        let inline = "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) // ordering: gauge\n}";
+        assert!(rules_fired("crates/served/src/ring.rs", inline).is_empty());
+        let above = "fn f(a: &AtomicUsize) -> usize {\n    // ordering: Relaxed — monitoring only.\n    a.load(Ordering::Relaxed)\n}";
+        assert!(rules_fired("crates/served/src/ring.rs", above).is_empty());
+        // Stronger orderings need no comment; other files are exempt.
+        let acq = "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Acquire) }";
+        assert!(rules_fired("crates/served/src/ring.rs", acq).is_empty());
+        assert!(rules_fired("crates/served/src/metrics.rs", bad).is_empty());
     }
 
     #[test]

@@ -112,6 +112,28 @@ fn unsafe_fixture_findings_and_inventory() {
 }
 
 #[test]
+fn atomic_ordering_fixture_fires_only_on_undocumented_relaxed() {
+    let fired = fired(
+        "crates/served/src/ring.rs",
+        include_str!("fixtures/atomic_ordering.rs"),
+    );
+    // Line 7's Relaxed has no justification; the commented, stronger-
+    // ordering, and pragma-suppressed sites stay quiet.
+    assert_eq!(fired, pairs(&[("unsafe-ordering-undocumented", 7)]));
+}
+
+#[test]
+fn atomic_ordering_rule_is_scoped_to_designated_modules() {
+    let fired = fired(
+        "crates/served/src/metrics.rs",
+        include_str!("fixtures/atomic_ordering.rs"),
+    );
+    // Outside ORDERING_DOCUMENTED_PATHS the rule never fires, so the
+    // suppression pragma on line 26 is reported as stale.
+    assert_eq!(fired, pairs(&[("pragma-unused", 26)]));
+}
+
+#[test]
 fn metrics_fixture_flags_only_metric_shaped_literals() {
     let fired = fired(
         "crates/core/src/stream.rs",

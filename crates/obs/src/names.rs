@@ -301,6 +301,22 @@ pub const SERVED_CHECKPOINTS: MetricDef = MetricDef {
     help: "Checkpoint rotation attempts by outcome (written, failed).",
 };
 
+/// Daemon: worker drain runs per shard.
+pub const SERVED_WORKER_BATCHES: MetricDef = MetricDef {
+    name: "ibcm_served_worker_batches_total",
+    kind: MetricKind::Counter,
+    labels: &["shard"],
+    help: "Command runs a shard worker popped from its ingest queue (commands-per-wakeup amortization; divide processed commands by this for the realized batch size).",
+};
+
+/// Daemon: checkpoint submissions that found the writer busy.
+pub const SERVED_CHECKPOINT_STALLS: MetricDef = MetricDef {
+    name: "ibcm_served_checkpoint_stalls_total",
+    kind: MetricKind::Counter,
+    labels: &["shard"],
+    help: "Checkpoint snapshots that had to wait for the background writer's swap slot (the shard produced checkpoints faster than the store rotated them).",
+};
+
 /// Daemon: restore outcomes per shard.
 pub const SERVED_RESTORES: MetricDef = MetricDef {
     name: "ibcm_served_restores_total",
@@ -358,6 +374,8 @@ pub const ALL: &[MetricDef] = &[
     SERVED_RESTART_BACKOFF_MS,
     SERVED_QUEUE_DEPTH,
     SERVED_QUEUE_OVERFLOWS,
+    SERVED_WORKER_BATCHES,
+    SERVED_CHECKPOINT_STALLS,
     SERVED_CHECKPOINTS,
     SERVED_RESTORES,
     SERVED_ALARMS_MERGED,

@@ -1,12 +1,15 @@
 //! `ibcm-par` — the deterministic scoped worker pool shared by every
-//! parallel stage of the pipeline.
+//! parallel stage of the pipeline, plus the managed registry for
+//! long-lived worker threads.
 //!
-//! Three call sites use this crate and nothing else for parallelism: the
+//! Four call sites use this crate and nothing else for parallelism: the
 //! LDA ensemble (`ibcm-topics`), per-cluster model training
-//! (`ibcm-core::Pipeline::train_clustered`), and batch session scoring
-//! (`ibcm-core::MisuseDetector::score_sessions`). Centralizing the idiom
-//! keeps the threading model analyzable in one place; DESIGN.md's
-//! "Parallelism & determinism" section documents the contract.
+//! (`ibcm-core::Pipeline::train_clustered`), batch session scoring
+//! (`ibcm-core::MisuseDetector::score_sessions`), and the `ibcm-served`
+//! daemon's shard workers and checkpoint writers ([`spawn_managed`]).
+//! Centralizing the idiom keeps the threading model analyzable in one
+//! place; DESIGN.md's "Parallelism & determinism" section documents the
+//! contract.
 //!
 //! # Determinism contract
 //!
@@ -48,7 +51,13 @@ use std::sync::Mutex;
 
 /// The default worker count: the `IBCM_THREADS` environment variable if it
 /// parses to a positive integer, otherwise the machine's available
-/// parallelism, and at least 1.
+/// parallelism minus the threads already pinned to long-lived managed
+/// workers ([`spawn_managed`]), and at least 1.
+///
+/// The subtraction is what lets a sharded daemon and scoring-time pool
+/// usage compose: a process running N shard workers hands the scoring
+/// pool the *remaining* cores instead of oversubscribing the machine.
+/// An explicit `IBCM_THREADS` always wins — the operator asked for it.
 pub fn default_threads() -> usize {
     if let Ok(raw) = std::env::var("IBCM_THREADS") {
         if let Ok(n) = raw.trim().parse::<usize>() {
@@ -57,9 +66,81 @@ pub fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
+    let machine = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    machine.saturating_sub(managed_active()).max(1)
+}
+
+/// Live threads spawned through [`spawn_managed`] that have not yet
+/// exited. Never touched by the scoped pools below.
+static MANAGED_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of live managed worker threads in this process.
+pub fn managed_active() -> usize {
+    MANAGED_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Decrements the managed-worker count when the thread body finishes —
+/// by return or by unwind — so the accounting cannot leak on panic.
+struct ActiveGuard;
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        MANAGED_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Handle to a long-lived worker thread spawned via [`spawn_managed`].
+///
+/// Unlike the scoped pools above, managed workers outlive the spawning
+/// call; the handle is how the owner joins them at shutdown. Dropping the
+/// handle detaches the thread (it keeps running and still decrements the
+/// registry when it exits).
+#[derive(Debug)]
+pub struct ManagedHandle {
+    join: std::thread::JoinHandle<()>,
+}
+
+impl ManagedHandle {
+    /// Waits for the worker to finish. A worker that panicked past its own
+    /// `catch_unwind` boundary surfaces here as `Err`, mirroring
+    /// [`std::thread::JoinHandle::join`].
+    pub fn join(self) -> std::thread::Result<()> {
+        self.join.join()
+    }
+
+    /// Whether the worker has exited (successfully or by panic).
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+}
+
+/// Spawns a named long-lived worker thread registered with the managed
+/// pool. The registry feeds [`default_threads`]: while the worker lives,
+/// scoped-pool defaults shrink by one so daemon shards and scoring jobs
+/// share the machine instead of oversubscribing it.
+///
+/// # Errors
+///
+/// Propagates the OS spawn failure, with the registry left unchanged.
+pub fn spawn_managed<F>(name: impl Into<String>, f: F) -> std::io::Result<ManagedHandle>
+where
+    F: FnOnce() + Send + 'static,
+{
+    MANAGED_ACTIVE.fetch_add(1, Ordering::Relaxed);
+    let result = std::thread::Builder::new().name(name.into()).spawn(move || {
+        let _guard = ActiveGuard;
+        f();
+    });
+    match result {
+        Ok(join) => Ok(ManagedHandle { join }),
+        Err(e) => {
+            // The thread never existed; undo the optimistic increment.
+            MANAGED_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+            Err(e)
+        }
+    }
 }
 
 /// Runs `jobs` on up to `threads` scoped worker threads and returns their
@@ -234,6 +315,39 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn managed_workers_are_counted_and_released() {
+        let before = managed_active();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let handle = spawn_managed("ibcm-par-test-worker", move || {
+            // Hold the slot until the test has observed it.
+            rx.recv().ok();
+        })
+        .unwrap();
+        assert!(managed_active() > before);
+        assert!(!handle.is_finished());
+        tx.send(()).unwrap();
+        handle.join().unwrap();
+        // The guard decrements on exit; after join the count is back.
+        assert_eq!(managed_active(), before);
+    }
+
+    #[test]
+    fn managed_worker_panic_still_releases_slot() {
+        let before = managed_active();
+        let handle = spawn_managed("ibcm-par-test-panicker", || {
+            // The default hook would print a backtrace; keep test output
+            // clean by silencing it for this deliberate panic.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let _ = std::panic::catch_unwind(|| panic!("deliberate"));
+            std::panic::set_hook(hook);
+        })
+        .unwrap();
+        handle.join().unwrap();
+        assert_eq!(managed_active(), before);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Raw ingest hand-off hooks for the `daemon_throughput` bench.
+//!
+//! Hidden from the public API (`#[doc(hidden)]` at the re-export): these
+//! exist so the bench can measure the supervisor→shard hand-off in
+//! isolation — one producer thread feeding N per-shard queues, exactly
+//! the daemon's topology — without the per-event monitor compute that
+//! dominates end-to-end wall clock. No stability promises.
+
+use std::sync::atomic::AtomicU8;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::config::IngestPath;
+use crate::queue::{IngestQueue, PushOutcome};
+use crate::shard::WORKER_RUNNING;
+
+/// Sentinel closing one queue's stream.
+const POISON: u64 = u64::MAX;
+
+/// Sustained hand-off throughput (items/sec) of one producer feeding
+/// `pairs` consumer threads through per-pair ingest queues — the
+/// daemon's supervisor→shard topology with the monitor compute removed.
+///
+/// The producer round-robins `items_per_pair` items into every queue via
+/// the blocking push (the daemon's `ingest` path); each consumer drains
+/// with `pop_batch(drain_batch)` (the worker loop's shape) and folds the
+/// values into a checksum so the hand-off cannot be optimized away.
+///
+/// # Panics
+///
+/// Panics if a consumer thread cannot be spawned or a push is refused
+/// (no crash flag is ever raised here).
+pub fn handoff_items_per_sec(
+    path: IngestPath,
+    pairs: usize,
+    items_per_pair: usize,
+    capacity: usize,
+    drain_batch: usize,
+) -> f64 {
+    let pairs = pairs.max(1);
+    let queues: Vec<Arc<IngestQueue<u64>>> = (0..pairs)
+        .map(|_| Arc::new(IngestQueue::new(path, capacity)))
+        .collect();
+    let state = Arc::new(AtomicU8::new(WORKER_RUNNING));
+    let consumers: Vec<_> = queues
+        .iter()
+        .map(|q| {
+            let q = Arc::clone(q);
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                let mut batch = Vec::with_capacity(drain_batch);
+                loop {
+                    batch.clear();
+                    q.pop_batch(&mut batch, drain_batch);
+                    for &item in &batch {
+                        if item == POISON {
+                            return std::hint::black_box(sum);
+                        }
+                        sum = sum.wrapping_add(item);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // ibcm-lint: allow(det-wall-clock, reason = "bench-only hook measuring wall time by definition; never on a model or alarm path")
+    let t0 = Instant::now();
+    for i in 0..items_per_pair {
+        for q in &queues {
+            assert_eq!(q.push(i as u64, &state), PushOutcome::Pushed);
+        }
+    }
+    for q in &queues {
+        assert_eq!(q.push(POISON, &state), PushOutcome::Pushed);
+    }
+    let mut total = 0u64;
+    for c in consumers {
+        total = total.wrapping_add(c.join().expect("consumer thread panicked"));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    std::hint::black_box(total);
+    (pairs * items_per_pair) as f64 / wall.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_complete_and_report_positive_rates() {
+        for path in [IngestPath::Locked, IngestPath::LockFree] {
+            let rate = handoff_items_per_sec(path, 2, 2_000, 64, 8);
+            assert!(rate > 0.0, "{path:?} reported non-positive rate");
+        }
+    }
+}

@@ -14,6 +14,8 @@ pub(crate) struct ShardMetrics {
     pub(crate) backoff_ms: Gauge,
     pub(crate) queue_depth: Gauge,
     pub(crate) queue_overflows: Counter,
+    pub(crate) worker_batches: Counter,
+    pub(crate) checkpoint_stalls: Counter,
     pub(crate) checkpoints_written: Counter,
     pub(crate) checkpoints_failed: Counter,
     pub(crate) restores_newest: Counter,
@@ -30,6 +32,8 @@ impl ShardMetrics {
             backoff_ms: names::SERVED_RESTART_BACKOFF_MS.gauge_labeled(shard_label),
             queue_depth: names::SERVED_QUEUE_DEPTH.gauge_labeled(shard_label),
             queue_overflows: names::SERVED_QUEUE_OVERFLOWS.counter_labeled(shard_label),
+            worker_batches: names::SERVED_WORKER_BATCHES.counter_labeled(shard_label),
+            checkpoint_stalls: names::SERVED_CHECKPOINT_STALLS.counter_labeled(shard_label),
             checkpoints_written: names::SERVED_CHECKPOINTS
                 .counter_labeled(&[("shard", &s), ("outcome", "written")]),
             checkpoints_failed: names::SERVED_CHECKPOINTS

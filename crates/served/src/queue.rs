@@ -1,16 +1,26 @@
 //! The bounded per-shard ingest queue.
 //!
 //! Single-producer (the supervisor thread), single-consumer (the shard
-//! worker) by contract; implemented as a mutex-guarded ring with condvars
-//! so the crate stays `forbid(unsafe_code)`. The producer side never
-//! blocks indefinitely on a dead consumer: every wait watches the shard's
-//! crashed flag.
+//! worker) by contract. Two implementations sit behind the
+//! [`IngestQueue`] facade:
+//!
+//! - [`BoundedQueue`]: the original mutex-guarded ring with condvars —
+//!   retained as the comparison baseline (`IngestPath::Locked`) for the
+//!   `daemon_throughput` bench and as the conservative fallback.
+//! - [`SpscRing`](crate::ring::SpscRing): the lock-free ring the daemon
+//!   runs on by default (`IngestPath::LockFree`); see `ring.rs` for the
+//!   memory-ordering story.
+//!
+//! The producer side never blocks indefinitely on a dead consumer:
+//! every wait watches the shard's crashed flag.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
+use crate::config::IngestPath;
+use crate::ring::SpscRing;
 use crate::shard::{WORKER_CRASHED, WORKER_CRASHED_ON_RESTORE};
 
 /// Result of a blocking push.
@@ -40,9 +50,12 @@ pub(crate) struct BoundedQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Mirror of the queue depth, maintained under the lock but readable
+    /// without it, so metric scraping never contends with the hot path.
+    depth: AtomicUsize,
 }
 
-fn worker_dead(state: &AtomicU8) -> bool {
+pub(crate) fn worker_dead(state: &AtomicU8) -> bool {
     let s = state.load(Ordering::Acquire);
     s == WORKER_CRASHED || s == WORKER_CRASHED_ON_RESTORE
 }
@@ -55,6 +68,7 @@ impl<T> BoundedQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
         }
     }
 
@@ -62,9 +76,18 @@ impl<T> BoundedQueue<T> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Current queue depth.
+    /// Publishes the post-mutation depth. Called with the lock held, so
+    /// the stored value is exact at the moment of the store.
+    fn publish_depth(&self, q: &VecDeque<T>) {
+        // ordering: Relaxed — a monitoring mirror; readers make no
+        // synchronization decisions from it.
+        self.depth.store(q.len(), Ordering::Relaxed);
+    }
+
+    /// Current queue depth, from the lock-free mirror.
     pub(crate) fn len(&self) -> usize {
-        self.lock().len()
+        // ordering: Relaxed — see `publish_depth`.
+        self.depth.load(Ordering::Relaxed)
     }
 
     /// Blocking push: waits for a free slot, aborting if the consumer's
@@ -78,6 +101,7 @@ impl<T> BoundedQueue<T> {
             }
             if q.len() < self.capacity {
                 q.push_back(item);
+                self.publish_depth(&q);
                 self.not_empty.notify_one();
                 return PushOutcome::Pushed;
             }
@@ -99,6 +123,7 @@ impl<T> BoundedQueue<T> {
         let mut q = self.lock();
         if q.len() < self.capacity {
             q.push_back(item);
+            self.publish_depth(&q);
             self.not_empty.notify_one();
             TryPushOutcome::Pushed
         } else {
@@ -106,12 +131,15 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Blocking pop (worker side). The worker always eventually receives a
-    /// `Drain` or `Kill` command, so this cannot deadlock a live daemon.
+    /// Blocking single-item pop. The worker path now drains batches
+    /// ([`BoundedQueue::pop_batch`]); this survives as the one-command
+    /// reference the batch semantics are tested against.
+    #[cfg(test)]
     pub(crate) fn pop(&self) -> T {
         let mut q = self.lock();
         loop {
             if let Some(item) = q.pop_front() {
+                self.publish_depth(&q);
                 self.not_full.notify_one();
                 return item;
             }
@@ -119,6 +147,93 @@ impl<T> BoundedQueue<T> {
                 .not_empty
                 .wait(q)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocking batched pop: waits until at least one item is queued,
+    /// then moves up to `max` into `out` under a single lock acquisition.
+    pub(crate) fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let max = max.max(1);
+        let mut q = self.lock();
+        loop {
+            if !q.is_empty() {
+                let mut n = 0;
+                while n < max {
+                    let Some(item) = q.pop_front() else {
+                        break;
+                    };
+                    out.push(item);
+                    n += 1;
+                }
+                self.publish_depth(&q);
+                self.not_full.notify_one();
+                return n;
+            }
+            q = self
+                .not_empty
+                .wait(q)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// The per-shard ingest channel, dispatching to the configured
+/// implementation. Both arms share the push/pop contract (including
+/// crash-flag semantics and exact capacity), so everything above this
+/// facade is path-agnostic — which is what lets the throughput bench
+/// assert byte-equality of the merged alarm stream across paths.
+#[derive(Debug)]
+pub(crate) enum IngestQueue<T> {
+    /// Mutex+condvar baseline (PR 7 semantics, 5 ms crash-poll on the
+    /// full path).
+    Locked(BoundedQueue<T>),
+    /// Lock-free SPSC ring with spin-then-park hand-off.
+    LockFree(SpscRing<T>),
+}
+
+impl<T> IngestQueue<T> {
+    pub(crate) fn new(path: IngestPath, capacity: usize) -> Self {
+        match path {
+            IngestPath::Locked => IngestQueue::Locked(BoundedQueue::new(capacity)),
+            IngestPath::LockFree => IngestQueue::LockFree(SpscRing::new(capacity)),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            IngestQueue::Locked(q) => q.len(),
+            IngestQueue::LockFree(r) => r.len(),
+        }
+    }
+
+    pub(crate) fn push(&self, item: T, worker_state: &AtomicU8) -> PushOutcome {
+        match self {
+            IngestQueue::Locked(q) => q.push(item, worker_state),
+            IngestQueue::LockFree(r) => r.push(item, worker_state),
+        }
+    }
+
+    pub(crate) fn try_push(&self, item: T, worker_state: &AtomicU8) -> TryPushOutcome {
+        match self {
+            IngestQueue::Locked(q) => q.try_push(item, worker_state),
+            IngestQueue::LockFree(r) => r.try_push(item, worker_state),
+        }
+    }
+
+    pub(crate) fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        match self {
+            IngestQueue::Locked(q) => q.pop_batch(out, max),
+            IngestQueue::LockFree(r) => r.pop_batch(out, max),
+        }
+    }
+
+    /// Wakes a producer parked on the full path; the worker's exit path
+    /// calls this after publishing a crashed/drained state. The locked
+    /// baseline needs no wake (its full-path wait polls the crash flag).
+    pub(crate) fn wake_producer(&self) {
+        match self {
+            IngestQueue::Locked(_) => {}
+            IngestQueue::LockFree(r) => r.wake_producer(),
         }
     }
 }
@@ -164,5 +279,39 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         state.store(WORKER_CRASHED, Ordering::Release);
         assert_eq!(h.join().unwrap(), PushOutcome::Crashed);
+    }
+
+    #[test]
+    fn pop_batch_drains_runs_and_tracks_depth() {
+        let q = BoundedQueue::new(8);
+        let state = AtomicU8::new(WORKER_RUNNING);
+        for i in 0..5 {
+            q.try_push(i, &state);
+        }
+        assert_eq!(q.len(), 5);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.len(), 2);
+        out.clear();
+        assert_eq!(q.pop_batch(&mut out, 16), 2);
+        assert_eq!(out, vec![3, 4]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn facade_paths_share_semantics() {
+        for path in [IngestPath::Locked, IngestPath::LockFree] {
+            let q = IngestQueue::new(path, 2);
+            let state = AtomicU8::new(WORKER_RUNNING);
+            assert_eq!(q.try_push(1, &state), TryPushOutcome::Pushed);
+            assert_eq!(q.try_push(2, &state), TryPushOutcome::Pushed);
+            assert_eq!(q.try_push(3, &state), TryPushOutcome::Full);
+            assert_eq!(q.len(), 2);
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch(&mut out, 8), 2);
+            assert_eq!(out, vec![1, 2]);
+            q.wake_producer(); // no-op on an idle queue, both paths
+        }
     }
 }

@@ -1,13 +1,19 @@
 //! The shard worker: one supervised thread running one `StreamMonitor`
 //! over its partition of the session table.
 //!
-//! The worker pops commands from its bounded ingest queue, feeds its
-//! monitor, publishes alarms (tagged with their global sequence number)
-//! and a stats snapshot through shared state, and writes `IBCS`
-//! checkpoints on a command-count cadence. Panics — including deliberate
-//! chaos kills — are caught at the [`run_worker`] `catch_unwind`
-//! boundary; the worker records its exit state and returns, leaving the
-//! restart decision to the supervisor.
+//! The worker pops *runs* of commands from its bounded ingest queue
+//! (amortizing cross-thread synchronization over the drain-batch size),
+//! feeds its monitor, publishes alarms (tagged with their global
+//! sequence number) through shared state, and snapshots `IBCS`
+//! checkpoints on a command-count cadence — handing the rotation I/O to
+//! the background writer when one is configured. Stats snapshots are
+//! published once per drained run (and always at drain), not per
+//! command: nothing reads them mid-run, and the processed watermark —
+//! which *is* read mid-run — stays per-command and release-ordered
+//! after the outputs it covers. Panics — including deliberate chaos
+//! kills — are caught at the [`run_worker`] `catch_unwind` boundary;
+//! the worker records its exit state, wakes any producer parked on its
+//! queue, and returns, leaving the restart decision to the supervisor.
 //!
 //! This file is on the linter's panic-free hot-path list: the only panic
 //! is the deliberate chaos kill switch, which exists to be caught.
@@ -20,9 +26,10 @@ use ibcm_core::{FaultCounters, MisuseDetector, SessionEvent, StreamConfig, Strea
 use ibcm_logsim::UserId;
 
 use crate::metrics::ShardMetrics;
-use crate::queue::BoundedQueue;
+use crate::queue::IngestQueue;
 use crate::rotation::{CheckpointStore, Generation};
 use crate::supervisor::MergedAlarm;
+use crate::writer::CheckpointSink;
 
 /// Worker state: processing commands.
 pub(crate) const WORKER_RUNNING: u8 = 0;
@@ -77,7 +84,7 @@ impl ShardCommand {
 }
 
 /// A consistent snapshot of one shard's progress, published by the worker
-/// after every processed command and aggregated at drain.
+/// after every drained run of commands and aggregated at drain.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardStats {
     /// The shard's fault counters (non-monotonic stays zero: clock faults
@@ -100,13 +107,14 @@ pub(crate) struct ShardShared {
     /// [`WORKER_CRASHED_ON_RESTORE`] / [`WORKER_DRAINED`].
     pub(crate) state: AtomicU8,
     /// Highest data seq processed *and published*: the worker pushes
-    /// outputs and stats before storing this (release ordering), so a
-    /// supervisor that reads `processed` (acquire) then drains outputs is
+    /// outputs before storing this (release ordering), so a supervisor
+    /// that reads `processed` (acquire) then drains outputs is
     /// guaranteed to see every alarm at or below it.
     pub(crate) processed: AtomicU64,
     /// Covered seq of the oldest retained checkpoint generation — the
     /// durable floor below which the supervisor may trim its replay
-    /// buffer.
+    /// buffer. Advanced by whoever performs the rotation (the worker
+    /// inline, or the background writer).
     pub(crate) durable_floor: AtomicU64,
     /// Alarms awaiting collection by the supervisor's merge.
     pub(crate) outputs: Mutex<Vec<MergedAlarm>>,
@@ -146,6 +154,8 @@ pub(crate) struct WorkerPlan {
     pub(crate) checkpoint_every: u64,
     /// Keep-K retention for checkpoint rotation.
     pub(crate) keep: usize,
+    /// Commands popped per queue wakeup (clamped to at least 1).
+    pub(crate) drain_batch: usize,
 }
 
 /// How the worker loop ended.
@@ -160,19 +170,37 @@ enum Flow {
     Drained,
 }
 
-/// Thread entry point: runs the worker loop under `catch_unwind` and
-/// records the exit state.
+/// Per-incarnation context threaded through every processed command.
+struct WorkerCtx<'a> {
+    shard: usize,
+    suppress_through: u64,
+    shared: &'a ShardShared,
+    store: &'a CheckpointStore,
+    sink: &'a CheckpointSink,
+    metrics: &'a ShardMetrics,
+    checkpoint_every: u64,
+    keep: usize,
+    since_checkpoint: u64,
+    last_seq: u64,
+}
+
+/// Thread entry point: runs the worker loop under `catch_unwind`,
+/// records the exit state, and wakes any producer parked on the queue
+/// (a parked supervisor must notice the crash without waiting out its
+/// park timeout).
 pub(crate) fn run_worker(
     detector: Arc<MisuseDetector>,
     plan: WorkerPlan,
-    queue: Arc<BoundedQueue<ShardCommand>>,
+    queue: Arc<IngestQueue<ShardCommand>>,
     shared: Arc<ShardShared>,
     store: Arc<CheckpointStore>,
     metrics: ShardMetrics,
+    sink: CheckpointSink,
 ) {
     let shared_for_exit = Arc::clone(&shared);
+    let queue_for_exit = Arc::clone(&queue);
     let outcome = catch_unwind(AssertUnwindSafe(move || {
-        worker_loop(&detector, plan, &queue, &shared, &store, &metrics)
+        worker_loop(&detector, plan, &queue, &shared, &store, &metrics, &sink)
     }));
     let state = match outcome {
         Ok(WorkerExit::Drained) => WORKER_DRAINED,
@@ -180,15 +208,17 @@ pub(crate) fn run_worker(
         Err(_) => WORKER_CRASHED,
     };
     shared_for_exit.state.store(state, Ordering::Release);
+    queue_for_exit.wake_producer();
 }
 
 fn worker_loop(
     detector: &MisuseDetector,
     plan: WorkerPlan,
-    queue: &BoundedQueue<ShardCommand>,
+    queue: &IngestQueue<ShardCommand>,
     shared: &ShardShared,
     store: &CheckpointStore,
     metrics: &ShardMetrics,
+    sink: &CheckpointSink,
 ) -> WorkerExit {
     let WorkerPlan {
         shard,
@@ -198,7 +228,9 @@ fn worker_loop(
         stream,
         checkpoint_every,
         keep,
+        drain_batch,
     } = plan;
+    let drain_batch = drain_batch.max(1);
     let mut sm = match restore {
         None => detector.stream_monitor(stream),
         Some(generation) => match detector.restore_stream_monitor(&generation.ibcs) {
@@ -206,96 +238,57 @@ fn worker_loop(
             Err(_) => return WorkerExit::RestoreFailed,
         },
     };
-    let mut since_checkpoint: u64 = 0;
-    let mut last_seq: u64 = shared.processed.load(Ordering::Acquire);
+    let mut ctx = WorkerCtx {
+        shard,
+        suppress_through,
+        shared,
+        store,
+        sink,
+        metrics,
+        checkpoint_every,
+        keep,
+        since_checkpoint: 0,
+        last_seq: shared.processed.load(Ordering::Acquire),
+    };
 
     for cmd in replay {
-        match step(
-            &mut sm,
-            cmd,
-            shard,
-            suppress_through,
-            shared,
-            store,
-            metrics,
-            checkpoint_every,
-            keep,
-            &mut since_checkpoint,
-            &mut last_seq,
-        ) {
+        match step(&mut sm, cmd, &mut ctx) {
             Flow::Continue => {}
             Flow::Drained => return WorkerExit::Drained,
         }
     }
+    publish_stats(&sm, ctx.last_seq, shared);
+    let mut batch: Vec<ShardCommand> = Vec::with_capacity(drain_batch);
     loop {
-        let cmd = queue.pop();
-        match step(
-            &mut sm,
-            cmd,
-            shard,
-            suppress_through,
-            shared,
-            store,
-            metrics,
-            checkpoint_every,
-            keep,
-            &mut since_checkpoint,
-            &mut last_seq,
-        ) {
-            Flow::Continue => {}
-            Flow::Drained => return WorkerExit::Drained,
+        batch.clear();
+        queue.pop_batch(&mut batch, drain_batch);
+        metrics.worker_batches.inc();
+        for cmd in batch.drain(..) {
+            match step(&mut sm, cmd, &mut ctx) {
+                Flow::Continue => {}
+                Flow::Drained => return WorkerExit::Drained,
+            }
         }
+        // One stats snapshot per drained run: stats are only read after
+        // a quiesce (drain or restart replay), so per-command publication
+        // bought nothing but a mutex round-trip on the hot path.
+        publish_stats(&sm, ctx.last_seq, shared);
     }
 }
 
 /// Processes one command against the shard's monitor.
-#[allow(clippy::too_many_arguments)]
-fn step(
-    sm: &mut StreamMonitor<'_>,
-    cmd: ShardCommand,
-    shard: usize,
-    suppress_through: u64,
-    shared: &ShardShared,
-    store: &CheckpointStore,
-    metrics: &ShardMetrics,
-    checkpoint_every: u64,
-    keep: usize,
-    since_checkpoint: &mut u64,
-    last_seq: &mut u64,
-) -> Flow {
+fn step(sm: &mut StreamMonitor<'_>, cmd: ShardCommand, ctx: &mut WorkerCtx<'_>) -> Flow {
     match cmd {
         ShardCommand::Deliver { seq, event } => {
             let out = sm.ingest(event);
-            publish(shared, seq, shard, out.shed, out.alarm, suppress_through);
-            finish_data(
-                sm,
-                seq,
-                shard,
-                shared,
-                store,
-                metrics,
-                checkpoint_every,
-                keep,
-                since_checkpoint,
-                last_seq,
-            );
+            publish(ctx.shared, seq, ctx.shard, out.shed, out.alarm, ctx.suppress_through);
+            finish_data(sm, seq, ctx);
             Flow::Continue
         }
         ShardCommand::Shed { seq, user } => {
             let alarm = sm.shed_session(user);
-            publish(shared, seq, shard, Vec::new(), alarm, suppress_through);
-            finish_data(
-                sm,
-                seq,
-                shard,
-                shared,
-                store,
-                metrics,
-                checkpoint_every,
-                keep,
-                since_checkpoint,
-                last_seq,
-            );
+            publish(ctx.shared, seq, ctx.shard, Vec::new(), alarm, ctx.suppress_through);
+            finish_data(sm, seq, ctx);
             Flow::Continue
         }
         ShardCommand::Kill => {
@@ -303,8 +296,13 @@ fn step(
             panic!("{CHAOS_KILL_MSG}")
         }
         ShardCommand::Drain => {
-            write_checkpoint(sm, *last_seq, shard, shared, store, metrics, keep);
-            publish_stats(sm, *last_seq, shared);
+            write_checkpoint(sm, ctx.last_seq, ctx);
+            if let CheckpointSink::Background(writer) = ctx.sink {
+                // The drain contract is "final checkpoint durable when
+                // the worker exits"; wait out the background rotation.
+                writer.flush();
+            }
+            publish_stats(sm, ctx.last_seq, ctx.shared);
             Flow::Drained
         }
     }
@@ -345,28 +343,15 @@ fn publish(
     }
 }
 
-/// Post-command bookkeeping: stats snapshot, the processed watermark
-/// (release-ordered after outputs), and the checkpoint cadence.
-#[allow(clippy::too_many_arguments)]
-fn finish_data(
-    sm: &StreamMonitor<'_>,
-    seq: u64,
-    shard: usize,
-    shared: &ShardShared,
-    store: &CheckpointStore,
-    metrics: &ShardMetrics,
-    checkpoint_every: u64,
-    keep: usize,
-    since_checkpoint: &mut u64,
-    last_seq: &mut u64,
-) {
-    *last_seq = seq;
-    publish_stats(sm, seq, shared);
-    shared.processed.store(seq, Ordering::Release);
-    *since_checkpoint += 1;
-    if checkpoint_every > 0 && *since_checkpoint >= checkpoint_every {
-        *since_checkpoint = 0;
-        write_checkpoint(sm, seq, shard, shared, store, metrics, keep);
+/// Post-command bookkeeping: the processed watermark (release-ordered
+/// after outputs) and the checkpoint cadence.
+fn finish_data(sm: &StreamMonitor<'_>, seq: u64, ctx: &mut WorkerCtx<'_>) {
+    ctx.last_seq = seq;
+    ctx.shared.processed.store(seq, Ordering::Release);
+    ctx.since_checkpoint += 1;
+    if ctx.checkpoint_every > 0 && ctx.since_checkpoint >= ctx.checkpoint_every {
+        ctx.since_checkpoint = 0;
+        write_checkpoint(sm, seq, ctx);
     }
 }
 
@@ -382,27 +367,27 @@ fn publish_stats(sm: &StreamMonitor<'_>, processed: u64, shared: &ShardShared) {
     *stats = snapshot;
 }
 
-fn write_checkpoint(
-    sm: &StreamMonitor<'_>,
-    covered_seq: u64,
-    shard: usize,
-    shared: &ShardShared,
-    store: &CheckpointStore,
-    metrics: &ShardMetrics,
-    keep: usize,
-) {
+/// Snapshots the monitor and rotates the checkpoint — inline (PR 7
+/// semantics) or through the shard's background writer, which performs
+/// the identical rotation off the ingest path.
+fn write_checkpoint(sm: &StreamMonitor<'_>, covered_seq: u64, ctx: &WorkerCtx<'_>) {
     let ibcs = sm.checkpoint();
-    match store.save(shard, covered_seq, &ibcs, keep) {
-        Ok(receipt) => {
-            if receipt.written {
-                metrics.checkpoints_written.inc();
-                shared
-                    .durable_floor
-                    .store(receipt.oldest_retained, Ordering::Release);
+    match ctx.sink {
+        CheckpointSink::Inline => match ctx.store.save(ctx.shard, covered_seq, &ibcs, ctx.keep) {
+            Ok(receipt) => {
+                if receipt.written {
+                    ctx.metrics.checkpoints_written.inc();
+                    ctx.shared
+                        .durable_floor
+                        .store(receipt.oldest_retained, Ordering::Release);
+                }
             }
-        }
-        Err(_) => {
-            metrics.checkpoints_failed.inc();
+            Err(_) => {
+                ctx.metrics.checkpoints_failed.inc();
+            }
+        },
+        CheckpointSink::Background(writer) => {
+            writer.submit(covered_seq, ibcs, ctx.metrics);
         }
     }
 }

@@ -28,7 +28,6 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Once};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ibcm_core::{
@@ -36,16 +35,18 @@ use ibcm_core::{
     StreamConfig,
 };
 use ibcm_logsim::UserId;
+use ibcm_par::ManagedHandle;
 
 use crate::config::ServedConfig;
 use crate::error::ServeError;
 use crate::metrics::{DaemonMetrics, ShardMetrics};
-use crate::queue::BoundedQueue;
+use crate::queue::IngestQueue;
 use crate::rotation::CheckpointStore;
 use crate::shard::{
     run_worker, ShardCommand, ShardShared, ShardStats, WorkerPlan, CHAOS_KILL_MSG,
     WORKER_CRASHED, WORKER_CRASHED_ON_RESTORE, WORKER_DRAINED, WORKER_RUNNING,
 };
+use crate::writer::{CheckpointSink, CheckpointWriter};
 
 /// An alarm in the merged stream, tagged with its global sequence number
 /// and the shard that produced it. Alarms are released in `seq` order;
@@ -116,9 +117,13 @@ struct DirEntry {
 
 /// Supervisor-side handle to one shard.
 struct ShardHandle {
-    queue: Arc<BoundedQueue<ShardCommand>>,
+    queue: Arc<IngestQueue<ShardCommand>>,
     shared: Arc<ShardShared>,
-    handle: Option<JoinHandle<()>>,
+    handle: Option<ManagedHandle>,
+    /// The shard's background checkpoint writer (`None` when rotation
+    /// runs inline on the worker). Owned by the shard, not the worker
+    /// incarnation: it survives crashes and is joined at drain.
+    writer: Option<CheckpointWriter>,
     metrics: ShardMetrics,
     /// Data commands since the durable floor, for post-crash replay.
     replay: VecDeque<ShardCommand>,
@@ -139,6 +144,68 @@ impl ShardHandle {
     fn crashed(&self) -> bool {
         let s = self.worker_state();
         s == WORKER_CRASHED || s == WORKER_CRASHED_ON_RESTORE
+    }
+
+    fn sink(&self) -> CheckpointSink {
+        self.writer
+            .as_ref()
+            .map_or(CheckpointSink::Inline, |w| CheckpointSink::Background(w.sink()))
+    }
+}
+
+/// The merged stream's reorder buffer, ring-indexed on the dense global
+/// sequence space: slot `i` holds the (at most one) alarm for seq
+/// `base + i`. Replaces a `BTreeMap<u64, MergedAlarm>` — inserts and
+/// in-order releases become index arithmetic instead of tree rebalances,
+/// and a replayed alarm republished for a seq already collected
+/// overwrites its slot (the BTreeMap's insert semantics, which the
+/// crash-republication dedup leans on).
+#[derive(Debug)]
+struct PendingRing {
+    /// Seq of slot 0. Always `released_through + 1`: advanced only by
+    /// releases, never by inserts.
+    base: u64,
+    slots: VecDeque<Option<MergedAlarm>>,
+}
+
+impl PendingRing {
+    fn new() -> Self {
+        PendingRing {
+            base: 1,
+            slots: VecDeque::new(),
+        }
+    }
+
+    /// Insert-or-overwrite at the alarm's seq. Seqs below `base` were
+    /// already released (callers filter on `released_through`, which
+    /// equals `base - 1`); they are dropped.
+    fn insert(&mut self, merged: MergedAlarm) {
+        let Some(offset) = merged.seq.checked_sub(self.base) else {
+            return;
+        };
+        let idx = offset as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        // ibcm-lint: allow(panic-index, reason = "idx < slots.len() — the resize_with above grows the buffer through idx")
+        self.slots[idx] = Some(merged);
+    }
+
+    /// Appends every buffered alarm with seq ≤ `bound` to `out`, in seq
+    /// order, advancing `base` past them. Amortized O(1) per seq ever
+    /// allocated: each slot is pushed and popped exactly once, and an
+    /// empty buffer fast-forwards.
+    fn release_through(&mut self, bound: u64, out: &mut Vec<MergedAlarm>) {
+        while self.base <= bound {
+            if self.slots.is_empty() {
+                self.base = bound + 1;
+                return;
+            }
+            if let Some(Some(merged)) = self.slots.pop_front() {
+                out.push(merged);
+            }
+            self.base += 1;
+        }
     }
 }
 
@@ -178,8 +245,8 @@ pub struct Daemon {
     front_non_monotonic: u64,
     front_dropped: u64,
     events_admitted: u64,
-    /// Collected but not yet released alarms, keyed by seq.
-    pending: BTreeMap<u64, MergedAlarm>,
+    /// Collected but not yet released alarms, ring-indexed by seq.
+    pending: PendingRing,
     /// Highest seq released to the caller (re-published replay alarms at
     /// or below this are dropped at collection).
     released_through: u64,
@@ -230,6 +297,7 @@ impl Daemon {
         // capacity shed plus the delivery itself); a single-slot queue
         // would make such an admission permanently backpressured.
         config.queue_capacity = config.queue_capacity.max(2);
+        config.drain_batch = config.drain_batch.max(1);
         let mut shard_stream = config.stream.clone();
         shard_stream.faults.max_active_sessions = None;
         let store = Arc::new(store);
@@ -239,9 +307,23 @@ impl Daemon {
         let mut shards = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             store.reset(shard)?;
-            let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+            let queue = Arc::new(IngestQueue::new(config.ingest, config.queue_capacity));
             let shared = Arc::new(ShardShared::new());
             let shard_metrics = ShardMetrics::for_shard(shard);
+            let writer = if config.background_checkpoints {
+                Some(CheckpointWriter::spawn(
+                    shard,
+                    Arc::clone(&store),
+                    Arc::clone(&shared),
+                    shard_metrics.clone(),
+                    config.keep_checkpoints,
+                )?)
+            } else {
+                None
+            };
+            let sink = writer
+                .as_ref()
+                .map_or(CheckpointSink::Inline, |w| CheckpointSink::Background(w.sink()));
             let plan = WorkerPlan {
                 shard,
                 restore: None,
@@ -250,6 +332,7 @@ impl Daemon {
                 stream: shard_stream.clone(),
                 checkpoint_every: config.checkpoint_every,
                 keep: config.keep_checkpoints,
+                drain_batch: config.drain_batch,
             };
             let handle = spawn_worker(
                 Arc::clone(&detector),
@@ -258,11 +341,13 @@ impl Daemon {
                 Arc::clone(&shared),
                 Arc::clone(&store),
                 shard_metrics.clone(),
+                sink,
             )?;
             shards.push(ShardHandle {
                 queue,
                 shared,
                 handle: Some(handle),
+                writer,
                 metrics: shard_metrics,
                 replay: VecDeque::new(),
                 sent_watermark: 0,
@@ -284,7 +369,7 @@ impl Daemon {
             front_non_monotonic: 0,
             front_dropped: 0,
             events_admitted: 0,
-            pending: BTreeMap::new(),
+            pending: PendingRing::new(),
             released_through: 0,
             total_restarts: 0,
             restore_outcomes: [0; 3],
@@ -307,6 +392,14 @@ impl Daemon {
     /// Worker restarts performed so far.
     pub fn restarts(&self) -> u64 {
         self.total_restarts
+    }
+
+    /// Current depth of every shard's ingest queue. The reads are
+    /// lock-free (and, on the lock-free path, approximate within one
+    /// in-flight transfer), so sampling them never contends with ingest
+    /// — this is the bench's queue-depth histogram source.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|h| h.queue.len()).collect()
     }
 
     /// Feeds one event, blocking while the target shard's queue is full.
@@ -568,8 +661,13 @@ impl Daemon {
 
     /// Chaos: corrupt the newest checkpoint generation of `shard` so its
     /// next restore must fall back to the prior generation. Returns
-    /// whether a generation was corrupted.
+    /// whether a generation was corrupted. Any snapshot in flight to the
+    /// background writer is rotated first, so "newest" means the same
+    /// generation it would on the inline-checkpoint path.
     pub fn corrupt_newest_checkpoint(&self, shard: usize) -> bool {
+        if let Some(writer) = self.shards.get(shard).and_then(|h| h.writer.as_ref()) {
+            writer.flush();
+        }
         self.store.corrupt_newest(shard)
     }
 
@@ -619,6 +717,8 @@ impl Daemon {
         let base_ms = self.config.backoff_base_ms;
         let cap_ms = self.config.backoff_cap_ms;
         let queue_capacity = self.config.queue_capacity;
+        let ingest = self.config.ingest;
+        let drain_batch = self.config.drain_batch;
         let released_through = self.released_through;
 
         let Some(h) = self.shards.get_mut(shard) else {
@@ -632,7 +732,7 @@ impl Daemon {
             let mut outputs = h.shared.outputs.lock().unwrap_or_else(|e| e.into_inner());
             for merged in outputs.drain(..) {
                 if merged.seq > released_through {
-                    self.pending.insert(merged.seq, merged);
+                    self.pending.insert(merged);
                 }
             }
         }
@@ -655,6 +755,15 @@ impl Daemon {
         h.metrics.backoff_ms.set(backoff_ms as i64);
         if backoff_ms > 0 {
             std::thread::sleep(Duration::from_millis(backoff_ms));
+        }
+
+        // Every snapshot the dead incarnation handed to the background
+        // writer must be durably rotated before corruption scheduling
+        // and restore-candidate selection run — this is what keeps the
+        // generation set (and therefore every chaos suite's fallback
+        // arithmetic) identical to the inline-checkpoint path.
+        if let Some(writer) = h.writer.as_ref() {
+            writer.flush();
         }
 
         if self.pending_corruptions.remove(&shard) && store.corrupt_newest(shard) {
@@ -710,11 +819,13 @@ impl Daemon {
             stream,
             checkpoint_every,
             keep,
+            drain_batch,
         };
         // Fresh queue: the dead incarnation's queued commands are a
         // subset of the replay buffer, so nothing is lost.
-        h.queue = Arc::new(BoundedQueue::new(queue_capacity));
+        h.queue = Arc::new(IngestQueue::new(ingest, queue_capacity));
         h.shared.state.store(WORKER_RUNNING, Ordering::Release);
+        let sink = h.sink();
         h.handle = Some(spawn_worker(
             detector,
             plan,
@@ -722,6 +833,7 @@ impl Daemon {
             Arc::clone(&h.shared),
             store,
             h.metrics.clone(),
+            sink,
         )?);
         self.total_restarts += 1;
         Ok(())
@@ -758,21 +870,16 @@ impl Daemon {
             let mut outputs = h.shared.outputs.lock().unwrap_or_else(|e| e.into_inner());
             for merged in outputs.drain(..) {
                 if merged.seq > released_through {
-                    self.pending.insert(merged.seq, merged);
+                    self.pending.insert(merged);
                 }
             }
             h.metrics.queue_depth.set(h.queue.len() as i64);
         }
         if everything {
-            let released: Vec<MergedAlarm> =
-                std::mem::take(&mut self.pending).into_values().collect();
-            self.released_through = self.next_seq.saturating_sub(1);
-            self.metrics.alarms_merged.add(released.len() as u64);
-            return released;
+            bound = self.next_seq.saturating_sub(1);
         }
-        let rest = self.pending.split_off(&bound.saturating_add(1));
-        let released: Vec<MergedAlarm> =
-            std::mem::replace(&mut self.pending, rest).into_values().collect();
+        let mut released = Vec::new();
+        self.pending.release_through(bound, &mut released);
         self.released_through = self.released_through.max(bound);
         self.metrics.alarms_merged.add(released.len() as u64);
         released
@@ -829,6 +936,14 @@ impl Daemon {
                         // crashed while draining.
                     }
                 }
+            }
+        }
+
+        // Workers flushed their final checkpoints before exiting; stop
+        // and join the background writers.
+        for h in &mut self.shards {
+            if let Some(writer) = h.writer.as_mut() {
+                writer.shutdown();
             }
         }
 
@@ -900,17 +1015,21 @@ fn add_counters(a: FaultCounters, b: FaultCounters) -> FaultCounters {
     }
 }
 
+/// Spawns a shard worker on a managed `ibcm-par` thread: daemon workers
+/// are long-lived parallel capacity, so registering them lets scoring
+/// pools size themselves around the daemon (`IBCM_THREADS` still wins).
 fn spawn_worker(
     detector: Arc<MisuseDetector>,
     plan: WorkerPlan,
-    queue: Arc<BoundedQueue<ShardCommand>>,
+    queue: Arc<IngestQueue<ShardCommand>>,
     shared: Arc<ShardShared>,
     store: Arc<CheckpointStore>,
     metrics: ShardMetrics,
-) -> Result<JoinHandle<()>, ServeError> {
+    sink: CheckpointSink,
+) -> Result<ManagedHandle, ServeError> {
     let shard = plan.shard;
-    std::thread::Builder::new()
-        .name(format!("ibcm-served-{shard}"))
-        .spawn(move || run_worker(detector, plan, queue, shared, store, metrics))
-        .map_err(ServeError::Spawn)
+    ibcm_par::spawn_managed(format!("ibcm-served-{shard}"), move || {
+        run_worker(detector, plan, queue, shared, store, metrics, sink)
+    })
+    .map_err(ServeError::Spawn)
 }
