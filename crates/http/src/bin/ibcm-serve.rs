@@ -1,0 +1,197 @@
+//! `ibcm-serve` — the sharded monitoring daemon behind the HTTP front end.
+//!
+//! ```sh
+//! # Demo mode: trains a tiny detector on simulated logs, then serves.
+//! ibcm-serve --addr 127.0.0.1:8787
+//!
+//! # Production shape: serve a trained IBCD bundle with disk checkpoints.
+//! ibcm-serve --addr 0.0.0.0:8787 --bundle model.ibcd --checkpoint-dir /var/lib/ibcm
+//! ```
+//!
+//! The process serves until stdin reaches EOF (or `--run-seconds`
+//! elapses), then shuts the listener down, drains the daemon, and prints
+//! the drain report. `OPERATIONS.md` has the full runbook; `API.md` has
+//! the wire reference.
+
+use std::io::Read;
+use std::sync::Arc;
+
+use ibcm_core::{MisuseDetector, Pipeline, PipelineConfig, StreamConfig};
+use ibcm_http::{HttpConfig, HttpServer, HttpService};
+use ibcm_logsim::{Generator, GeneratorConfig};
+use ibcm_served::{CheckpointStore, Daemon, ServedConfig};
+
+const USAGE: &str = "\
+ibcm-serve: HTTP front end for the ibcm sharded monitoring daemon
+
+USAGE:
+    ibcm-serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT        bind address (default 127.0.0.1:8787; port 0 = ephemeral)
+    --bundle PATH           IBCD model bundle to serve (default: train a demo model)
+    --seed N                seed for the demo model (default 37)
+    --shards N              daemon shards (default 4)
+    --queue-capacity N      per-shard ingest queue capacity (default 1024)
+    --checkpoint-dir PATH   rotate checkpoints on disk (default: in-memory)
+    --max-connections N     concurrent HTTP connections (default 64)
+    --run-seconds N         exit after N seconds instead of on stdin EOF
+    --help                  print this help
+";
+
+struct Args {
+    addr: String,
+    bundle: Option<String>,
+    seed: u64,
+    shards: usize,
+    queue_capacity: usize,
+    checkpoint_dir: Option<String>,
+    max_connections: usize,
+    run_seconds: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8787".to_string(),
+        bundle: None,
+        seed: 37,
+        shards: 4,
+        queue_capacity: 1024,
+        checkpoint_dir: None,
+        max_connections: 64,
+        run_seconds: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--bundle" => args.bundle = Some(value("--bundle")?),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards must be an integer".to_string())?
+            }
+            "--queue-capacity" => {
+                args.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|_| "--queue-capacity must be an integer".to_string())?
+            }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections must be an integer".to_string())?
+            }
+            "--run-seconds" => {
+                args.run_seconds = Some(
+                    value("--run-seconds")?
+                        .parse()
+                        .map_err(|_| "--run-seconds must be an integer".to_string())?,
+                )
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_detector(args: &Args) -> Result<MisuseDetector, Box<dyn std::error::Error>> {
+    match &args.bundle {
+        Some(path) => {
+            let bytes = std::fs::read(path)?;
+            let detector = MisuseDetector::from_bytes(&bytes)?;
+            eprintln!(
+                "loaded bundle {path} ({} bytes, vocab {})",
+                bytes.len(),
+                detector.vocab_size()
+            );
+            Ok(detector)
+        }
+        None => {
+            eprintln!(
+                "no --bundle given: training a demo detector on simulated logs (seed {})",
+                args.seed
+            );
+            let dataset = Generator::new(GeneratorConfig::tiny(args.seed)).generate();
+            let trained = Pipeline::new(PipelineConfig::test_profile(args.seed)).train(&dataset)?;
+            Ok(trained.detector().clone())
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let detector = Arc::new(load_detector(&args)?);
+    let store = match &args.checkpoint_dir {
+        Some(dir) => CheckpointStore::disk(dir),
+        None => CheckpointStore::memory(),
+    };
+    let served = ServedConfig::new(StreamConfig::default())
+        .with_shards(args.shards)
+        .with_queue_capacity(args.queue_capacity);
+    let daemon = Daemon::new(Arc::clone(&detector), served, store)?;
+
+    let http = HttpConfig::new()
+        .with_addr(args.addr.as_str())
+        .with_max_connections(args.max_connections);
+    let service = Arc::new(HttpService::new(
+        detector,
+        daemon,
+        http.alarm_buffer,
+        http.max_batch_events,
+    ));
+    let mut server = HttpServer::bind(http, Arc::clone(&service))?;
+    // The conformance smoke script and operators both key off this line.
+    println!("ibcm-serve listening on http://{}", server.local_addr());
+    println!(
+        "routes: POST /v1/events  POST /v1/score  GET /v1/alarms  \
+         POST /v1/checkpoint  GET /healthz  GET /readyz  GET /metrics"
+    );
+
+    match args.run_seconds {
+        Some(seconds) => {
+            std::thread::sleep(std::time::Duration::from_secs(seconds));
+        }
+        None => {
+            // Serve until stdin closes (^D interactively, or the
+            // supervisor closing the pipe).
+            let mut sink = Vec::new();
+            let _ = std::io::stdin().read_to_end(&mut sink);
+        }
+    }
+
+    eprintln!("shutting down: closing listener, draining daemon");
+    server.shutdown();
+    let report = service.drain()?;
+    eprintln!(
+        "drained: {} events, {} sessions started, {} ended, {} alarms left unpaged, \
+         {} restart(s)",
+        report.events,
+        report.sessions_started,
+        report.sessions_ended,
+        report.alarms.len(),
+        report.restarts,
+    );
+    Ok(())
+}

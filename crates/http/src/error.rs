@@ -1,0 +1,104 @@
+//! The wire error shape: every non-2xx response carries the same JSON
+//! envelope, `{"error":{"code":...,"message":...}}`, so clients branch on
+//! the stable `code` string rather than parsing prose.
+
+use crate::json::push_str_literal;
+use crate::wire::Response;
+
+/// A typed API error, convertible into a [`Response`].
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable code (e.g. `"backpressure"`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// When set, emitted as a `Retry-After` header (seconds).
+    pub retry_after: Option<u64>,
+    /// Extra machine-readable numeric fields merged into the envelope
+    /// (e.g. `accepted` on a partial-ingest 429, so clients can resume
+    /// without parsing prose).
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl ApiError {
+    /// A `400 Bad Request`.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            code: "bad_request",
+            message: message.into(),
+            retry_after: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// An error with an explicit status and code.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+            retry_after: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches a `Retry-After` hint (builder style).
+    pub fn with_retry_after(mut self, seconds: u64) -> ApiError {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Attaches a machine-readable numeric field to the envelope
+    /// (builder style).
+    pub fn with_field(mut self, name: &'static str, value: u64) -> ApiError {
+        self.fields.push((name, value));
+        self
+    }
+
+    /// Serializes the error envelope into a response.
+    pub fn into_response(self) -> Response {
+        let mut body = String::from("{\"error\":{\"code\":");
+        push_str_literal(&mut body, self.code);
+        body.push_str(",\"message\":");
+        push_str_literal(&mut body, &self.message);
+        for (name, value) in &self.fields {
+            body.push(',');
+            push_str_literal(&mut body, name);
+            body.push(':');
+            body.push_str(&value.to_string());
+        }
+        body.push_str("}}\n");
+        let response = Response::json(self.status, body);
+        match self.retry_after {
+            Some(seconds) => response.with_header("Retry-After", seconds.to_string()),
+            None => response,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_shape() {
+        let r = ApiError::new(429, "backpressure", "shard 3 queue full")
+            .with_retry_after(1)
+            .with_field("accepted", 17)
+            .with_field("total", 40)
+            .into_response();
+        assert_eq!(r.status, 429);
+        let body = String::from_utf8(r.body).unwrap();
+        assert_eq!(
+            body,
+            "{\"error\":{\"code\":\"backpressure\",\"message\":\"shard 3 queue full\",\"accepted\":17,\"total\":40}}\n"
+        );
+        assert!(r
+            .headers
+            .iter()
+            .any(|(n, v)| *n == "Retry-After" && v == "1"));
+    }
+}

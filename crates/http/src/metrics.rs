@@ -1,0 +1,42 @@
+//! Registry handles for the front end's `ibcm_http_*` metrics.
+//!
+//! All names come from the `ibcm-obs` catalog ([`ibcm_obs::names`]).
+//! Unlabeled handles are resolved once at server construction; the
+//! per-`(route, code)` request counter and per-route latency histogram
+//! are resolved at observation time (requests are socket-bound, so one
+//! registry lookup per request is noise).
+
+use ibcm_obs::names;
+use ibcm_obs::{Counter, Gauge, DEFAULT_SECONDS_BUCKETS};
+
+/// Handles resolved once, shared by acceptor and handler threads.
+#[derive(Debug, Clone)]
+pub(crate) struct HttpMetrics {
+    pub(crate) connections: Gauge,
+    pub(crate) connections_rejected: Counter,
+    pub(crate) events_ingested: Counter,
+    pub(crate) backpressure: Counter,
+}
+
+impl HttpMetrics {
+    pub(crate) fn resolve() -> Self {
+        HttpMetrics {
+            connections: names::HTTP_CONNECTIONS.gauge(),
+            connections_rejected: names::HTTP_CONNECTIONS_REJECTED.counter(),
+            events_ingested: names::HTTP_EVENTS_INGESTED.counter(),
+            backpressure: names::HTTP_BACKPRESSURE.counter(),
+        }
+    }
+}
+
+/// Records one completed request: the `(route, code)` counter and the
+/// per-route latency histogram.
+pub(crate) fn observe_request(route: &'static str, status: u16, seconds: f64) {
+    let code = status.to_string();
+    names::HTTP_REQUESTS
+        .counter_labeled(&[("route", route), ("code", &code)])
+        .inc();
+    names::HTTP_REQUEST_SECONDS
+        .histogram_labeled(DEFAULT_SECONDS_BUCKETS, &[("route", route)])
+        .observe(seconds);
+}

@@ -36,6 +36,12 @@ pub const PANIC_FREE_PATHS: &[&str] = &[
     "crates/served/src/queue.rs",
     "crates/served/src/ring.rs",
     "crates/served/src/writer.rs",
+    // The HTTP front end parses untrusted network bytes; a panic there is
+    // a dropped connection at best and a crashed acceptor at worst.
+    "crates/http/src/json.rs",
+    "crates/http/src/wire.rs",
+    "crates/http/src/service.rs",
+    "crates/http/src/server.rs",
 ];
 
 /// Files (workspace-relative, `/`-separated) where every
@@ -62,6 +68,7 @@ pub const MODEL_AFFECTING_CRATES: &[&str] = &[
     "ibcm-logsim",
     "ibcm-par",
     "ibcm-served", // the daemon's merged alarm stream is an output surface
+    "ibcm-http",   // response bodies replay the merged stream byte-for-byte
     "ibcm", // the facade re-exports pipeline entry points
 ];
 
@@ -198,6 +205,15 @@ mod tests {
         assert!(ring.is_panic_free_path());
         assert!(ring.is_ordering_documented_path());
         assert!(!sup.is_ordering_documented_path());
+
+        let wire = FileCtx::classify("crates/http/src/wire.rs").unwrap();
+        assert_eq!(wire.crate_name, "ibcm-http");
+        assert!(wire.is_panic_free_path());
+        assert!(wire.is_model_affecting());
+        assert!(!wire.wall_clock_allowed());
+        let cfg = FileCtx::classify("crates/http/src/config.rs").unwrap();
+        assert!(!cfg.is_panic_free_path());
+        assert!(cfg.is_model_affecting());
 
         assert!(FileCtx::classify("vendor/rand/src/lib.rs").is_none());
         assert!(FileCtx::classify("crates/lint/tests/fixtures/bad.rs").is_none());

@@ -341,6 +341,54 @@ pub const SERVED_DRAIN_SECONDS: MetricDef = MetricDef {
     help: "Wall-clock seconds for graceful drain (quiesce, final checkpoints, merged-stream close).",
 };
 
+/// HTTP front end: requests served, by route and status code.
+pub const HTTP_REQUESTS: MetricDef = MetricDef {
+    name: "ibcm_http_requests_total",
+    kind: MetricKind::Counter,
+    labels: &["route", "code"],
+    help: "HTTP requests completed, by normalized route and response status code.",
+};
+
+/// HTTP front end: request handling latency per route.
+pub const HTTP_REQUEST_SECONDS: MetricDef = MetricDef {
+    name: "ibcm_http_request_seconds",
+    kind: MetricKind::Histogram,
+    labels: &["route"],
+    help: "Wall-clock seconds from parsed request to written response, per normalized route.",
+};
+
+/// HTTP front end: connections currently being served.
+pub const HTTP_CONNECTIONS: MetricDef = MetricDef {
+    name: "ibcm_http_connections",
+    kind: MetricKind::Gauge,
+    labels: &[],
+    help: "Client connections currently admitted and being served.",
+};
+
+/// HTTP front end: connections refused by admission control.
+pub const HTTP_CONNECTIONS_REJECTED: MetricDef = MetricDef {
+    name: "ibcm_http_connections_rejected_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Connections turned away with 503 because max_connections was reached.",
+};
+
+/// HTTP front end: events accepted into the daemon over the wire.
+pub const HTTP_EVENTS_INGESTED: MetricDef = MetricDef {
+    name: "ibcm_http_events_ingested_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "Session events accepted into the daemon via POST /v1/events.",
+};
+
+/// HTTP front end: ingest requests rejected with 429.
+pub const HTTP_BACKPRESSURE: MetricDef = MetricDef {
+    name: "ibcm_http_backpressure_total",
+    kind: MetricKind::Counter,
+    labels: &[],
+    help: "POST /v1/events requests answered 429 because a shard queue was full.",
+};
+
 /// Every metric the pipeline exports. `OPERATIONS.md`'s catalog is checked
 /// against this list.
 pub const ALL: &[MetricDef] = &[
@@ -380,4 +428,10 @@ pub const ALL: &[MetricDef] = &[
     SERVED_RESTORES,
     SERVED_ALARMS_MERGED,
     SERVED_DRAIN_SECONDS,
+    HTTP_REQUESTS,
+    HTTP_REQUEST_SECONDS,
+    HTTP_CONNECTIONS,
+    HTTP_CONNECTIONS_REJECTED,
+    HTTP_EVENTS_INGESTED,
+    HTTP_BACKPRESSURE,
 ];

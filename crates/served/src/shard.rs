@@ -69,6 +69,11 @@ pub(crate) enum ShardCommand {
     },
     /// Chaos: panic at the catch_unwind boundary.
     Kill,
+    /// Operator request: write a checkpoint now (same rotation path as the
+    /// cadence checkpoint), then keep processing. Carries no sequence
+    /// number — like every control command it cannot perturb the data
+    /// ordering, and it is never replayed after a crash.
+    Checkpoint,
     /// Graceful shutdown: final checkpoint, publish stats, exit.
     Drain,
 }
@@ -78,7 +83,7 @@ impl ShardCommand {
     pub(crate) fn data_seq(&self) -> Option<u64> {
         match self {
             ShardCommand::Deliver { seq, .. } | ShardCommand::Shed { seq, .. } => Some(*seq),
-            ShardCommand::Kill | ShardCommand::Drain => None,
+            ShardCommand::Kill | ShardCommand::Checkpoint | ShardCommand::Drain => None,
         }
     }
 }
@@ -294,6 +299,13 @@ fn step(sm: &mut StreamMonitor<'_>, cmd: ShardCommand, ctx: &mut WorkerCtx<'_>) 
         ShardCommand::Kill => {
             // ibcm-lint: allow(panic-macro, reason = "deliberate chaos kill switch; always caught at run_worker's catch_unwind boundary and handled by the supervisor's restart protocol")
             panic!("{CHAOS_KILL_MSG}")
+        }
+        ShardCommand::Checkpoint => {
+            write_checkpoint(sm, ctx.last_seq, ctx);
+            // The on-demand snapshot restarts the cadence clock: the next
+            // cadence checkpoint is measured from here.
+            ctx.since_checkpoint = 0;
+            Flow::Continue
         }
         ShardCommand::Drain => {
             write_checkpoint(sm, ctx.last_seq, ctx);

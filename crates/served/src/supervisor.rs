@@ -644,6 +644,73 @@ impl Daemon {
         h.metrics.queue_depth.set(h.queue.len() as i64);
     }
 
+    /// Operator request: every live shard takes a checkpoint at its next
+    /// queue wakeup (the same snapshot + rotation path as the cadence
+    /// checkpoint). The request is asynchronous — the workers write their
+    /// snapshots as they drain their queues; combine with
+    /// [`Daemon::flush_checkpoints`] to wait out background rotation of
+    /// snapshots already handed to the writers. Returns how many shards
+    /// were signalled.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Drained`] after [`Daemon::drain`] (a drain already
+    /// wrote every shard's final checkpoint).
+    pub fn request_checkpoint(&mut self) -> Result<usize, ServeError> {
+        if self.drained {
+            return Err(ServeError::Drained);
+        }
+        self.heal_crashed()?;
+        let mut signalled = 0;
+        for h in &mut self.shards {
+            if h.failed {
+                continue;
+            }
+            // Checkpoint carries no seq and never enters the replay
+            // buffer; a crash between push and pop simply loses the
+            // request (the restart writes its own generations).
+            let _ = h.queue.push(ShardCommand::Checkpoint, &h.shared.state);
+            signalled += 1;
+        }
+        Ok(signalled)
+    }
+
+    /// Blocks until every snapshot already handed to a background
+    /// checkpoint writer is durably rotated. A no-op on the inline
+    /// checkpoint path (`with_background_checkpoints(false)`), where
+    /// rotation completes on the worker thread before the next command.
+    pub fn flush_checkpoints(&self) {
+        for h in &self.shards {
+            if let Some(writer) = h.writer.as_ref() {
+                writer.flush();
+            }
+        }
+    }
+
+    /// Shards taken out of service (restart budget exhausted without
+    /// progress). Empty in healthy daemons; a non-empty list is the
+    /// readiness signal the HTTP front end's `/readyz` reports.
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.failed)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether [`Daemon::drain`] has run; a drained daemon accepts no
+    /// further events.
+    pub fn is_drained(&self) -> bool {
+        self.drained
+    }
+
+    /// Events admitted through the front door so far (excluding
+    /// front-door clock drops).
+    pub fn events_admitted(&self) -> u64 {
+        self.events_admitted
+    }
+
     /// Chaos: make `shard`'s worker panic at its next command. The panic
     /// is caught at the worker's `catch_unwind` boundary and the shard is
     /// restarted by the supervisor (checkpoint restore + replay).

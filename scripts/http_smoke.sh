@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Curl-based smoke test against a short-lived `ibcm-serve` instance.
+#
+# Starts the binary in demo mode on an ephemeral port, drives every
+# endpoint with curl exactly as API.md documents them, and checks status
+# codes and key body fields. This is the operator-facing complement to
+# tests/http_conformance.rs: the Rust suite proves byte-identity, this
+# script proves the shipped binary + documented curl invocations work.
+#
+# Usage: scripts/http_smoke.sh [path-to-ibcm-serve]
+set -euo pipefail
+
+BIN="${1:-target/release/ibcm-serve}"
+LOG="$(mktemp)"
+FAILURES=0
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable (build with: cargo build --release -p ibcm-http)" >&2
+  exit 2
+fi
+
+# Demo mode on an ephemeral port; stdin held open so the server runs
+# until we close it (the supervisor-shaped shutdown path).
+coproc SERVER { "$BIN" --addr 127.0.0.1:0 --seed 37 2>"$LOG.err" ; }
+SRV_PID="$SERVER_PID"
+SRV_OUT="${SERVER[0]}"
+SRV_IN="${SERVER[1]}"
+cleanup() {
+  if kill -0 "$SRV_PID" 2>/dev/null; then
+    kill "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -f "$LOG" "$LOG.err"
+}
+trap cleanup EXIT
+
+# The first stdout line is "ibcm-serve listening on http://ADDR".
+ADDR=""
+for _ in $(seq 1 600); do
+  if read -r -t 1 line <&"$SRV_OUT"; then
+    if [[ "$line" == *"listening on http://"* ]]; then
+      ADDR="${line##*listening on http://}"
+      break
+    fi
+  fi
+done
+if [[ -z "$ADDR" ]]; then
+  echo "error: server did not report a listening address" >&2
+  cat "$LOG.err" >&2
+  exit 1
+fi
+BASE="http://$ADDR"
+echo "smoke: serving at $BASE"
+
+check() {
+  local name="$1" want_status="$2" got_status="$3" body="$4" needle="${5:-}"
+  if [[ "$got_status" != "$want_status" ]]; then
+    echo "FAIL $name: status $got_status (want $want_status): $body"
+    FAILURES=$((FAILURES + 1))
+  elif [[ -n "$needle" && "$body" != *"$needle"* ]]; then
+    echo "FAIL $name: body missing $needle: $body"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   $name ($got_status)"
+  fi
+}
+
+req() { # method target [data] -> sets STATUS and BODY
+  local method="$1" target="$2"
+  local out
+  if [[ $# -ge 3 ]]; then
+    # --data-binary always sends Content-Length (the API requires it on
+    # POST; a bodyless request is --data-binary '').
+    out="$(curl -sS -X "$method" --data-binary "$3" -w $'\n%{http_code}' "$BASE$target")"
+  else
+    out="$(curl -sS -X "$method" -w $'\n%{http_code}' "$BASE$target")"
+  fi
+  STATUS="${out##*$'\n'}"
+  BODY="${out%$'\n'*}"
+}
+
+req GET /healthz
+check "GET /healthz" 200 "$STATUS" "$BODY" "ok"
+
+req GET /readyz
+check "GET /readyz" 200 "$STATUS" "$BODY" '"ready":true'
+
+req POST /v1/events '{"user":1,"action":2,"minute":10}'
+check "POST /v1/events (single)" 200 "$STATUS" "$BODY" '"accepted":1'
+
+req POST /v1/events $'{"user":1,"action":3,"minute":11}\n{"user":2,"action":2,"minute":11}'
+check "POST /v1/events (NDJSON batch)" 200 "$STATUS" "$BODY" '"accepted":2'
+
+req POST /v1/events '{"user":}'
+check "POST /v1/events (bad JSON)" 400 "$STATUS" "$BODY" '"bad_request"'
+
+req POST /v1/score '{"actions":[0,1,2,3]}'
+check "POST /v1/score" 200 "$STATUS" "$BODY" '"avg_likelihood"'
+
+req POST /v1/score '{"actions":"nope"}'
+check "POST /v1/score (bad body)" 400 "$STATUS" "$BODY" '"bad_request"'
+
+req GET '/v1/alarms?cursor=0&max=100'
+check "GET /v1/alarms" 200 "$STATUS" "$BODY" '"next_cursor"'
+
+req POST /v1/checkpoint ''
+check "POST /v1/checkpoint" 202 "$STATUS" "$BODY" '"signalled"'
+
+req POST /v1/checkpoint
+check "POST /v1/checkpoint (no Content-Length)" 411 "$STATUS" "$BODY" '"length_required"'
+
+req GET /metrics
+check "GET /metrics" 200 "$STATUS" "$BODY" 'ibcm_http_requests_total'
+
+req GET /v1/nonsense
+check "GET unknown route" 404 "$STATUS" "$BODY" '"not_found"'
+
+req DELETE /v1/events
+check "DELETE on POST route" 405 "$STATUS" "$BODY" '"method_not_allowed"'
+
+# Graceful shutdown: closing stdin drains the daemon; the drain summary
+# lands on stderr.
+exec {SRV_IN}>&-
+wait "$SRV_PID"
+if ! grep -q "drained:" "$LOG.err"; then
+  echo "FAIL shutdown: no drain report in stderr:"
+  cat "$LOG.err"
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok   graceful drain ($(grep 'drained:' "$LOG.err"))"
+fi
+
+if [[ "$FAILURES" -ne 0 ]]; then
+  echo "http smoke: $FAILURES failure(s)"
+  exit 1
+fi
+echo "http smoke: all checks passed"

@@ -22,6 +22,7 @@
 //! | [`ibcm_nn`] | the from-scratch neural substrate (matrix, LSTM, Adam) |
 //! | [`ibcm_core`] | the end-to-end pipeline, detector, online monitor |
 //! | [`ibcm_served`] | supervised sharded monitoring daemon (crash-isolated shards, checkpoint rotation) |
+//! | [`ibcm_http`] | zero-dependency HTTP/1.1 front end on the daemon (`ibcm-serve`) |
 //! | [`ibcm_obs`] | tracing spans + metrics registry (zero-dependency) |
 //!
 //! # Quickstart
@@ -60,6 +61,10 @@ pub use ibcm_obs as obs;
 /// shards, keep-K checkpoint rotation, and a deterministic merged alarm
 /// stream (re-export of `ibcm-served`; see OPERATIONS.md for the runbook).
 pub use ibcm_served as served;
+/// The HTTP/1.1 front end on the daemon: ingest, scoring, alarm paging,
+/// health, and Prometheus exposition over a hand-rolled zero-dependency
+/// transport (re-export of `ibcm-http`; see API.md for the wire reference).
+pub use ibcm_http as http;
 pub use ibcm_lm::{
     BatchScheme, HmmConfig, HmmLm, LmError, LmScorer, LmTrainConfig, LstmLm, NgramConfig, NgramLm, SequenceEval,
     SessionScore, StepScore, Vocab,
