@@ -152,6 +152,7 @@ impl OnlineMonitor<'_> {
     }
 
     /// Feeds the next observed action and returns the monitoring event.
+    // ibcm-lint: allow(transitive-panic, reason = "argmax over the router's per-cluster scores is < n_clusters == votes.len()")
     pub fn feed(&mut self, action: ActionId) -> MonitorEvent {
         self.position += 1;
         self.prefix.push(action);

@@ -68,6 +68,33 @@ pub enum RuleId {
     /// provides no synchronization at all, so every use must say why that
     /// is sufficient (monitoring mirror, single-writer cursor, ...).
     UnsafeOrderingUndocumented,
+    /// (T) A panicking construct in a workspace function reachable from a
+    /// public entry point of a designated panic-free file. The P rules
+    /// check the listed files themselves; this rule follows the call graph
+    /// out of them, so a hot path cannot launder a panic through a helper
+    /// one crate over. The finding anchors at the offending fn's
+    /// declaration, and `--graph-report` prints the entry→…→sink chain.
+    TransitivePanic,
+    /// (C) A direct blocking call (`lock`, `park`, `sleep`, condvar waits,
+    /// blocking channel ops) inside a designated lock-free data-path
+    /// function of `ring.rs`/`queue.rs`.
+    ConcBlockingCall,
+    /// (C) An atomic field stored with `Release` that no `Acquire`-class
+    /// load ever observes: the publication has no reader, so either the
+    /// store is over-synchronized or a reader is under-synchronized.
+    ConcUnpairedRelease,
+    /// (C) An atomic field loaded with `Acquire` that no `Release`-class
+    /// store ever publishes: the load synchronizes with nothing.
+    ConcUnpairedAcquire,
+    /// (W) A literal HTTP status code the front end emits that `API.md`
+    /// does not mention.
+    WireStatusUndocumented,
+    /// (W) An endpoint route the front end serves that `API.md` does not
+    /// mention.
+    WireRouteUndocumented,
+    /// (W) A JSON field name the front end emits that `API.md` does not
+    /// show (fields are checked as `"name"` so prose mentions don't count).
+    WireFieldUndocumented,
     /// (M) A string literal shaped like a metric name (`ibcm_*`) outside
     /// the catalog (`crates/obs/src/names.rs`): all exported names must
     /// come from `MetricDef`s so the surface stays enumerable.
@@ -99,6 +126,13 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::PanicExpect,
     RuleId::PanicMacro,
     RuleId::PanicIndex,
+    RuleId::TransitivePanic,
+    RuleId::ConcBlockingCall,
+    RuleId::ConcUnpairedRelease,
+    RuleId::ConcUnpairedAcquire,
+    RuleId::WireStatusUndocumented,
+    RuleId::WireRouteUndocumented,
+    RuleId::WireFieldUndocumented,
     RuleId::UnsafeMissingSafety,
     RuleId::UnsafeUndocumentedFn,
     RuleId::UnsafeOrderingUndocumented,
@@ -124,6 +158,13 @@ impl RuleId {
             RuleId::PanicExpect => "panic-expect",
             RuleId::PanicMacro => "panic-macro",
             RuleId::PanicIndex => "panic-index",
+            RuleId::TransitivePanic => "transitive-panic",
+            RuleId::ConcBlockingCall => "conc-blocking-call",
+            RuleId::ConcUnpairedRelease => "conc-unpaired-release",
+            RuleId::ConcUnpairedAcquire => "conc-unpaired-acquire",
+            RuleId::WireStatusUndocumented => "wire-status-undocumented",
+            RuleId::WireRouteUndocumented => "wire-route-undocumented",
+            RuleId::WireFieldUndocumented => "wire-field-undocumented",
             RuleId::UnsafeMissingSafety => "unsafe-missing-safety",
             RuleId::UnsafeUndocumentedFn => "unsafe-undocumented-fn",
             RuleId::UnsafeOrderingUndocumented => "unsafe-ordering-undocumented",

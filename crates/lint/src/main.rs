@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! cargo run -p ibcm-lint --               # human-readable text
-//! cargo run -p ibcm-lint -- --json        # CI artifact (schema ibcm-lint/1)
+//! cargo run -p ibcm-lint -- --json        # CI artifact (schema ibcm-lint/2)
 //! cargo run -p ibcm-lint -- --unsafe-report   # unsafe inventory table
+//! cargo run -p ibcm-lint -- --graph-report    # T/C evidence: chains, protocol table
+//! cargo run -p ibcm-lint -- --suppressions    # every allow(..) pragma, used or stale
 //! cargo run -p ibcm-lint -- --root path/to/ws # lint another tree
 //! ```
 
@@ -14,6 +16,8 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut unsafe_report = false;
+    let mut graph_report = false;
+    let mut suppressions = false;
     let mut root: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -21,6 +25,8 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json = true,
             "--unsafe-report" => unsafe_report = true,
+            "--graph-report" => graph_report = true,
+            "--suppressions" => suppressions = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -32,7 +38,17 @@ fn main() -> ExitCode {
                 println!(
                     "ibcm-lint: invariant-enforcing static analyzer for the ibcm workspace\n\
                      \n\
-                     USAGE: ibcm-lint [--json] [--unsafe-report] [--root <dir>]\n\
+                     USAGE: ibcm-lint [--json] [--unsafe-report] [--graph-report]\n\
+                     \x20                [--suppressions] [--root <dir>]\n\
+                     \n\
+                     --json           machine-readable report (schema ibcm-lint/2)\n\
+                     --unsafe-report  append the unsafe inventory table\n\
+                     --graph-report   append the call-graph evidence: each hot-path-\n\
+                     \x20                reachable panicking fn as an entry->...->sink\n\
+                     \x20                chain, the atomic Release/Acquire protocol\n\
+                     \x20                table, and the SeqCst fence inventory\n\
+                     --suppressions   append the suppression inventory (every\n\
+                     \x20                ibcm-lint: allow(..) pragma, used or stale)\n\
                      \n\
                      Exits 0 when the workspace has no unsuppressed error-severity\n\
                      findings; 1 otherwise; 2 on usage or I/O failure."
@@ -61,6 +77,12 @@ fn main() -> ExitCode {
         print!("{}", report.render_text());
         if unsafe_report {
             print!("{}", report.render_unsafe_inventory());
+        }
+        if graph_report {
+            print!("{}", report.render_graph_report());
+        }
+        if suppressions {
+            print!("{}", report.render_suppressions());
         }
     }
 

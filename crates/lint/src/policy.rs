@@ -54,6 +54,140 @@ pub const ORDERING_DOCUMENTED_PATHS: &[&str] = &[
     "crates/served/src/queue.rs",
 ];
 
+/// Lock-free data-path functions: `(file, fn names)` pairs naming the
+/// functions that sit on the ring/queue fast path and therefore must never
+/// make a *direct* blocking call (`lock`, `park`, `sleep`, condvar waits,
+/// blocking channel ops). The deliberately-blocking siblings (`push`,
+/// `pop_batch`, the park/wake helpers) are not listed — blocking is their
+/// job. The check is per-fn and direct-call only: a listed fn may call a
+/// non-listed helper that blocks (e.g. the wake path locks the tiny park
+/// mutex), which is exactly the boundary the design draws.
+pub const LOCK_FREE_DATA_PATH_FNS: &[(&str, &[&str])] = &[
+    (
+        "crates/served/src/ring.rs",
+        &["len", "slot", "try_push_slot", "try_pop_batch", "try_push", "head_has_room"],
+    ),
+    (
+        "crates/served/src/queue.rs",
+        &["worker_dead", "publish_depth", "len"],
+    ),
+];
+
+/// Call names that block the calling thread. Used by the
+/// `conc-blocking-call` rule inside [`LOCK_FREE_DATA_PATH_FNS`].
+pub const BLOCKING_CALL_NAMES: &[&str] = &[
+    "lock",
+    "park",
+    "park_timeout",
+    "sleep",
+    "wait",
+    "wait_timeout",
+    "wait_timeout_while",
+    "wait_while",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "join",
+];
+
+/// Files whose named atomic fields form cross-thread publication protocols:
+/// every field stored with `Release` must have a matching `Acquire` load
+/// somewhere in this set, and vice versa (`SeqCst`/`AcqRel` satisfy either
+/// side; read-modify-write ops count as both a load and a store). The set
+/// spans the daemon because the protocols do: `state` is stored in
+/// `shard.rs` and loaded in `queue.rs`/`supervisor.rs`.
+pub const ATOMIC_PROTOCOL_PATHS: &[&str] = &[
+    "crates/served/src/ring.rs",
+    "crates/served/src/queue.rs",
+    "crates/served/src/shard.rs",
+    "crates/served/src/supervisor.rs",
+    "crates/served/src/writer.rs",
+    "crates/http/src/server.rs",
+];
+
+/// Files that define the HTTP wire surface: the W rules extract the status
+/// codes, routes, and JSON field names these emit and require each to be
+/// documented in [`API_DOC`].
+pub const WIRE_SURFACE_PATHS: &[&str] = &[
+    "crates/http/src/server.rs",
+    "crates/http/src/service.rs",
+    "crates/http/src/error.rs",
+];
+
+/// The wire reference that must document every emitted status code, route,
+/// and JSON field name.
+pub const API_DOC: &str = "API.md";
+
+/// Workspace-internal `[dependencies]` edges per crate (dev-dependencies
+/// excluded: the graph models production reachability). The call-graph
+/// layer only resolves a cross-crate call when the callee's crate is in the
+/// caller's transitive dependency closure.
+pub const CRATE_DEPS: &[(&str, &[&str])] = &[
+    ("ibcm-obs", &[]),
+    ("ibcm-logsim", &[]),
+    ("ibcm-par", &[]),
+    ("ibcm-lint", &[]),
+    ("ibcm-nn", &["ibcm-obs"]),
+    ("ibcm-patterns", &["ibcm-logsim"]),
+    ("ibcm-ocsvm", &["ibcm-obs", "ibcm-logsim"]),
+    ("ibcm-topics", &["ibcm-obs", "ibcm-par", "ibcm-logsim"]),
+    ("ibcm-viz", &["ibcm-topics", "ibcm-logsim"]),
+    ("ibcm-lm", &["ibcm-obs", "ibcm-nn", "ibcm-logsim"]),
+    (
+        "ibcm-core",
+        &[
+            "ibcm-obs",
+            "ibcm-nn",
+            "ibcm-logsim",
+            "ibcm-topics",
+            "ibcm-viz",
+            "ibcm-ocsvm",
+            "ibcm-lm",
+            "ibcm-patterns",
+            "ibcm-par",
+        ],
+    ),
+    (
+        "ibcm-served",
+        &["ibcm-core", "ibcm-logsim", "ibcm-obs", "ibcm-par"],
+    ),
+    (
+        "ibcm-http",
+        &["ibcm-core", "ibcm-logsim", "ibcm-obs", "ibcm-par", "ibcm-served"],
+    ),
+    (
+        "ibcm-bench",
+        &[
+            "ibcm-obs",
+            "ibcm-nn",
+            "ibcm-logsim",
+            "ibcm-topics",
+            "ibcm-viz",
+            "ibcm-ocsvm",
+            "ibcm-lm",
+            "ibcm-patterns",
+            "ibcm-core",
+            "ibcm-served",
+        ],
+    ),
+    (
+        "ibcm",
+        &[
+            "ibcm-nn",
+            "ibcm-logsim",
+            "ibcm-topics",
+            "ibcm-viz",
+            "ibcm-ocsvm",
+            "ibcm-lm",
+            "ibcm-patterns",
+            "ibcm-core",
+            "ibcm-served",
+            "ibcm-http",
+            "ibcm-obs",
+        ],
+    ),
+];
+
 /// Crates whose outputs feed model bytes or alarm decisions. The
 /// default-hasher rule applies here: `HashMap`/`HashSet` iteration order is
 /// seeded per process, so any order-dependent use breaks run-to-run
@@ -170,6 +304,37 @@ impl FileCtx {
     pub fn is_metric_catalog(&self) -> bool {
         self.rel_path == METRIC_CATALOG_PATH
     }
+
+    /// True if this file's named atomic fields participate in the
+    /// Release/Acquire pairing check.
+    pub fn is_atomic_protocol_path(&self) -> bool {
+        ATOMIC_PROTOCOL_PATHS.contains(&self.rel_path.as_str())
+    }
+
+    /// True if this file defines part of the HTTP wire surface the W rules
+    /// check against `API.md`.
+    pub fn is_wire_surface(&self) -> bool {
+        WIRE_SURFACE_PATHS.contains(&self.rel_path.as_str())
+    }
+}
+
+/// The caller's transitive dependency closure (crate names, caller
+/// included). Unknown crates resolve to just themselves.
+pub fn crate_closure(crate_name: &str) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::new();
+    let mut stack: Vec<&str> = vec![crate_name];
+    while let Some(c) = stack.pop() {
+        let Some((name, deps)) = CRATE_DEPS.iter().find(|(n, _)| *n == c) else {
+            continue;
+        };
+        if out.contains(name) {
+            continue;
+        }
+        out.push(name);
+        stack.extend(deps.iter().copied());
+    }
+    out.sort_unstable();
+    out
 }
 
 #[cfg(test)]

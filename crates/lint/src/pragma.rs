@@ -101,15 +101,11 @@ fn parse_reason(tail: &str) -> Option<String> {
     }
 }
 
-/// Applies pragmas to `findings`: drops suppressed findings, marks the
-/// pragmas that did the suppressing, and appends pragma-hygiene findings
-/// (missing reason, unknown rule, stale pragma).
-pub fn apply(
-    pragmas: &mut [Pragma],
-    findings: Vec<Finding>,
-    file: &str,
-    lines: &[&str],
-) -> Vec<Finding> {
+/// Applies pragmas to `findings`: drops suppressed findings and marks the
+/// pragmas that did the suppressing. Hygiene (missing reason, unknown rule,
+/// stale pragma) is emitted separately by [`hygiene`] once every pass —
+/// per-file and workspace-graph — has had its chance to use a pragma.
+pub fn suppress(pragmas: &mut [Pragma], findings: Vec<Finding>) -> Vec<Finding> {
     let mut kept = Vec::new();
     for f in findings {
         let mut suppressed = false;
@@ -126,6 +122,13 @@ pub fn apply(
             kept.push(f);
         }
     }
+    kept
+}
+
+/// Emits the pragma-hygiene findings for one file's pragmas: missing
+/// reason, unknown rule, and stale (never-used) pragmas.
+pub fn hygiene(pragmas: &[Pragma], file: &str, lines: &[&str]) -> Vec<Finding> {
+    let mut kept = Vec::new();
     for p in pragmas.iter() {
         let snippet = snippet_at(lines, p.line);
         if p.rule.is_none() {

@@ -47,18 +47,28 @@ pub struct UnsafeSite {
 }
 
 /// Everything one file contributes: its (suppression-applied) findings, its
-/// unsafe inventory, and the identifier set the metric-coverage rule needs.
+/// unsafe inventory, the identifier set the metric-coverage rule needs, the
+/// structural extracts the workspace-graph rules consume, and the file's
+/// pragmas (hygiene runs in [`crate::lint_workspace`], after the workspace
+/// phase has had its chance to use them).
 #[derive(Debug)]
 pub struct FileScan {
     /// The file's classification.
     pub ctx: FileCtx,
-    /// Findings after pragma suppression (pragma-hygiene findings included).
+    /// Per-file findings after pragma suppression. Pragma-hygiene findings
+    /// are *not* included: workspace-phase rules (T/C/W) may still mark a
+    /// pragma used, so hygiene is emitted by the orchestrator.
     pub findings: Vec<Finding>,
     /// Every `unsafe` occurrence in the file.
     pub unsafe_sites: Vec<UnsafeSite>,
     /// Identifiers appearing outside `#[cfg(test)]` regions — the metric
     /// emit-coverage rule checks catalog const names against these.
     pub src_idents: BTreeSet<String>,
+    /// Item/call/atomic/wire extracts for the workspace-graph rules.
+    pub items: crate::items::FileItems,
+    /// The file's suppression pragmas, with `used` flags from the per-file
+    /// pass.
+    pub pragmas: Vec<pragma::Pragma>,
 }
 
 /// Rust keywords that can legally precede `[` without it being an indexing
@@ -72,7 +82,7 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 ];
 
 /// Panic macros forbidden on the designated hot paths.
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Scans one file and returns its findings and extracts.
 pub fn scan_file(ctx: &FileCtx, src: &str) -> FileScan {
@@ -341,13 +351,16 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> FileScan {
     raw.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
 
     let mut pragmas = pragma::collect(&tokens);
-    let findings = pragma::apply(&mut pragmas, raw, &ctx.rel_path, &lines);
+    let findings = pragma::suppress(&mut pragmas, raw);
+    let items = crate::items::extract(ctx, &tokens);
 
     FileScan {
         ctx: ctx.clone(),
         findings,
         unsafe_sites,
         src_idents,
+        items,
+        pragmas,
     }
 }
 
@@ -413,7 +426,7 @@ fn in_collections_path(tokens: &[Tok], sig: &[usize], si: usize) -> bool {
 
 /// True if the `[` at significant index `si` opens an *indexing* expression
 /// (previous token is an identifier that is not a keyword, a `]`, or a `)`).
-fn is_index_bracket(tokens: &[Tok], sig: &[usize], si: usize) -> bool {
+pub(crate) fn is_index_bracket(tokens: &[Tok], sig: &[usize], si: usize) -> bool {
     let Some(prev) = prev_sig(tokens, sig, si, 1) else {
         return false;
     };
@@ -489,7 +502,7 @@ fn line_is_attribute(tokens: &[Tok], line: u32) -> bool {
 
 /// Marks every token inside a `#[cfg(test)]`-gated item or a `#[test]` fn.
 /// Returns one flag per token.
-fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let sig: Vec<usize> = (0..tokens.len())
         .filter(|&i| !tokens[i].is_comment())
@@ -624,9 +637,14 @@ mod tests {
         FileCtx::classify(path).unwrap()
     }
 
+    // Per-file findings plus pragma hygiene (which `lint_workspace` emits
+    // after the workspace phase; tests fold it back in here).
     fn rules_fired(path: &str, src: &str) -> Vec<(String, u32)> {
-        scan_file(&ctx(path), src)
-            .findings
+        let scan = scan_file(&ctx(path), src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut findings = scan.findings;
+        findings.extend(pragma::hygiene(&scan.pragmas, path, &lines));
+        findings
             .iter()
             .map(|f| (f.rule.id().to_string(), f.line))
             .collect()

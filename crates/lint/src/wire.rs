@@ -1,0 +1,166 @@
+//! Wire/doc conformance (W rules): the HTTP surface the front end actually
+//! emits must be documented in `API.md`.
+//!
+//! The extracts come from [`crate::items`] over the files of
+//! [`crate::policy::WIRE_SURFACE_PATHS`]: literal status codes passed to
+//! the response constructors, `/`-leading route literals, and the JSON
+//! field names embedded in body format strings (plus `with_field(..)`
+//! arguments). Each must appear in `API.md` — status codes and routes as
+//! plain text, field names as a quoted `"name"` so a prose mention does not
+//! satisfy the check. This replaces the CI `grep` steps that previously
+//! guarded the API doc: the linter derives the list from the code instead
+//! of maintaining it by hand in a workflow file.
+//!
+//! Like the metric-catalog rule, the check fails closed: an unreadable
+//! `API.md` marks the whole surface undocumented.
+
+use std::collections::BTreeMap;
+
+use crate::findings::{Finding, RuleId};
+use crate::items::FileItems;
+use crate::policy::{FileCtx, API_DOC};
+
+/// Checks every wire extract against the API doc text (`None` = unreadable;
+/// fails closed). Returns raw findings, anchored at the first emitting site
+/// of each undocumented item.
+pub fn check(files: &[(FileCtx, FileItems)], api_doc: Option<&str>) -> Vec<Finding> {
+    // First emitting site per item, so repeated emission reports once.
+    let mut statuses: BTreeMap<u16, (String, u32)> = BTreeMap::new();
+    let mut routes: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut fields: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for (ctx, items) in files {
+        for (code, line) in &items.wire.statuses {
+            statuses
+                .entry(*code)
+                .or_insert_with(|| (ctx.rel_path.clone(), *line));
+        }
+        for (route, line) in &items.wire.routes {
+            routes
+                .entry(route.clone())
+                .or_insert_with(|| (ctx.rel_path.clone(), *line));
+        }
+        for (field, line) in &items.wire.fields {
+            fields
+                .entry(field.clone())
+                .or_insert_with(|| (ctx.rel_path.clone(), *line));
+        }
+    }
+
+    let mut findings = Vec::new();
+    let missing_doc = api_doc.is_none();
+    let doc = api_doc.unwrap_or("");
+
+    for (code, (file, line)) in &statuses {
+        if missing_doc || !doc.contains(&code.to_string()) {
+            findings.push(Finding {
+                rule: RuleId::WireStatusUndocumented,
+                file: file.clone(),
+                line: *line,
+                message: undocumented_msg(missing_doc, &format!("status code {code}")),
+                snippet: String::new(),
+            });
+        }
+    }
+    for (route, (file, line)) in &routes {
+        if missing_doc || !doc.contains(route.as_str()) {
+            findings.push(Finding {
+                rule: RuleId::WireRouteUndocumented,
+                file: file.clone(),
+                line: *line,
+                message: undocumented_msg(missing_doc, &format!("route `{route}`")),
+                snippet: String::new(),
+            });
+        }
+    }
+    for (field, (file, line)) in &fields {
+        if missing_doc || !doc.contains(&format!("\"{field}\"")) {
+            findings.push(Finding {
+                rule: RuleId::WireFieldUndocumented,
+                file: file.clone(),
+                line: *line,
+                message: undocumented_msg(
+                    missing_doc,
+                    &format!("JSON field `\"{field}\"` (checked as a quoted name)"),
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    findings
+}
+
+fn undocumented_msg(missing_doc: bool, what: &str) -> String {
+    if missing_doc {
+        format!(
+            "the wire surface emits {what} but {API_DOC} is unreadable — the \
+             linter fails closed; restore the wire reference"
+        )
+    } else {
+        format!(
+            "the wire surface emits {what} but {API_DOC} does not document it — \
+             every emitted status, route, and field must appear in the wire \
+             reference"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::lexer::lex;
+
+    fn scan(src: &str) -> Vec<(FileCtx, FileItems)> {
+        let ctx = FileCtx::classify("crates/http/src/server.rs").unwrap();
+        let items = extract(&ctx, &lex(src));
+        vec![(ctx, items)]
+    }
+
+    const SRC: &str = "fn route() -> Response {\n\
+        match path {\n\
+            \"/v1/things\" => Response::json(200, format!(\"{{\\\"count\\\":{}}}\", 1)),\n\
+            _ => ApiError::new(418, \"teapot\", \"no\").into_response(),\n\
+        }\n\
+    }";
+
+    #[test]
+    fn documented_surface_is_clean() {
+        let doc = "GET /v1/things returns 200 with {\"count\":1}; errors are 418.";
+        assert!(check(&scan(SRC), Some(doc)).is_empty());
+    }
+
+    #[test]
+    fn each_missing_kind_fires_with_first_site() {
+        let doc = "This doc mentions count without quotes and no routes or codes.";
+        let findings = check(&scan(SRC), Some(doc));
+        let ids: Vec<&str> = findings.iter().map(|f| f.rule.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "wire-status-undocumented",
+                "wire-status-undocumented",
+                "wire-route-undocumented",
+                "wire-field-undocumented"
+            ],
+            "{findings:?}"
+        );
+        // 200 anchors at its constructor line, the route at the match arm.
+        assert_eq!(findings[0].line, 3);
+        assert_eq!(findings[2].line, 3);
+    }
+
+    #[test]
+    fn prose_field_mentions_do_not_count() {
+        let doc = "200 418 /v1/things — the count field exists.";
+        let findings = check(&scan(SRC), Some(doc));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule.id(), "wire-field-undocumented");
+    }
+
+    #[test]
+    fn missing_doc_fails_closed() {
+        let findings = check(&scan(SRC), None);
+        assert_eq!(findings.len(), 4);
+        assert!(findings[0].message.contains("unreadable"));
+    }
+}

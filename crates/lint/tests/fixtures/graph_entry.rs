@@ -1,0 +1,7 @@
+//! T-family fixture, entry half: scanned as a panic-free hot-path file, so
+//! its public fn seeds the workspace graph and its call into the sink
+//! fixture (one crate down) carries reachability across files.
+
+pub fn feed_all(v: &[u8]) -> u8 {
+    fold_tail(v)
+}

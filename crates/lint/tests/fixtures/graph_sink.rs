@@ -1,0 +1,7 @@
+//! T-family fixture, sink half: a free fn in a dependency crate with
+//! indexing panics — reachable from the entry fixture's seed, so the
+//! `transitive-panic` finding anchors at its declaration line.
+
+pub fn fold_tail(v: &[u8]) -> u8 {
+    v[0].wrapping_add(v[1])
+}

@@ -1,0 +1,10 @@
+//! W-family fixture: emits a status code, a route, and a JSON body field
+//! that the test's miniature API doc deliberately omits, plus one error
+//! status the doc does cover.
+
+fn respond(path: &str) -> Response {
+    match path {
+        "/v1/fixture" => Response::json(299, format!("{{\"fixture_field\":{}}}", 1)),
+        _ => ApiError::new(418, "teapot", "not a fixture route").into_response(),
+    }
+}

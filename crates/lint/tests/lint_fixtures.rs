@@ -7,15 +7,25 @@
 use std::collections::BTreeSet;
 
 use ibcm_lint::catalog;
+use ibcm_lint::conc;
+use ibcm_lint::graph::Graph;
+use ibcm_lint::items::FileItems;
 use ibcm_lint::policy::FileCtx;
+use ibcm_lint::pragma;
 use ibcm_lint::rules::{scan_file, UnsafeKind};
+use ibcm_lint::wire;
 
 /// Scans fixture text as if it lived at `as_path` and returns the sorted
-/// (rule-id, line) pairs of its findings.
+/// (rule-id, line) pairs of its findings, with pragma hygiene folded back
+/// in (in the real run the orchestrator emits it after the workspace
+/// phase; a single-file fixture has no workspace phase).
 fn fired(as_path: &str, src: &str) -> Vec<(String, u32)> {
     let ctx = FileCtx::classify(as_path).expect("fixture path must classify");
-    let mut out: Vec<(String, u32)> = scan_file(&ctx, src)
-        .findings
+    let scan = scan_file(&ctx, src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut findings = scan.findings;
+    findings.extend(pragma::hygiene(&scan.pragmas, as_path, &lines));
+    let mut out: Vec<(String, u32)> = findings
         .iter()
         .map(|f| (f.rule.id().to_string(), f.line))
         .collect();
@@ -158,6 +168,95 @@ fn pragmas_fixture_fires_every_hygiene_rule() {
             ("pragma-unknown-rule", 10),
             ("panic-unwrap", 11),
             ("pragma-unused", 14),
+        ])
+    );
+}
+
+/// Extracts items from fixture text as if it lived at `as_path`, for the
+/// workspace-phase (T/C/W) rules.
+fn scan_items(as_path: &str, src: &str) -> (FileCtx, FileItems) {
+    let ctx = FileCtx::classify(as_path).expect("fixture path must classify");
+    let items = ibcm_lint::items::extract(&ctx, &ibcm_lint::lexer::lex(src));
+    (ctx, items)
+}
+
+fn rule_lines(findings: &[ibcm_lint::Finding]) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = findings
+        .iter()
+        .map(|f| (f.rule.id().to_string(), f.line))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn graph_fixtures_cross_file_transitive_panic() {
+    // The entry fixture is scanned as a PANIC_FREE_PATHS file (its pub fn
+    // seeds the graph); the sink fixture lives one crate down the
+    // dependency edge and panics. The chain must span both files.
+    let files = vec![
+        scan_items(
+            "crates/lm/src/scorer.rs",
+            include_str!("fixtures/graph_entry.rs"),
+        ),
+        scan_items(
+            "crates/nn/src/fold.rs",
+            include_str!("fixtures/graph_sink.rs"),
+        ),
+    ];
+    let (findings, flagged, summary) = Graph::build(&files).transitive_panics();
+    assert_eq!(rule_lines(&findings), pairs(&[("transitive-panic", 5)]));
+    assert_eq!(findings[0].file, "crates/nn/src/fold.rs");
+    assert!(
+        flagged[0].chain.contains(
+            "feed_all (crates/lm/src/scorer.rs:5) -> fold_tail (crates/nn/src/fold.rs:5)"
+        ),
+        "chain spans entry and sink: {}",
+        flagged[0].chain
+    );
+    assert_eq!(summary.seeds, 1);
+    assert_eq!(summary.reachable, 2);
+}
+
+#[test]
+fn conc_fixture_fires_blocking_and_pairing_rules() {
+    let files = vec![scan_items(
+        "crates/served/src/ring.rs",
+        include_str!("fixtures/conc_rules.rs"),
+    )];
+    let (findings, table, _) = conc::check(&files);
+    // `try_push` is on the data-path list, so its `lock` fires (line 8);
+    // `push` is not, so its identical call stays legal. The Release store
+    // on `tail` (line 10) and Acquire load on `head` (line 11) each lack
+    // their other half.
+    assert_eq!(
+        rule_lines(&findings),
+        pairs(&[
+            ("conc-blocking-call", 8),
+            ("conc-unpaired-release", 10),
+            ("conc-unpaired-acquire", 11),
+        ])
+    );
+    let fields: Vec<&str> = table.iter().map(|f| f.field.as_str()).collect();
+    assert_eq!(fields, vec!["head", "tail"]);
+}
+
+#[test]
+fn wire_fixture_flags_each_undocumented_kind() {
+    let files = vec![scan_items(
+        "crates/http/src/service.rs",
+        include_str!("fixtures/wire_surface.rs"),
+    )];
+    // The doc covers the 418 error but omits status 299, the fixture
+    // route, and the body field — one finding each, at the emitting line.
+    let doc = "Errors use 418.";
+    let findings = wire::check(&files, Some(doc));
+    assert_eq!(
+        rule_lines(&findings),
+        pairs(&[
+            ("wire-status-undocumented", 7),
+            ("wire-route-undocumented", 7),
+            ("wire-field-undocumented", 7),
         ])
     );
 }

@@ -53,7 +53,58 @@ fn json_report_is_well_formed_enough_for_ci() {
     let report = ibcm_lint::lint_workspace(&workspace_root()).expect("workspace walk succeeds");
     let json = report.render_json();
     assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-    assert!(json.contains("\"schema\": \"ibcm-lint/1\""));
+    assert!(json.contains("\"schema\": \"ibcm-lint/2\""));
     assert!(json.contains("\"findings\""));
     assert!(json.contains("\"unsafe_inventory\""));
+    assert!(json.contains("\"suppressions\""));
+    assert!(json.contains("\"graph\""));
+    assert!(json.contains("\"atomics\""));
+}
+
+#[test]
+fn live_workspace_graph_covers_the_hot_paths() {
+    let report = ibcm_lint::lint_workspace(&workspace_root()).expect("workspace walk succeeds");
+    // The T family only means something if the graph actually resolves
+    // cross-crate edges and reaches the model internals from the
+    // panic-free entry points.
+    assert!(
+        report.graph.functions > 500 && report.graph.edges > 1000,
+        "graph looks too small: {:?}",
+        report.graph
+    );
+    assert!(
+        report.graph.seeds > 50 && report.graph.reachable > report.graph.seeds,
+        "seeding looks broken: {:?}",
+        report.graph
+    );
+    // Every flagged chain must be suppressed with a reasoned pragma (a new
+    // unsuppressed one fails `live_workspace_lints_clean` with its chain).
+    assert!(
+        report.flagged_paths.iter().all(|fp| fp.suppressed),
+        "unsuppressed transitive panics:\n{}",
+        report.render_graph_report()
+    );
+    // The shard lifecycle protocol spans files: `state` must pair up.
+    let state = report
+        .atomic_fields
+        .iter()
+        .find(|f| f.field == "state")
+        .expect("shard state field in the protocol table");
+    assert!(!state.release_stores.is_empty() && !state.acquire_loads.is_empty());
+}
+
+#[test]
+fn live_workspace_suppressions_are_inventoried_and_used() {
+    let report = ibcm_lint::lint_workspace(&workspace_root()).expect("workspace walk succeeds");
+    assert!(
+        report.suppressions.len() >= 30,
+        "expected the workspace's pragma inventory, saw {}",
+        report.suppressions.len()
+    );
+    let stale: Vec<_> = report.suppressions.iter().filter(|s| !s.used).collect();
+    assert!(stale.is_empty(), "stale pragmas: {stale:#?}");
+    assert!(
+        report.suppressions.iter().all(|s| !s.reason.is_empty()),
+        "every pragma carries a reason"
+    );
 }

@@ -77,6 +77,7 @@ fn batch_metrics() -> &'static BatchMetrics {
 /// // then cut into pairs.
 /// assert_eq!(buckets, vec![vec![1, 3], vec![2, 0]]);
 /// ```
+// ibcm-lint: allow(transitive-panic, reason = "sort comparator indexes `lengths` with keys drawn from 0..lengths.len()")
 pub fn plan_buckets(lengths: &[usize], max_batch: usize) -> Vec<Vec<usize>> {
     let max_batch = max_batch.max(1);
     let mut order: Vec<usize> = (0..lengths.len()).collect();
@@ -126,6 +127,7 @@ impl LstmLm {
     /// }
     /// # Ok::<(), ibcm_lm::LmError>(())
     /// ```
+    // ibcm-lint: allow(transitive-panic, reason = "indices come from enumerate/batchable over the same seqs; the expect is the pre-resolved-or-bucketed invariant stated inline")
     pub fn try_score_sessions_batched<S: AsRef<[usize]>>(
         &self,
         seqs: &[S],
@@ -180,6 +182,7 @@ impl LstmLm {
     ///
     /// Panics on the first per-session error (out-of-vocabulary token or
     /// corrupt model), matching [`LstmLm::score_session`]'s contract.
+    // ibcm-lint: allow(transitive-panic, reason = "documented trusted-input API: the # Panics contract mirrors score_session")
     pub fn score_sessions_batched<S: AsRef<[usize]>>(
         &self,
         seqs: &[S],
@@ -196,6 +199,7 @@ impl LstmLm {
 
     /// Scores one bucket of lanes (already sorted by descending length) in
     /// lock-step. Returns one result per lane, in lane order.
+    // ibcm-lint: allow(transitive-panic, reason = "lane indices come from partition_point over descending lengths, so s[t] and accs[..active] stay in bounds")
     fn score_bucket(
         &self,
         lanes: &[&[usize]],
@@ -276,6 +280,7 @@ impl LstmLm {
     /// sequence behind the emitted likelihood (count, head forward, max
     /// fold, exp sum, clamp) per lane.
     #[allow(clippy::too_many_arguments)]
+    // ibcm-lint: allow(transitive-panic, reason = "states is built non-empty, active lanes have len > t, and action < head_len is checked just above the read")
     fn score_step(
         &self,
         lanes: &[&[usize]],

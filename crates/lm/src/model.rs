@@ -537,6 +537,7 @@ impl LstmLm {
     ///
     /// Panics on out-of-vocabulary tokens; use [`LstmLm::try_score_session`]
     /// on untrusted input.
+    // ibcm-lint: allow(transitive-panic, reason = "documented trusted-input API; panics only when the # Panics contract is violated")
     pub fn score_session(&self, seq: &[usize]) -> SessionScore {
         match self.try_score_session(seq) {
             Ok(score) => score,

@@ -575,6 +575,7 @@ impl LstmLayer {
     /// batched path (rows of an [`LstmBatchState`]). Keeping a single body
     /// is what makes the per-lane arithmetic of the two paths identical by
     /// construction.
+    // ibcm-lint: allow(transitive-panic, reason = "callers pass gates laid out as four h-blocks and h-long c/hv slices by LstmState construction")
     fn step_pointwise_lane(h: usize, gates: &[f32], c: &mut [f32], hv: &mut [f32]) {
         for j in 0..h {
             let i_g = sigmoid(gates[j]);

@@ -200,6 +200,7 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     #[inline]
+    // ibcm-lint: allow(transitive-panic, reason = "documented # Panics bounds contract, with a debug_assert guard")
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c] = v;
@@ -211,6 +212,7 @@ impl Matrix {
     ///
     /// Panics if `r >= rows`.
     #[inline]
+    // ibcm-lint: allow(transitive-panic, reason = "documented # Panics contract: r < rows")
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -221,6 +223,7 @@ impl Matrix {
     ///
     /// Panics if `r >= rows`.
     #[inline]
+    // ibcm-lint: allow(transitive-panic, reason = "documented # Panics contract: r < rows")
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -259,6 +262,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if shapes disagree.
+    // ibcm-lint: allow(transitive-panic, reason = "shapes are asserted on entry; every tile index is derived from them")
     pub fn matmul_acc_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul inner dimensions");
         assert_eq!(out.rows, self.rows, "matmul output rows");
@@ -493,6 +497,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `x.len() != rows` or `y.len() != cols`.
+    // ibcm-lint: allow(transitive-panic, reason = "shapes are asserted on entry; every block index is derived from them")
     pub fn vecmat_acc_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.rows, "vecmat input length");
         assert_eq!(y.len(), self.cols, "vecmat output length");
@@ -650,6 +655,7 @@ mod kernels {
     /// would break bit-identity); vector lanes are independent output
     /// elements, so widening the loop reassociates nothing.
     #[inline]
+    // ibcm-lint: allow(transitive-panic, reason = "callers slice all rows to orow.len() (documented equal-length contract)")
     pub(super) fn axpy4(orow: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
         #[cfg(target_arch = "x86_64")]
         {
@@ -681,6 +687,7 @@ mod kernels {
     /// it changes scheduling (one accumulator-row pass instead of two),
     /// never bits.
     #[inline]
+    // ibcm-lint: allow(transitive-panic, reason = "callers slice all rows to orow.len() (documented equal-length contract)")
     pub(super) fn axpy8(orow: &mut [f32], a: [f32; 8], bs: [&[f32]; 8]) {
         #[cfg(target_arch = "x86_64")]
         {
@@ -786,6 +793,7 @@ mod kernels {
         /// Caller must ensure AVX-512F is available. Slices must all have
         /// `orow.len()` elements (enforced by the callers' block slicing).
         #[target_feature(enable = "avx512f")]
+        // ibcm-lint: allow(transitive-panic, reason = "# Safety contract requires equal-length slices, debug_assert-checked")
         pub(super) unsafe fn axpy4_avx512(
             orow: &mut [f32],
             a: [f32; 4],
@@ -883,6 +891,7 @@ mod kernels {
         /// Caller must ensure AVX2 is available. Slices must all have
         /// `orow.len()` elements (enforced by the callers' block slicing).
         #[target_feature(enable = "avx2")]
+        // ibcm-lint: allow(transitive-panic, reason = "# Safety contract requires equal-length slices, debug_assert-checked")
         pub(super) unsafe fn axpy4_avx2(
             orow: &mut [f32],
             a: [f32; 4],
@@ -980,6 +989,7 @@ mod kernels {
         /// Caller must ensure AVX-512F is available and every slice in `bs`
         /// has `orow.len()` elements.
         #[target_feature(enable = "avx512f")]
+        // ibcm-lint: allow(transitive-panic, reason = "# Safety contract requires equal-length slices, debug_assert-checked")
         pub(super) unsafe fn axpy8_avx512(orow: &mut [f32], a: [f32; 8], bs: [&[f32]; 8]) {
             let n = orow.len();
             debug_assert!(bs.iter().all(|b| b.len() == n));
@@ -1038,6 +1048,7 @@ mod kernels {
         /// Caller must ensure AVX2 is available and every slice in `bs` has
         /// `orow.len()` elements.
         #[target_feature(enable = "avx2")]
+        // ibcm-lint: allow(transitive-panic, reason = "# Safety contract requires equal-length slices, debug_assert-checked")
         pub(super) unsafe fn axpy8_avx2(orow: &mut [f32], a: [f32; 8], bs: [&[f32]; 8]) {
             let n = orow.len();
             debug_assert!(bs.iter().all(|b| b.len() == n));
@@ -1139,6 +1150,7 @@ pub mod reference {
     /// # Panics
     ///
     /// Panics if shapes disagree.
+    // ibcm-lint: allow(transitive-panic, reason = "shapes are asserted on entry; row slicing is derived from them")
     pub fn matmul_acc_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
         assert_eq!(a.cols, b.rows, "matmul inner dimensions");
         assert_eq!(out.rows, a.rows, "matmul output rows");

@@ -51,6 +51,7 @@ impl SessionFeaturizer {
 
     /// Featurizes an action sequence. Out-of-vocabulary actions contribute
     /// nothing to the bag (but still count toward the length).
+    // ibcm-lint: allow(transitive-panic, reason = "bag indices are guarded by < vocab and dim() reserves the trailing length slot")
     pub fn features(&self, actions: &[ActionId]) -> Vec<f64> {
         let mut x = vec![0.0f64; self.dim()];
         if actions.is_empty() {

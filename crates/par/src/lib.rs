@@ -207,6 +207,7 @@ where
 /// scheduling only, never results, because outputs remain index-addressed.
 /// `f` receives `(index, &item)` so callers can derive per-item seeds or
 /// labels from the stable input position.
+// ibcm-lint: allow(transitive-panic, reason = "the chunk loop clamps i < n and every slot is filled before the scope joins")
 pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,

@@ -53,6 +53,7 @@ fn encode(shard: usize, covered_seq: u64, ibcs: &[u8]) -> Vec<u8> {
 }
 
 /// Validates one `IBCQ` frame; returns `(covered_seq, ibcs_bytes)`.
+// ibcm-lint: allow(transitive-panic, reason = "frame length is checked against HEADER_LEN+CHECKSUM_LEN before any fixed-offset slicing")
 fn decode(shard: usize, bytes: &[u8]) -> Option<(u64, Vec<u8>)> {
     if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
         return None;
